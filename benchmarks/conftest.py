@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and asserts its
+qualitative shape (orderings, monotonicity, approximate factors).  Benchmarks
+that need a trained tiny model share the on-disk cache under
+``~/.cache/kelle-repro`` (set ``REPRO_CACHE_DIR`` to relocate it), so only the
+first invocation pays the ~15 s training cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    return run_once

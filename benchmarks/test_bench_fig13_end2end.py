@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 13 (end-to-end speedup and energy efficiency)."""
+
+from repro.experiments import fig13_end2end
+
+
+def test_bench_fig13(benchmark, once):
+    table = once(benchmark, fig13_end2end.run,
+                 model_names=("llama2-7b", "llama2-13b", "llama3.2-3b", "mistral-7b"),
+                 datasets=("lambada", "triviaqa", "qasper", "pg19"))
+    speedup, efficiency = fig13_end2end.average_improvements(table)
+    # Paper headline: 3.9x speedup / 4.5x energy efficiency on average.  The
+    # analytical substrate reproduces the ordering and multi-x gains; the
+    # absolute factors are smaller (see EXPERIMENTS.md).
+    assert speedup > 1.8
+    assert efficiency > 1.5
+    # Per-row orderings: Kelle+eDRAM is (essentially) the best system on every
+    # (model, task) pair and strictly the best on the long-decode workloads
+    # where the KV cache dominates.  On GQA models with short decodes the
+    # analytical model places Kelle+eDRAM and AERP+SRAM within a few percent.
+    for model in {row["model"] for row in table.rows}:
+        for dataset in {row["dataset"] for row in table.rows}:
+            cell = {row["system"]: row for row in table.rows
+                    if row["model"] == model and row["dataset"] == dataset}
+            best_eff = max(row["energy_efficiency"] for row in cell.values())
+            assert cell["kelle+edram"]["energy_efficiency"] >= best_eff * 0.95
+            if dataset in ("qasper", "pg19"):
+                assert cell["kelle+edram"]["energy_efficiency"] == best_eff
+            assert cell["aerp+sram"]["energy_efficiency"] >= cell["aep+sram"]["energy_efficiency"]
+            assert cell["original+edram"]["energy_efficiency"] < 1.0
+    print(table.to_markdown())
+    print(fig13_end2end.run_energy_breakdown().to_markdown())
+
+
+def test_bench_fig13_energy_breakdown(benchmark, once):
+    pie = once(benchmark, fig13_end2end.run_energy_breakdown)
+    fractions = {row["component"]: row["fraction_of_onchip"] for row in pie.rows}
+    assert abs(sum(fractions.values()) - 1.0) < 1e-6
+    # The KV path no longer dominates on-chip energy once Kelle's policies run.
+    assert fractions["kv"] < 0.75

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 14 (comparison with rival edge LLM accelerators)."""
+
+from repro.experiments import fig14_accelerators
+
+
+def test_bench_fig14(benchmark, once):
+    table = once(benchmark, fig14_accelerators.run,
+                 model_names=("llama2-7b", "llama3.2-3b"),
+                 datasets=("lambada", "triviaqa", "qasper", "pg19"))
+    for model in {row["model"] for row in table.rows}:
+        for dataset in {row["dataset"] for row in table.rows}:
+            cell = {row["accelerator"]: row for row in table.rows
+                    if row["model"] == model and row["dataset"] == dataset}
+            # The Jetson is the normalisation point and the least efficient.
+            assert cell["jetson-orin"]["energy_efficiency"] == 1.0
+            assert cell["kelle+edram"]["energy_efficiency"] > 2.0
+            # Kelle+eDRAM is the most energy-efficient design wherever the KV
+            # cache is the bottleneck: every long-decode workload, and every
+            # workload for the non-GQA LLaMA2-7B model.  (On the 3B GQA model
+            # with short decodes the KV footprint is small, so the rival
+            # decode-stage optimisations close most of the gap.)
+            best = max(cell.values(), key=lambda row: row["energy_efficiency"])
+            if dataset in ("qasper", "pg19"):
+                assert best["accelerator"] == "kelle+edram"
+            else:
+                assert cell["kelle+edram"]["energy_efficiency"] >= best["energy_efficiency"] * 0.75
+            assert cell["kelle+edram"]["speedup"] >= cell["llm.npu"]["speedup"] * 0.9
+    print(table.to_markdown())

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 15 (recomputation, 2DRP and scheduler ablations)."""
+
+from repro.experiments import fig15_ablation
+
+
+def test_bench_fig15a_recomputation(benchmark, once):
+    table = once(benchmark, fig15_ablation.run_recomputation)
+    for model in {row["model"] for row in table.rows}:
+        rows = {row["recomputation"]: row for row in table.rows if row["model"] == model}
+        # Recomputation reduces total energy with only a small RSA increase.
+        assert rows["with"]["energy_j"] <= rows["without"]["energy_j"]
+        assert rows["with"]["rsa_energy_frac"] < 0.25
+    print(table.to_markdown())
+
+
+def test_bench_fig15b_refresh_strategies(benchmark, once):
+    table = once(benchmark, fig15_ablation.run_refresh_strategies)
+    eff = {row["strategy"]: row["energy_efficiency"] for row in table.rows}
+    # Paper ordering: Org < Uni < 2D < 2K.
+    assert eff["org"] == 1.0
+    assert eff["uni"] > eff["org"]
+    assert eff["2d"] >= eff["uni"]
+    assert eff["2k"] >= eff["2d"]
+    refresh = {row["strategy"]: row["refresh_frac"] for row in table.rows}
+    assert refresh["2k"] < refresh["org"]
+    print(table.to_markdown())

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 16 (roofline and long-input-sequence study)."""
+
+from repro.experiments import fig16_roofline_longseq
+
+
+def test_bench_fig16a_roofline(benchmark, once):
+    table = once(benchmark, fig16_roofline_longseq.run_roofline)
+    rows = {row["setting"]: row for row in table.rows}
+    # Recomputation raises operational intensity; excessive recomputation
+    # crosses the ridge point into the compute-bound regime.
+    assert rows["recomp-0.15"]["operational_intensity"] > rows["no-recomp"]["operational_intensity"]
+    assert rows["recomp-0.6"]["operational_intensity"] > rows["recomp-0.15"]["operational_intensity"]
+    assert not rows["no-recomp"]["compute_bound"]
+    assert rows["recomp-0.6"]["compute_bound"]
+    for row in table.rows:
+        assert row["performance_ops_per_s"] <= row["attainable_ops_per_s"] * 1.05
+    print(table.to_markdown())
+
+
+def test_bench_fig16b_long_sequences(benchmark, once):
+    table = once(benchmark, fig16_roofline_longseq.run_long_sequences)
+    assert len(table) == 12
+    # Prefill-dominated settings are compute bound and show moderate gains;
+    # decode-heavy settings are memory bound and show the largest gains
+    # (paper: ~2.1x vs ~5.6x).
+    efficiencies = table.column("energy_efficiency")
+    assert min(efficiencies) > 1.0
+    assert max(efficiencies) > min(efficiencies) * 1.5
+    print(table.to_markdown())

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 3 (motivation: SRAM scaling, area, eDRAM refresh energy)."""
+
+from repro.experiments import fig3_motivation
+
+
+def test_bench_fig3a_latency(benchmark, once):
+    table = once(benchmark, fig3_motivation.run_latency)
+    # Larger on-chip memory never hurts; the paper reports a 1.27x mean speedup.
+    assert all(row["speedup_8mb"] >= 1.0 for row in table.rows)
+    print(table.to_markdown())
+
+
+def test_bench_fig3b_area(benchmark, once):
+    table = once(benchmark, fig3_motivation.run_area)
+    by_name = {row["system"]: row for row in table.rows}
+    # Figure 3 (b): the eDRAM system fits in a smaller die than the SRAM system.
+    assert by_name["edram-8mb"]["onchip_total_mm2"] < by_name["sram-8mb"]["onchip_total_mm2"]
+    print(table.to_markdown())
+
+
+def test_bench_fig3c_energy_breakdown(benchmark, once):
+    table = once(benchmark, fig3_motivation.run_energy_breakdown)
+    # Figure 3 (c): without optimisation, refresh is a major share of energy
+    # (the paper reports up to 46%; the analytical model gives an even larger
+    # share because the guard interval is charged on the full occupied array).
+    assert max(row["refresh_frac"] for row in table.rows) > 0.3
+    print(table.to_markdown())

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (retention failure rate vs refresh interval)."""
+
+from repro.experiments import fig4_retention
+
+
+def test_bench_fig4(benchmark, once):
+    table = once(benchmark, fig4_retention.run)
+    rates = table.column("failure_rate")
+    assert rates == sorted(rates)
+    markers = {round(row["refresh_interval_us"]): row["failure_rate"]
+               for row in table.rows if row["is_paper_marker"]}
+    # The paper's marked points: ~no failures at 45 us, ~1e-4 at 784 us,
+    # ~1e-3 at 1778 us, ~1e-2 at 9120 us (order-of-magnitude agreement).
+    assert markers[45] < 1e-5
+    assert 1e-5 < markers[784] < 1e-3
+    assert 1e-4 < markers[1778] < 5e-3
+    assert 1e-3 < markers[9120] < 5e-2
+    print(table.to_markdown())

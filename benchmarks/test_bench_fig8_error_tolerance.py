@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 8 (KV-cache error tolerance studies)."""
+
+from repro.experiments import fig8_error_tolerance
+
+
+def test_bench_fig8a_uniform(benchmark, once):
+    table = once(benchmark, fig8_error_tolerance.run_uniform)
+    rows = {row["error_rate"]: row["ppl"] for row in table.rows}
+    clean = rows[0.0]
+    # Shape: perplexity is low for the clean cache and grows with the error
+    # rate (the tiny substrate model reaches the knee earlier than LLaMA2-7B).
+    assert clean < 20
+    assert rows[max(rows)] > clean * 1.5
+    print(table.to_markdown())
+
+
+def test_bench_fig8b_hst_vs_lst(benchmark, once):
+    table = once(benchmark, fig8_error_tolerance.run_hst_vs_lst)
+    by_rate: dict[float, dict[str, float]] = {}
+    for row in table.rows:
+        by_rate.setdefault(row["error_rate"], {})[row["group"]] = row["ppl"]
+    # Corrupting high-score tokens hurts at least as much as corrupting
+    # low-score tokens (averaged over injection seeds).
+    hst_worse = sum(1 for groups in by_rate.values() if groups["HST"] >= groups["LST"] * 0.95)
+    assert hst_worse >= len(by_rate) - 1
+    print(table.to_markdown())
+
+
+def test_bench_fig8c_msb_vs_lsb(benchmark, once):
+    table = once(benchmark, fig8_error_tolerance.run_msb_vs_lsb)
+    by_rate: dict[float, dict[str, float]] = {}
+    for row in table.rows:
+        by_rate.setdefault(row["error_rate"], {})[row["group"]] = row["ppl"]
+    for groups in by_rate.values():
+        assert groups["MSB"] > groups["LSB"]
+    print(table.to_markdown())

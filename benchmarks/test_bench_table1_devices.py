@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (SRAM vs eDRAM device comparison)."""
+
+from repro.experiments import table1_devices
+
+
+def test_bench_table1(benchmark, once):
+    table = once(benchmark, table1_devices.run)
+    sram, edram = table.rows
+    # Paper Table 1: eDRAM has >2x density, lower access energy and leakage.
+    assert edram["area_mm2"] < sram["area_mm2"] / 2 + 0.1
+    assert edram["access_energy_pj_per_byte"] < sram["access_energy_pj_per_byte"]
+    assert edram["leakage_mw"] < sram["leakage_mw"]
+    assert edram["retention_time_us"] == 45.0
+    print(table.to_markdown())

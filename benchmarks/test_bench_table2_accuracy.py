@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (accuracy of KV-cache methods across models/tasks)."""
+
+from repro.experiments import table2_accuracy
+
+
+def test_bench_table2(benchmark, once):
+    table = once(benchmark, table2_accuracy.run,
+                 model_names=("tiny-llama2-7b",), tasks=("wikitext2", "arc-easy"))
+    by_cell = {(row["task"], row["method"]): row["value"] for row in table.rows}
+    # Claim under test: Kelle stays close to the full-cache FP16 model.
+    assert by_cell[("wikitext2", "kelle")] < by_cell[("wikitext2", "fp16")] * 1.25
+    assert by_cell[("arc-easy", "kelle")] >= by_cell[("arc-easy", "fp16")] - 0.25
+    # And is competitive with the strongest baseline on perplexity.
+    best_baseline = min(by_cell[("wikitext2", m)] for m in ("streaming-llm", "h2o", "quarot"))
+    assert by_cell[("wikitext2", "kelle")] < best_baseline * 1.3
+    print(table.to_markdown())

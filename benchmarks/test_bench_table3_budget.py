@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (accuracy vs KV-cache budget N')."""
+
+from repro.experiments import table3_budget
+
+
+def test_bench_table3(benchmark, once):
+    table = once(benchmark, table3_budget.run)
+    accuracies = table.column("accuracy")
+    budgets = table.column("budget")
+    # Shape: the full cache solves the task, accuracy declines as the budget
+    # shrinks, and the decline is graceful until very small budgets.
+    assert accuracies[0] >= 0.5
+    assert accuracies[0] >= accuracies[-1]
+    assert min(accuracies[:3]) >= accuracies[-1] - 0.05
+    assert budgets[0] == "full"
+    print(table.to_markdown())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4 (2DRP vs uniform refresh at matched failure rates)."""
+
+from repro.experiments import table4_refresh
+
+
+def test_bench_table4(benchmark, once):
+    table = once(benchmark, table4_refresh.run)
+    by_scale: dict[float, dict[str, dict]] = {}
+    for row in table.rows:
+        by_scale.setdefault(row["scale"], {})[row["policy"]] = row
+    for scale, rows in by_scale.items():
+        # 2DRP protects the important bits, so at the same average failure rate
+        # it achieves at least the uniform policy's accuracy and perplexity.
+        assert rows["2drp"]["accuracy"] >= rows["uniform"]["accuracy"], scale
+        assert rows["2drp"]["ppl"] <= rows["uniform"]["ppl"] * 1.05, scale
+    print(table.to_markdown())

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5 (qualitative generation metrics, FP16 vs Kelle)."""
+
+from repro.experiments import table5_qualitative
+
+
+def test_bench_table5(benchmark, once):
+    table = once(benchmark, table5_qualitative.run, model_names=("tiny-llama2-7b",))
+    rows = {row["method"]: row for row in table.rows}
+    # Kelle's approximate memory behaviour keeps the qualitative metrics close
+    # to the full-precision full-cache model.
+    assert rows["kelle"]["cnn_overlap"] >= rows["fp16"]["cnn_overlap"] - 0.1
+    assert rows["kelle"]["truthfulness_acc"] >= rows["fp16"]["truthfulness_acc"] - 0.3
+    assert rows["kelle"]["bbq_acc"] >= rows["fp16"]["bbq_acc"] - 0.3
+    print(table.to_markdown())

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 6 (Kelle compatibility with weight quantization)."""
+
+from repro.experiments import table6_quant
+
+
+def test_bench_table6(benchmark, once):
+    table = once(benchmark, table6_quant.run)
+    rows = {row["setting"]: row for row in table.rows}
+    # Moving from 8-bit to 4-bit weights costs little accuracy under Kelle.
+    assert rows["kelle-w4a8"]["ppl"] < rows["kelle-w8a16"]["ppl"] * 2.0
+    assert rows["kelle-w4a8"]["accuracy"] >= rows["kelle-w8a16"]["accuracy"] - 0.35
+    print(table.to_markdown())

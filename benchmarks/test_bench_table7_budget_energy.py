@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 7 (energy efficiency across KV-cache budgets)."""
+
+from repro.experiments import table7_budget_energy
+
+
+def test_bench_table7(benchmark, once):
+    table = once(benchmark, table7_budget_energy.run)
+    for model in {row["model"] for row in table.rows}:
+        rows = [row for row in table.rows if row["model"] == model]
+        efficiencies = [row["energy_efficiency"] for row in rows]
+        # Efficiency decreases monotonically as the budget grows, but even the
+        # no-eviction budget keeps a solid gain over Original+SRAM (paper: ~3x).
+        assert efficiencies == sorted(efficiencies, reverse=True)
+        assert efficiencies[-1] > 1.0
+        assert efficiencies[0] > efficiencies[-1] * 1.3
+    print(table.to_markdown())

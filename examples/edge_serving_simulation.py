@@ -1,0 +1,48 @@
+"""Edge-serving hardware simulation: reproduce the Figure 13 comparison.
+
+Simulates LLaMA2-7B serving the PG19 long-generation workload (512-token
+prompt, 8192 generated tokens, batch 16) on the five systems of the paper and
+prints speedup / energy efficiency normalised to Original+SRAM, plus the
+Kelle+eDRAM energy breakdown.
+
+Run with::
+
+    python examples/edge_serving_simulation.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.systems import baseline_suite
+from repro.llm.config import get_config
+from repro.utils.units import seconds_to_human
+from repro.workloads.generator import trace_for_dataset
+
+
+def main(model_name: str = "llama2-7b") -> None:
+    model = get_config(model_name)
+    trace = trace_for_dataset("pg19")
+    suite = baseline_suite(kv_budget=2048)
+    reference = suite["original+sram"].simulate(model, trace)
+
+    print(f"Serving {model.name} on the PG19 trace "
+          f"(context {trace.context_len}, decode {trace.decode_len}, batch {trace.batch_size})\n")
+    header = f"{'system':<18}{'latency':>14}{'energy (kJ)':>14}{'speedup':>10}{'energy eff.':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, system in suite.items():
+        result = system.simulate(model, trace)
+        print(f"{name:<18}{seconds_to_human(result.total_latency_s):>14}"
+              f"{result.total_energy_j / 1e3:>14.1f}"
+              f"{result.speedup_over(reference):>9.2f}x"
+              f"{result.energy_efficiency_over(reference):>12.2f}x")
+
+    kelle = suite["kelle+edram"].simulate(model, trace)
+    print("\nKelle+eDRAM energy breakdown:")
+    for component, energy in sorted(kelle.energy.components.items(), key=lambda kv: -kv[1]):
+        print(f"  {component:<18}{energy / 1e3:>10.2f} kJ   ({kelle.energy.fraction(component):5.1%})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama2-7b")

@@ -1,0 +1,36 @@
+"""Reproduction of *Kelle: Co-design KV Caching and eDRAM for Efficient LLM
+Serving in Edge Computing* (MICRO 2025).
+
+The package is organised by subsystem:
+
+``repro.llm``
+    A from-scratch NumPy transformer decoder substrate (layers, models,
+    generation, tokenisation, training) used for the functional / accuracy
+    experiments.
+``repro.core``
+    The paper's primary contribution: the attention-based eviction and
+    recomputation policy (AERP), the two-dimensional adaptive refresh policy
+    (2DRP) and the Kelle scheduler data-lifetime model.
+``repro.memory``
+    Analytical SRAM / eDRAM / DRAM device models, the eDRAM retention-failure
+    distribution and bit-level fault injection.
+``repro.accelerator``
+    The Kelle edge accelerator performance and energy model (reconfigurable
+    systolic array, systolic evictor, SFU, hybrid memory subsystem, roofline).
+``repro.baselines``
+    Baseline KV-cache policies (full cache, StreamingLLM, H2O, random,
+    KV quantization) and baseline hardware systems / competing accelerators.
+``repro.quant``
+    Integer quantization and Hadamard-transform utilities.
+``repro.workloads``
+    Synthetic corpora, dataset regimes mirroring the paper's benchmarks and
+    hardware trace generators.
+``repro.eval``
+    Perplexity / accuracy metrics and the evaluation harness.
+``repro.experiments``
+    One module per table and figure of the paper's evaluation section.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Kelle edge-accelerator performance and energy model.
+
+The paper's hardware evaluation (Section 8) is a system-level simulation fed
+by RTL-synthesis and Destiny/CACTI component numbers.  This package
+reproduces that modelling layer:
+
+* :mod:`repro.accelerator.systolic` -- the 32x32 reconfigurable systolic
+  array (RSA) timing/energy model;
+* :mod:`repro.accelerator.evictor` -- the systolic evictor (SE) overhead
+  model;
+* :mod:`repro.accelerator.sfu` -- the special-function unit (softmax,
+  normalisation, activations);
+* :mod:`repro.accelerator.memory_subsystem` -- the hybrid weight-SRAM /
+  activation-eDRAM / KV-eDRAM / off-chip DRAM memory system;
+* :mod:`repro.accelerator.accelerator` -- the end-to-end prefill/decode
+  simulator producing latency and energy breakdowns;
+* :mod:`repro.accelerator.area` / :mod:`repro.accelerator.energy` -- area and
+  power aggregation;
+* :mod:`repro.accelerator.roofline` -- the roofline model of Figure 16 (a).
+"""
+
+from repro.accelerator.systolic import SystolicArray
+from repro.accelerator.evictor import SystolicEvictor
+from repro.accelerator.sfu import SpecialFunctionUnit
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.accelerator.accelerator import (
+    AcceleratorConfig,
+    EdgeSystem,
+    SimulationResult,
+    StageResult,
+)
+from repro.accelerator.area import AreaReport, area_report
+from repro.accelerator.energy import EnergyBreakdown
+from repro.accelerator.roofline import RooflineModel, RooflinePoint
+
+__all__ = [
+    "SystolicArray",
+    "SystolicEvictor",
+    "SpecialFunctionUnit",
+    "MemorySubsystem",
+    "AcceleratorConfig",
+    "EdgeSystem",
+    "SimulationResult",
+    "StageResult",
+    "AreaReport",
+    "area_report",
+    "EnergyBreakdown",
+    "RooflineModel",
+    "RooflinePoint",
+]

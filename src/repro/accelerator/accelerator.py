@@ -1,0 +1,423 @@
+"""End-to-end accelerator performance/energy simulator.
+
+:class:`EdgeSystem` evaluates one hardware configuration (PE array size, KV
+storage technology, KV-cache policy, refresh policy, scheduler, systolic
+evictor) on one workload trace and one model shape, producing per-stage
+latency and a per-component energy breakdown.  The modelling altitude matches
+the paper's evaluation methodology: analytical traffic/compute terms fed by
+the device parameters of Table 1 and Section 8.
+
+Modelling summary (per decode step at context length ``L``):
+
+* retained KV tokens ``= min(L, N')`` under AEP/AERP, ``L`` otherwise;
+* every retained KV byte is streamed through the on-chip KV store (it is the
+  staging buffer between DRAM and the RSA), so the KV store's per-byte access
+  energy applies to the whole KV working set -- this is where eDRAM's lower
+  access energy pays off;
+* KV bytes that fit in the KV store stay resident across steps and never
+  touch DRAM; the rest are (re)fetched from DRAM every step;
+* AERP recomputation regenerates a fraction of the KV fetches on the RSA
+  instead of reading them from DRAM and stores those tokens as single input
+  vectors (half the bytes);
+* weights stream from DRAM once per step (shared across the batch) and pass
+  through the weight SRAM;
+* step latency is the maximum of compute time, DRAM transfer time and on-chip
+  memory time; the weight-SRAM and KV-store streams overlap only under the
+  Kelle scheduler (Section 6), otherwise they serialise;
+* absence of the systolic evictor adds the Section 8.1.4 min-search overhead;
+* eDRAM refresh energy follows the active refresh policy's per-group
+  intervals applied to the occupied fraction of the array (long-lived
+  resident KV data); transient staged data contributes through a reduced
+  lifetime factor when the Kelle scheduler is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.accelerator.energy import EnergyBreakdown
+from repro.accelerator.evictor import SystolicEvictor
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.accelerator.sfu import SpecialFunctionUnit
+from repro.accelerator.systolic import SystolicArray
+from repro.core.refresh import (
+    GuardRefreshPolicy,
+    RefreshPolicy,
+    TwoDRefreshPolicy,
+    UniformRefreshPolicy,
+)
+from repro.llm.config import ModelConfig
+from repro.workloads.generator import WorkloadTrace
+
+
+@dataclass
+class AcceleratorConfig:
+    """One hardware/algorithm configuration point."""
+
+    name: str
+    pe_rows: int = 32
+    pe_cols: int = 32
+    memory: MemorySubsystem = field(default_factory=MemorySubsystem.kelle)
+    kv_policy: str = "full"  # "full" | "aep" | "aerp"
+    kv_budget: int = 2048
+    recompute_fraction: float = 0.15
+    refresh: str = "none"  # "none" | "guard" | "uniform" | "2drp"
+    uniform_interval_s: float = 0.36e-3
+    refresh_policy_override: RefreshPolicy | None = None
+    use_kelle_scheduler: bool = False
+    systolic_evictor: bool = False
+    weight_bits: int = 8
+    kv_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kv_policy not in ("full", "aep", "aerp"):
+            raise ValueError("kv_policy must be 'full', 'aep' or 'aerp'")
+        if self.refresh not in ("none", "guard", "uniform", "2drp"):
+            raise ValueError("refresh must be 'none', 'guard', 'uniform' or '2drp'")
+        if self.kv_budget <= 0:
+            raise ValueError("kv_budget must be positive")
+        if not 0.0 <= self.recompute_fraction <= 1.0:
+            raise ValueError("recompute_fraction must lie in [0, 1]")
+        if self.weight_bits not in (4, 8, 16) or self.kv_bits not in (2, 4, 8, 16):
+            raise ValueError("unsupported weight/KV bit width")
+
+    @property
+    def eviction_active(self) -> bool:
+        return self.kv_policy in ("aep", "aerp")
+
+    @property
+    def recomputation_active(self) -> bool:
+        return self.kv_policy == "aerp" and self.recompute_fraction > 0
+
+    def with_budget(self, budget: int) -> "AcceleratorConfig":
+        return replace(self, kv_budget=budget)
+
+    def refresh_policy(self) -> RefreshPolicy | None:
+        """The refresh policy object implied by the configuration."""
+        if self.refresh == "none" or not self.memory.kv_is_edram:
+            return None
+        if self.refresh_policy_override is not None:
+            return self.refresh_policy_override
+        if self.refresh == "guard":
+            return GuardRefreshPolicy()
+        if self.refresh == "uniform":
+            return UniformRefreshPolicy(self.uniform_interval_s)
+        return TwoDRefreshPolicy()
+
+
+@dataclass
+class StageResult:
+    """Latency and energy of one serving stage (prefill or decode)."""
+
+    name: str
+    latency_s: float
+    energy: EnergyBreakdown
+    macs: float
+    dram_bytes: float
+    kv_onchip_bytes: float
+
+    @property
+    def energy_total_j(self) -> float:
+        return self.energy.total
+
+    @property
+    def operational_intensity(self) -> float:
+        """Operations per byte of DRAM traffic (roofline x-axis)."""
+        if self.dram_bytes == 0:
+            return float("inf")
+        return 2.0 * self.macs / self.dram_bytes
+
+    @property
+    def performance_ops_per_s(self) -> float:
+        """Achieved operation throughput (roofline y-axis)."""
+        if self.latency_s == 0:
+            return 0.0
+        return 2.0 * self.macs / self.latency_s
+
+
+@dataclass
+class SimulationResult:
+    """Combined prefill + decode outcome for one (system, model, trace) triple."""
+
+    system_name: str
+    model_name: str
+    trace: WorkloadTrace
+    prefill: StageResult
+    decode: StageResult
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.prefill.latency_s + self.decode.latency_s
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        return self.prefill.energy.merge(self.decode.energy)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total
+
+    @property
+    def tokens_generated(self) -> int:
+        return self.trace.decode_len * self.trace.batch_size
+
+    @property
+    def latency_per_token_s(self) -> float:
+        return self.total_latency_s / self.tokens_generated
+
+    @property
+    def energy_per_token_j(self) -> float:
+        return self.total_energy_j / self.tokens_generated
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How much faster this system is than ``other`` on the same workload."""
+        return other.total_latency_s / self.total_latency_s
+
+    def energy_efficiency_over(self, other: "SimulationResult") -> float:
+        """How much less energy per token this system uses than ``other``."""
+        return other.energy_per_token_j / self.energy_per_token_j
+
+
+class EdgeSystem:
+    """Analytical simulator of one edge LLM serving system."""
+
+    #: Fraction of the KV store usable for resident KV data (the rest is
+    #: reserved for double buffering and the importance-score register file).
+    _KV_USABLE_FRACTION = 0.9
+    #: Sustained RSA utilisation for GEMV-like decode work.
+    _DECODE_UTILISATION = 0.7
+    #: Sustained RSA utilisation for GEMM-like prefill work.
+    _PREFILL_UTILISATION = 0.9
+    #: Transient-data refresh reduction from the Kelle scheduler's shorter
+    #: data lifetime (Equations 7-8 give ~2.5-3x shorter lifetime; only part
+    #: of the refresh energy is lifetime-bound, hence a conservative factor).
+    _SCHEDULER_REFRESH_FACTOR = 0.7
+    #: Recomputing a KV vector on the RSA takes ~3x longer than loading it
+    #: from DRAM (Section 8.3.2: 3.2 us recompute vs 1.1 us DRAM load), but
+    #: the two overlap, so recomputation pays off until the RSA saturates.
+    _RECOMPUTE_TIME_RATIO = 3.0
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.array = SystolicArray(rows=config.pe_rows, cols=config.pe_cols)
+        self.sfu = SpecialFunctionUnit()
+        self.evictor = SystolicEvictor(present=config.systolic_evictor)
+        self.memory = config.memory
+        self._refresh_policy = config.refresh_policy()
+
+    # ------------------------------------------------------------------
+    # Helper terms
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def _retained_tokens(self, context_tokens: np.ndarray) -> np.ndarray:
+        if self.config.eviction_active:
+            return np.minimum(context_tokens, self.config.kv_budget)
+        return context_tokens
+
+    def _storage_factor(self) -> float:
+        """Bytes stored per token relative to a plain (K, V) pair."""
+        if self.config.recomputation_active:
+            # A recomputed token stores one C-vector instead of two.
+            return 1.0 - self.config.recompute_fraction / 2.0
+        return 1.0
+
+    def _refresh_power_per_occupied_byte(self) -> float:
+        """Average refresh power per occupied KV-store byte under the policy."""
+        if self._refresh_policy is None:
+            return 0.0
+        kv = self.memory.kv_store
+        energy_per_byte = kv.refresh_energy_per_full_refresh_j / kv.capacity_bytes
+        return self._refresh_policy.refresh_power_per_byte(energy_per_byte)
+
+    def _static_power(self) -> float:
+        return (self.memory.onchip_leakage_w + self.array.static_power_w
+                + self.sfu.static_power_w + self.evictor.static_power()
+                + self.memory.dram.leakage_power_w)
+
+    def _decode_macs_per_token(self, model: ModelConfig, kv_tokens: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`ModelConfig.decode_macs_per_token`."""
+        proj = model.attention_params() + model.mlp_params()
+        group = model.n_heads // model.kv_heads
+        attention = 2.0 * kv_tokens * model.kv_heads * model.head_dim * group
+        logits = model.d_model * model.vocab_size
+        return model.n_layers * (proj + attention) + logits
+
+    # ------------------------------------------------------------------
+    # Decode stage
+    # ------------------------------------------------------------------
+    def simulate_decode(self, model: ModelConfig, trace: WorkloadTrace) -> StageResult:
+        """Simulate the auto-regressive decode stage of ``trace``."""
+        cfg = self.config
+        batch = trace.batch_size
+        steps = np.arange(trace.decode_len, dtype=np.float64)
+        context = trace.context_len + steps  # tokens in cache when each step runs
+
+        kv_tokens = self._retained_tokens(context)
+        per_token_layer_bytes = model.kv_bytes_per_token_per_layer(cfg.kv_bits)
+        kv_layer_bytes = kv_tokens * per_token_layer_bytes * self._storage_factor()
+        kv_total_bytes = batch * kv_layer_bytes * model.n_layers  # per step
+
+        kv_capacity = self.memory.kv_store.capacity_bytes * self._KV_USABLE_FRACTION
+        kv_resident_bytes = np.minimum(kv_total_bytes, kv_capacity)
+        kv_offchip_bytes = kv_total_bytes - kv_resident_bytes
+        recomputed_bytes = np.zeros_like(kv_offchip_bytes)
+        if cfg.recomputation_active:
+            # Recomputed tokens are regenerated on the RSA instead of being
+            # fetched from off-chip memory.
+            recomputed_bytes = kv_offchip_bytes * cfg.recompute_fraction
+            kv_offchip_bytes = kv_offchip_bytes - recomputed_bytes
+
+        weight_bytes = float(model.weight_bytes(cfg.weight_bits))
+        activation_bytes = batch * model.n_layers * 6.0 * model.d_model * cfg.kv_bits / 8.0
+
+        # Compute terms.
+        macs = batch * self._decode_macs_per_token(model, kv_tokens)
+        # Recomputation occupies the RSA for ~3x the DRAM-transfer time of the
+        # bytes it replaces (Section 8.3.2); express that as equivalent MACs so
+        # energy and the roofline operating point account for it consistently.
+        t_recompute = (self._RECOMPUTE_TIME_RATIO * recomputed_bytes
+                       / self.memory.dram.bandwidth_bytes_per_s)
+        recompute_macs = (t_recompute * self.array.macs_per_cycle * self.array.frequency_hz
+                          * self._DECODE_UTILISATION)
+        softmax_elements = batch * model.n_heads * kv_tokens * model.n_layers
+
+        t_compute = (macs + recompute_macs) / (
+            self.array.macs_per_cycle * self.array.frequency_hz * self._DECODE_UTILISATION
+        ) + softmax_elements / (self.sfu.lanes * self.sfu.frequency_hz)
+        dram_bytes = weight_bytes + kv_offchip_bytes
+        t_dram = dram_bytes / self.memory.dram.bandwidth_bytes_per_s
+        t_weight_sram = weight_bytes / self.memory.weight_sram.bandwidth_bytes_per_s
+        # All KV bytes used by attention stream through the on-chip KV store.
+        t_kv_onchip = kv_total_bytes / self.memory.kv_store.bandwidth_bytes_per_s
+        if cfg.use_kelle_scheduler:
+            # Figure 12 (b): weight-SRAM and KV-eDRAM streams overlap with each
+            # other and with the matrix multiplications.
+            t_onchip = np.maximum(t_weight_sram, t_kv_onchip)
+            step_latency = np.maximum.reduce([t_compute, t_dram, t_onchip])
+        else:
+            # Figure 12 (a): the baseline pattern serialises on-chip loads and
+            # the dependent matrix multiplications; only DRAM prefetch overlaps.
+            t_onchip = t_weight_sram + t_kv_onchip
+            step_latency = np.maximum(t_dram, t_onchip + t_compute)
+        step_latency = step_latency * self.evictor.latency_factor(cfg.eviction_active)
+        total_latency = float(np.sum(step_latency))
+
+        # Energy terms.
+        total_macs = float(np.sum(macs + recompute_macs))
+        total_kv_onchip = float(np.sum(kv_total_bytes))
+        total_kv_offchip = float(np.sum(kv_offchip_bytes))
+        total_dram_bytes = weight_bytes * trace.decode_len + total_kv_offchip
+        energy = EnergyBreakdown()
+        energy.add("rsa", self.array.energy_for_macs(total_macs))
+        energy.add("sfu", float(np.sum(softmax_elements)) * self.sfu.energy_per_element_j)
+        energy.add("weight_sram",
+                   weight_bytes * trace.decode_len * self.memory.weight_sram.access_energy_per_byte_j)
+        energy.add("kv_onchip", total_kv_onchip * self.memory.kv_store.access_energy_per_byte_j)
+        energy.add("activation_buffer",
+                   activation_bytes * trace.decode_len
+                   * self.memory.activation_buffer.access_energy_per_byte_j)
+        energy.add("dram", total_dram_bytes * self.memory.dram.access_energy_per_byte_j)
+        refresh_power_per_byte = self._refresh_power_per_occupied_byte()
+        if refresh_power_per_byte > 0:
+            occupied_bytes = np.minimum(kv_total_bytes, kv_capacity)
+            scheduler_factor = self._SCHEDULER_REFRESH_FACTOR if cfg.use_kelle_scheduler else 1.0
+            energy.add("refresh",
+                       float(np.sum(occupied_bytes * step_latency)) * refresh_power_per_byte
+                       * scheduler_factor)
+        energy.add("leakage", self._static_power() * total_latency)
+        if cfg.eviction_active and not self.evictor.present:
+            energy.add("evictor", energy.total * (self.evictor.energy_factor(True) - 1.0))
+        elif self.evictor.present:
+            energy.add("evictor", self.evictor.power_w * total_latency)
+
+        return StageResult(
+            name="decode",
+            latency_s=total_latency,
+            energy=energy,
+            macs=total_macs,
+            dram_bytes=total_dram_bytes,
+            kv_onchip_bytes=total_kv_onchip,
+        )
+
+    # ------------------------------------------------------------------
+    # Prefill stage
+    # ------------------------------------------------------------------
+    def simulate_prefill(self, model: ModelConfig, trace: WorkloadTrace) -> StageResult:
+        """Simulate the pre-filling stage over ``trace.context_len`` tokens."""
+        cfg = self.config
+        batch = trace.batch_size
+        context = trace.context_len
+
+        macs = float(batch * model.prefill_macs(context))
+        softmax_elements = float(batch * model.n_heads * model.n_layers * context * context / 2.0)
+        t_compute = macs / (
+            self.array.macs_per_cycle * self.array.frequency_hz * self._PREFILL_UTILISATION
+        ) + softmax_elements / (self.sfu.lanes * self.sfu.frequency_hz)
+
+        retained = min(context, cfg.kv_budget) if cfg.eviction_active else context
+        per_token_layer_bytes = model.kv_bytes_per_token_per_layer(cfg.kv_bits)
+        kv_layer_bytes = retained * per_token_layer_bytes * self._storage_factor()
+        kv_capacity = self.memory.kv_store.capacity_bytes * self._KV_USABLE_FRACTION
+        kv_total_bytes = batch * kv_layer_bytes * model.n_layers
+        kv_resident_bytes = min(kv_total_bytes, kv_capacity)
+        kv_offchip_bytes = kv_total_bytes - kv_resident_bytes
+
+        weight_bytes = float(model.weight_bytes(cfg.weight_bits))
+        activation_bytes = float(batch * context * model.n_layers * 4.0 * model.d_model
+                                 * cfg.kv_bits / 8.0)
+
+        dram_bytes = weight_bytes + kv_offchip_bytes + 0.25 * activation_bytes
+        t_dram = dram_bytes / self.memory.dram.bandwidth_bytes_per_s
+        t_weight_sram = weight_bytes / self.memory.weight_sram.bandwidth_bytes_per_s
+        t_kv_onchip = kv_total_bytes / self.memory.kv_store.bandwidth_bytes_per_s
+        if cfg.use_kelle_scheduler:
+            t_onchip = max(t_weight_sram, t_kv_onchip)
+            latency = max(t_compute, t_dram, t_onchip)
+        else:
+            # Pre-filling is compute dominated; the baseline still serialises
+            # the on-chip staging with the dependent matrix multiplications.
+            t_onchip = t_weight_sram + t_kv_onchip
+            latency = max(t_dram, t_onchip + t_compute)
+
+        energy = EnergyBreakdown()
+        energy.add("rsa", self.array.energy_for_macs(macs))
+        energy.add("sfu", softmax_elements * self.sfu.energy_per_element_j)
+        energy.add("weight_sram", weight_bytes * self.memory.weight_sram.access_energy_per_byte_j)
+        energy.add("kv_onchip", kv_total_bytes * self.memory.kv_store.access_energy_per_byte_j)
+        energy.add("activation_buffer",
+                   activation_bytes * self.memory.activation_buffer.access_energy_per_byte_j)
+        energy.add("dram", dram_bytes * self.memory.dram.access_energy_per_byte_j)
+        refresh_power_per_byte = self._refresh_power_per_occupied_byte()
+        if refresh_power_per_byte > 0:
+            occupied = min(kv_total_bytes, kv_capacity)
+            energy.add("refresh", 0.5 * occupied * latency * refresh_power_per_byte)
+        energy.add("leakage", self._static_power() * latency)
+        if self.evictor.present:
+            energy.add("evictor", self.evictor.power_w * latency)
+
+        return StageResult(
+            name="prefill",
+            latency_s=latency,
+            energy=energy,
+            macs=macs,
+            dram_bytes=dram_bytes,
+            kv_onchip_bytes=kv_total_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, model: ModelConfig, trace: WorkloadTrace) -> SimulationResult:
+        """Run prefill followed by decode."""
+        prefill = self.simulate_prefill(model, trace)
+        decode = self.simulate_decode(model, trace)
+        return SimulationResult(
+            system_name=self.config.name,
+            model_name=model.name,
+            trace=trace,
+            prefill=prefill,
+            decode=decode,
+        )

@@ -1,0 +1,48 @@
+"""Area aggregation for the accelerator configurations (Figure 3 (b), Section 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerator.evictor import SystolicEvictor
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.accelerator.sfu import SpecialFunctionUnit
+from repro.accelerator.systolic import SystolicArray
+
+
+@dataclass
+class AreaReport:
+    """Per-component silicon area in mm^2."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def onchip_total(self) -> float:
+        """Total on-chip area (excludes the off-chip DRAM die)."""
+        return sum(value for key, value in self.components.items() if key != "dram")
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, component: str) -> float:
+        total = self.onchip_total
+        if total == 0:
+            return 0.0
+        if component == "dram":
+            raise ValueError("dram is off-chip; use components['dram'] directly")
+        return self.components.get(component, 0.0) / total
+
+
+def area_report(array: SystolicArray, sfu: SpecialFunctionUnit, memory: MemorySubsystem,
+                evictor: SystolicEvictor) -> AreaReport:
+    """Aggregate the area of one accelerator configuration."""
+    return AreaReport(components={
+        "rsa": array.area_mm2,
+        "sfu": sfu.area_mm2,
+        "weight_sram": memory.weight_sram.area_mm2,
+        "activation_buffer": memory.activation_buffer.area_mm2,
+        "kv_store": memory.kv_store.area_mm2,
+        "evictor": evictor.area(),
+        "dram": memory.dram.area_mm2,
+    })

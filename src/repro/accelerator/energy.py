@@ -1,0 +1,68 @@
+"""Energy accounting containers shared by the accelerator model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Canonical energy-breakdown component names.
+ENERGY_COMPONENTS = (
+    "rsa",
+    "sfu",
+    "weight_sram",
+    "kv_onchip",
+    "activation_buffer",
+    "dram",
+    "refresh",
+    "leakage",
+    "evictor",
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy totals in joules."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, value in self.components.items():
+            if value < 0:
+                raise ValueError(f"negative energy for component '{key}'")
+
+    def add(self, component: str, energy_j: float) -> None:
+        """Accumulate ``energy_j`` joules into ``component``."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self.components[component] = self.components.get(component, 0.0) + energy_j
+
+    def merge(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Return a new breakdown with the component-wise sum."""
+        merged = EnergyBreakdown(dict(self.components))
+        for key, value in other.components.items():
+            merged.add(key, value)
+        return merged
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return EnergyBreakdown({key: value * factor for key, value in self.components.items()})
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, component: str) -> float:
+        """Share of the total energy attributable to ``component``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.components.get(component, 0.0) / total
+
+    def get(self, component: str) -> float:
+        return self.components.get(component, 0.0)
+
+    def onchip_total(self) -> float:
+        """Total excluding off-chip DRAM (the paper's pie charts are on-chip only)."""
+        return self.total - self.get("dram")

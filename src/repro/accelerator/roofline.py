@@ -1,0 +1,86 @@
+"""Roofline model (Figure 16 (a) of the paper).
+
+The roofline plots achieved performance against operational intensity
+(operations per byte of off-chip traffic).  Recomputation raises the
+operational intensity -- KV fetches become RSA work instead of DRAM reads --
+moving the operating point to the right along the memory roof; excessive
+recomputation pushes the system past the ridge point into the compute-bound
+regime, which is the "Over Recomp" behaviour of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
+from repro.llm.config import ModelConfig
+from repro.workloads.generator import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operating point on the roofline."""
+
+    name: str
+    operational_intensity: float
+    performance_ops_per_s: float
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Classic two-roof model: min(peak compute, bandwidth x intensity)."""
+
+    peak_ops_per_s: float
+    memory_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops_per_s <= 0 or self.memory_bandwidth_bytes_per_s <= 0:
+            raise ValueError("peak_ops_per_s and memory_bandwidth_bytes_per_s must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity at which the system becomes compute bound."""
+        return self.peak_ops_per_s / self.memory_bandwidth_bytes_per_s
+
+    def attainable(self, operational_intensity: float) -> float:
+        """Attainable performance at a given operational intensity."""
+        if operational_intensity < 0:
+            raise ValueError("operational_intensity must be non-negative")
+        return min(self.peak_ops_per_s, operational_intensity * self.memory_bandwidth_bytes_per_s)
+
+    def is_compute_bound(self, operational_intensity: float) -> bool:
+        return operational_intensity >= self.ridge_point
+
+    @classmethod
+    def for_system(cls, system: EdgeSystem) -> "RooflineModel":
+        """Roofline implied by a system's RSA and DRAM bandwidth."""
+        return cls(
+            peak_ops_per_s=system.array.peak_ops_per_s,
+            memory_bandwidth_bytes_per_s=system.memory.dram.bandwidth_bytes_per_s,
+        )
+
+
+def recomputation_sweep(base_config: AcceleratorConfig, model: ModelConfig, trace: WorkloadTrace,
+                        fractions: tuple[float, ...] = (0.0, 0.15, 0.6)) -> list[RooflinePoint]:
+    """Decode operating points for increasing recomputation workloads.
+
+    The default fractions correspond to the paper's "No Recomp", "Recomp"
+    (moderate) and "Over Recomp" settings.
+    """
+    from dataclasses import replace  # local import to avoid shadowing at module level
+
+    points: list[RooflinePoint] = []
+    names = {0.0: "no-recomp"}
+    for fraction in fractions:
+        name = names.get(fraction, f"recomp-{fraction:g}")
+        policy = "aerp" if fraction > 0 else "aep"
+        config = replace(base_config, name=f"{base_config.name}-{name}", kv_policy=policy,
+                         recompute_fraction=fraction)
+        system = EdgeSystem(config)
+        decode = system.simulate_decode(model, trace)
+        points.append(RooflinePoint(
+            name=name,
+            operational_intensity=decode.operational_intensity,
+            performance_ops_per_s=decode.performance_ops_per_s,
+        ))
+    return points

@@ -1,0 +1,42 @@
+"""Special-function unit (SFU) model.
+
+The SFU handles the non-linear operators: softmax (with the Softermax-style
+online max), normalisation, activation functions and positional embeddings.
+Its cost grows with the number of processed elements, which itself grows with
+the attention span, mirroring the observation in Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GHZ, PICOJOULE
+
+
+@dataclass(frozen=True)
+class SpecialFunctionUnit:
+    """Element-wise non-linear operator cost model."""
+
+    frequency_hz: float = 1 * GHZ
+    lanes: int = 32
+    energy_per_element_j: float = 3.0 * PICOJOULE
+    area_mm2: float = 0.67  # ~7% of the Kelle die
+    static_power_w: float = 0.2
+
+    def softmax_elements(self, batch: int, n_heads: int, query_len: int, key_len: int) -> float:
+        """Number of scalar elements passing through softmax for one attention call."""
+        if min(batch, n_heads, query_len, key_len) <= 0:
+            raise ValueError("all dimensions must be positive")
+        return float(batch * n_heads * query_len * key_len)
+
+    def time_for_elements(self, elements: float) -> float:
+        """Latency to stream ``elements`` scalars through the SFU lanes."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        return elements / (self.lanes * self.frequency_hz)
+
+    def energy_for_elements(self, elements: float) -> float:
+        """Dynamic energy for ``elements`` scalar operations."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        return elements * self.energy_per_element_j

@@ -1,0 +1,73 @@
+"""Reconfigurable systolic array (RSA) timing and energy model.
+
+The Kelle RSA is a 32x32 weight-stationary array of 8-bit MAC processing
+elements clocked at 1 GHz (Section 5.2 / Section 8).  The model charges one
+MAC per PE per cycle when fully utilised, pipeline fill/drain overheads per
+tile, and a fixed energy per MAC (45 nm synthesis range for an 8-bit MAC plus
+its share of array interconnect and registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GHZ, PICOJOULE
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """Weight-stationary systolic array model."""
+
+    rows: int = 32
+    cols: int = 32
+    frequency_hz: float = 1 * GHZ
+    energy_per_mac_j: float = 0.55 * PICOJOULE
+    area_mm2: float = 2.2  # ~23% of the 9.5 mm^2 Kelle die (Section 8)
+    static_power_w: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def peak_ops_per_s(self) -> float:
+        """Peak throughput in (multiply + add) operations per second."""
+        return 2.0 * self.macs_per_cycle * self.frequency_hz
+
+    def matmul_cycles(self, m: int, k: int, n: int) -> float:
+        """Cycles for an ``[m, k] @ [k, n]`` matrix multiplication.
+
+        The weight matrix is tiled into ``rows x cols`` blocks; each tile pass
+        streams ``m`` activations plus pipeline fill/drain of ``rows + cols``
+        cycles.
+        """
+        if min(m, k, n) <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        k_tiles = -(-k // self.rows)
+        n_tiles = -(-n // self.cols)
+        cycles_per_tile = m + self.rows + self.cols
+        return k_tiles * n_tiles * cycles_per_tile
+
+    def matmul_time(self, m: int, k: int, n: int) -> float:
+        """Latency of an ``[m, k] @ [k, n]`` matmul in seconds."""
+        return self.matmul_cycles(m, k, n) / self.frequency_hz
+
+    def time_for_macs(self, macs: float, utilisation: float = 0.85) -> float:
+        """Latency for ``macs`` MAC operations at a sustained utilisation."""
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        if not 0.0 < utilisation <= 1.0:
+            raise ValueError("utilisation must lie in (0, 1]")
+        return macs / (self.macs_per_cycle * self.frequency_hz * utilisation)
+
+    def energy_for_macs(self, macs: float) -> float:
+        """Dynamic energy for ``macs`` MAC operations."""
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        return macs * self.energy_per_mac_j

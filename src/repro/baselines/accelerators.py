@@ -1,0 +1,189 @@
+"""Analytical models of the rival edge LLM accelerators of Figure 14.
+
+The paper compares Kelle against four contemporary designs.  Each model here
+captures the design's headline optimisation at the same modelling altitude as
+the Kelle simulator, so the comparison exercises the same bottleneck
+structure the paper describes:
+
+* **Jetson Orin** -- an edge GPU running the model in FP8: much higher peak
+  compute and DRAM bandwidth than the edge TPU, but no KV-cache management
+  and a much higher power envelope.
+* **LLM.npu** -- NPU offloading that accelerates the *pre-filling* stage (the
+  paper: prompt/model re-construction); decoding is unchanged.
+* **DynaX** -- dynamic fine-grained structured sparsity that removes ~90% of
+  the attention computation in pre-filling; the KV-cache bottleneck of
+  decoding remains.
+* **COMET** -- W4A4KV4-style quantization with efficient mixed-precision
+  kernels (configured here as W8 KV4 to match the paper's setting for a
+  comparable KV budget): it shrinks the KV traffic but has no eDRAM, no
+  eviction and no refresh co-design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem, SimulationResult
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.llm.config import ModelConfig
+from repro.memory.dram import make_lpddr4
+from repro.memory.sram import make_sram
+from repro.utils.units import GB, MB
+from repro.workloads.generator import WorkloadTrace
+
+
+@dataclass
+class RivalAcceleratorModel:
+    """Wraps an :class:`EdgeSystem` with stage-level scaling factors.
+
+    ``prefill_speedup`` / ``prefill_energy_saving`` model optimisations that
+    only affect the pre-filling stage (LLM.npu, DynaX); ``power_overhead_w``
+    models a higher idle/system power (the Jetson's SoC power envelope).
+    """
+
+    name: str
+    system: EdgeSystem
+    prefill_speedup: float = 1.0
+    prefill_energy_saving: float = 1.0
+    decode_speedup: float = 1.0
+    decode_energy_saving: float = 1.0
+    power_overhead_w: float = 0.0
+    description: str = ""
+
+    def simulate(self, model: ModelConfig, trace: WorkloadTrace) -> SimulationResult:
+        """Simulate and apply the stage-level adjustment factors."""
+        result = self.system.simulate(model, trace)
+        prefill = result.prefill
+        decode = result.decode
+        prefill.latency_s /= self.prefill_speedup
+        prefill.energy.components = {
+            key: value / self.prefill_energy_saving for key, value in prefill.energy.components.items()
+        }
+        decode.latency_s /= self.decode_speedup
+        decode.energy.components = {
+            key: value / self.decode_energy_saving for key, value in decode.energy.components.items()
+        }
+        if self.power_overhead_w > 0:
+            prefill.energy.add("leakage", self.power_overhead_w * prefill.latency_s)
+            decode.energy.add("leakage", self.power_overhead_w * decode.latency_s)
+        return SimulationResult(
+            system_name=self.name,
+            model_name=result.model_name,
+            trace=trace,
+            prefill=prefill,
+            decode=decode,
+        )
+
+
+def jetson_orin(kv_budget: int = 2048) -> RivalAcceleratorModel:
+    """NVIDIA Jetson Orin edge GPU running the LLM in FP8 (full KV cache)."""
+    del kv_budget
+    # 102 GB/s LPDDR5 at ~0.65 achievable utilisation for attention kernels.
+    memory = MemorySubsystem(
+        weight_sram=make_sram(4 * MB, name="GPU-L2-4MB"),
+        activation_buffer=make_sram(1 * MB, name="GPU-SMEM-1MB"),
+        kv_store=make_sram(4 * MB, name="GPU-L3-4MB"),
+        dram=make_lpddr4(bandwidth_bytes_per_s=66 * GB),
+    )
+    system = EdgeSystem(AcceleratorConfig(
+        name="jetson-orin",
+        pe_rows=64,
+        pe_cols=64,
+        memory=memory,
+        kv_policy="full",
+        refresh="none",
+        weight_bits=8,
+        kv_bits=16,
+    ))
+    return RivalAcceleratorModel(
+        name="jetson-orin",
+        system=system,
+        power_overhead_w=18.0,
+        description="Edge GPU, FP8 execution, no KV-cache management.",
+    )
+
+
+def llm_npu(kv_budget: int = 2048) -> RivalAcceleratorModel:
+    """LLM.npu: NPU offloading that accelerates the pre-filling stage."""
+    del kv_budget
+    system = EdgeSystem(AcceleratorConfig(
+        name="llm.npu",
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.sram_baseline(),
+        kv_policy="full",
+        refresh="none",
+    ))
+    return RivalAcceleratorModel(
+        name="llm.npu",
+        system=system,
+        prefill_speedup=2.5,
+        prefill_energy_saving=1.8,
+        decode_speedup=1.2,
+        decode_energy_saving=1.25,
+        description="Prompt/model re-construction for fast NPU pre-filling; NPU-efficient decoding "
+                    "kernels but no KV-cache management.",
+    )
+
+
+def dynax(kv_budget: int = 2048) -> RivalAcceleratorModel:
+    """DynaX: 90% structured attention sparsity in the pre-filling stage."""
+    del kv_budget
+    system = EdgeSystem(AcceleratorConfig(
+        name="dynax",
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.sram_baseline(),
+        kv_policy="full",
+        refresh="none",
+    ))
+    return RivalAcceleratorModel(
+        name="dynax",
+        system=system,
+        prefill_speedup=3.0,
+        prefill_energy_saving=2.2,
+        decode_speedup=1.35,
+        decode_energy_saving=1.4,
+        description="Dynamic X:M structured pruning of attention; the decode-stage KV traffic "
+                    "bottleneck remains.",
+    )
+
+
+def comet(kv_budget: int = 2048) -> RivalAcceleratorModel:
+    """COMET: GPU mixed-precision kernels with 4-bit KV vectors (no eDRAM co-design)."""
+    del kv_budget
+    # GPU-class hardware (same envelope as the Jetson model) running the
+    # COMET mixed-precision kernels.
+    memory = MemorySubsystem(
+        weight_sram=make_sram(4 * MB, name="GPU-L2-4MB"),
+        activation_buffer=make_sram(1 * MB, name="GPU-SMEM-1MB"),
+        kv_store=make_sram(4 * MB, name="GPU-L3-4MB"),
+        dram=make_lpddr4(bandwidth_bytes_per_s=66 * GB),
+    )
+    system = EdgeSystem(AcceleratorConfig(
+        name="comet",
+        pe_rows=64,
+        pe_cols=64,
+        memory=memory,
+        kv_policy="full",
+        refresh="none",
+        weight_bits=8,
+        kv_bits=4,
+    ))
+    return RivalAcceleratorModel(
+        name="comet",
+        system=system,
+        power_overhead_w=12.0,
+        description="W8/KV4 quantization with efficient mixed-precision GPU kernels; KV-cache "
+                    "compression without dedicated accelerator support.",
+    )
+
+
+#: Figure 14 baselines, keyed by name.
+RIVAL_ACCELERATORS: dict[str, Callable[[int], RivalAcceleratorModel]] = {
+    "jetson-orin": jetson_orin,
+    "llm.npu": llm_npu,
+    "dynax": dynax,
+    "comet": comet,
+}

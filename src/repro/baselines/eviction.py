@@ -1,0 +1,173 @@
+"""Algorithmic KV-cache eviction baselines: StreamingLLM, H2O and random.
+
+These are the methods Kelle is compared against in Table 2 of the paper:
+
+* **StreamingLLM** keeps the attention-sink tokens at the start of the
+  sequence plus a window of the most recent tokens; everything else is
+  dropped as soon as it leaves the window.
+* **H2O** keeps "heavy hitter" tokens with the highest accumulated attention
+  scores plus the recent window.  Unlike AERP it evicts the *same* token from
+  every head (scores are summed over heads) and never recomputes.
+* **Random eviction** is a sanity-check baseline that evicts a uniformly
+  random unprotected token; it lower-bounds what an importance-aware policy
+  should achieve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.cache import KVCacheFactory, LayerKVCache, RecomputeFn
+from repro.utils.rng import derive_rng
+
+
+class _SharedSlotCache(LayerKVCache):
+    """Common machinery for policies whose token set is shared across heads."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int, budget: int,
+                 sink_tokens: int, recent_window: int) -> None:
+        super().__init__(n_heads, head_dim, d_model)
+        if budget <= sink_tokens:
+            raise ValueError("budget must exceed the number of sink tokens")
+        self.budget = budget
+        self.sink_tokens = sink_tokens
+        self.recent_window = recent_window
+        self._keys: list[np.ndarray] = []  # [H, d] per slot
+        self._values: list[np.ndarray] = []
+        self._positions: list[int] = []
+        self._scores: list[float] = []
+        self._current_position = -1
+        self._last_slot_count = 0
+        self.eviction_count = 0
+
+    # -- policy hook ---------------------------------------------------------
+    def _select_victim(self, eligible: list[int]) -> int:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+    def _protected(self, slot: int) -> bool:
+        position = self._positions[slot]
+        if position < self.sink_tokens:
+            return True
+        return position > self._current_position - self.recent_window
+
+    def _evict_if_needed(self) -> None:
+        while len(self._positions) >= self.budget:
+            eligible = [slot for slot in range(len(self._positions)) if not self._protected(slot)]
+            if not eligible:
+                eligible = [
+                    slot for slot in range(len(self._positions))
+                    if self._positions[slot] >= self.sink_tokens
+                ] or list(range(len(self._positions)))
+            victim = self._select_victim(eligible)
+            for store in (self._keys, self._values):
+                del store[victim]
+            del self._positions[victim]
+            del self._scores[victim]
+            self.eviction_count += 1
+
+    def _insert(self, key: np.ndarray, value: np.ndarray, position: int, score: float) -> None:
+        self._keys.append(np.array(key, dtype=np.float32))
+        self._values.append(np.array(value, dtype=np.float32))
+        self._positions.append(int(position))
+        self._scores.append(float(score))
+
+    # -- LayerKVCache interface ------------------------------------------------
+    def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                attn_probs: np.ndarray) -> None:
+        del inputs
+        n_ctx = keys.shape[1]
+        self._current_position = n_ctx - 1
+        importance = np.asarray(attn_probs, dtype=np.float64).sum(axis=(0, 1))  # [N]
+        for n in range(n_ctx):
+            self._evict_if_needed()
+            self._insert(keys[:, n, :], values[:, n, :], n, float(importance[n]))
+
+    def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        del x
+        self._current_position = max(self._current_position, position)
+        self._evict_if_needed()
+        self._insert(key, value, position, 0.0)
+
+    def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        keys = np.stack(self._keys, axis=1)
+        values = np.stack(self._values, axis=1)
+        valid = np.ones((self.n_heads, keys.shape[1]), dtype=bool)
+        self._last_slot_count = keys.shape[1]
+        return keys, values, valid
+
+    def observe_attention(self, probs: np.ndarray) -> None:
+        summed = np.asarray(probs, dtype=np.float64).sum(axis=0)  # over heads
+        for slot in range(min(self._last_slot_count, len(self._scores))):
+            self._scores[slot] += float(summed[slot])
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self._positions)
+
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        elements = 2 * len(self._positions) * self.n_heads * self.head_dim
+        return elements * bits_per_element // 8
+
+
+class StreamingLLMCache(_SharedSlotCache):
+    """Sink + recent-window policy (StreamingLLM).  Evicts the oldest non-sink token."""
+
+    def _select_victim(self, eligible: list[int]) -> int:
+        return min(eligible, key=lambda slot: self._positions[slot])
+
+
+class H2OCache(_SharedSlotCache):
+    """Heavy-hitter oracle: evicts the token with the lowest accumulated score."""
+
+    def _select_victim(self, eligible: list[int]) -> int:
+        return min(eligible, key=lambda slot: self._scores[slot])
+
+
+class RandomEvictionCache(_SharedSlotCache):
+    """Evicts a uniformly random unprotected token (sanity-check baseline)."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int, budget: int,
+                 sink_tokens: int, recent_window: int, seed: int = 0) -> None:
+        super().__init__(n_heads, head_dim, d_model, budget, sink_tokens, recent_window)
+        self._rng = derive_rng(seed, "random-eviction")
+
+    def _select_victim(self, eligible: list[int]) -> int:
+        return int(self._rng.choice(eligible))
+
+
+def streaming_llm_cache_factory(budget: int, sink_tokens: int = 10,
+                                recent_window: int | None = None) -> KVCacheFactory:
+    """Factory for StreamingLLM; by default the window fills the whole budget."""
+    window = recent_window if recent_window is not None else max(1, budget - sink_tokens)
+
+    def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                recompute_fn: RecomputeFn) -> LayerKVCache:
+        del layer_index, recompute_fn
+        return StreamingLLMCache(n_heads, head_dim, d_model, budget, sink_tokens, window)
+
+    return factory
+
+
+def h2o_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64) -> KVCacheFactory:
+    """Factory for the H2O heavy-hitter baseline."""
+
+    def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                recompute_fn: RecomputeFn) -> LayerKVCache:
+        del layer_index, recompute_fn
+        return H2OCache(n_heads, head_dim, d_model, budget, sink_tokens, recent_window)
+
+    return factory
+
+
+def random_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64,
+                         seed: int = 0) -> KVCacheFactory:
+    """Factory for the random-eviction sanity baseline."""
+
+    def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                recompute_fn: RecomputeFn) -> LayerKVCache:
+        del recompute_fn
+        return RandomEvictionCache(n_heads, head_dim, d_model, budget, sink_tokens, recent_window,
+                                   seed=seed + layer_index)
+
+    return factory

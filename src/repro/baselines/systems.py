@@ -1,0 +1,128 @@
+"""Baseline hardware system configurations (Figure 13 of the paper).
+
+Five systems are compared end to end:
+
+* **Original+SRAM** -- the original LLM (full KV cache) on an SRAM-based edge
+  system area-matched to the Kelle accelerator: a 24x24 PE array and 4 MB of
+  on-chip SRAM (2 MB weights + 2 MB KV staging), 16 GB LPDDR4.
+* **Original+eDRAM** -- the full KV cache on the eDRAM-based Kelle
+  accelerator with the guard 45 us refresh interval (no algorithmic
+  optimisation).
+* **AEP+SRAM** -- attention-based eviction (no recomputation) on the
+  SRAM-based system.
+* **AERP+SRAM** -- eviction + recomputation on the SRAM-based Kelle
+  accelerator (32x32 array, systolic evictor, SRAM KV store of eDRAM-matched
+  area, i.e. half the capacity).
+* **Kelle+eDRAM** -- the full Kelle system: AERP, 2DRP, Kelle scheduler,
+  systolic evictor and the eDRAM memory subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.utils.units import MB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Name plus builder for one baseline system at a given KV budget."""
+
+    name: str
+    description: str
+
+    def build(self, kv_budget: int = 2048) -> EdgeSystem:
+        raise NotImplementedError
+
+
+def build_original_sram(kv_budget: int = 2048) -> EdgeSystem:
+    """Original LLM on the area-matched SRAM system (24x24 PEs, 4 MB SRAM)."""
+    del kv_budget  # the full cache ignores the budget
+    return EdgeSystem(AcceleratorConfig(
+        name="original+sram",
+        pe_rows=24,
+        pe_cols=24,
+        memory=MemorySubsystem.sram_baseline(kv_capacity_bytes=2 * MB, weight_capacity_bytes=2 * MB),
+        kv_policy="full",
+        refresh="none",
+        use_kelle_scheduler=False,
+        systolic_evictor=False,
+    ))
+
+
+def build_original_edram(kv_budget: int = 2048) -> EdgeSystem:
+    """Original LLM on the eDRAM Kelle accelerator, guard-interval refresh."""
+    del kv_budget
+    return EdgeSystem(AcceleratorConfig(
+        name="original+edram",
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.kelle(),
+        kv_policy="full",
+        refresh="guard",
+        use_kelle_scheduler=False,
+        systolic_evictor=False,
+    ))
+
+
+def build_aep_sram(kv_budget: int = 2048) -> EdgeSystem:
+    """Attention-based eviction (no recomputation) on the SRAM system."""
+    return EdgeSystem(AcceleratorConfig(
+        name="aep+sram",
+        pe_rows=24,
+        pe_cols=24,
+        memory=MemorySubsystem.sram_baseline(kv_capacity_bytes=2 * MB, weight_capacity_bytes=2 * MB),
+        kv_policy="aep",
+        kv_budget=kv_budget,
+        refresh="none",
+        use_kelle_scheduler=False,
+        systolic_evictor=False,
+    ))
+
+
+def build_aerp_sram(kv_budget: int = 2048) -> EdgeSystem:
+    """AERP on the SRAM-based Kelle accelerator (32x32 PEs, systolic evictor)."""
+    return EdgeSystem(AcceleratorConfig(
+        name="aerp+sram",
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.sram_baseline(kv_capacity_bytes=2 * MB, weight_capacity_bytes=2 * MB),
+        kv_policy="aerp",
+        kv_budget=kv_budget,
+        refresh="none",
+        use_kelle_scheduler=False,
+        systolic_evictor=True,
+    ))
+
+
+def build_kelle_edram(kv_budget: int = 2048, recompute_fraction: float = 0.15) -> EdgeSystem:
+    """The full Kelle system: AERP + 2DRP + Kelle scheduler + systolic evictor."""
+    return EdgeSystem(AcceleratorConfig(
+        name="kelle+edram",
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.kelle(),
+        kv_policy="aerp",
+        kv_budget=kv_budget,
+        recompute_fraction=recompute_fraction,
+        refresh="2drp",
+        use_kelle_scheduler=True,
+        systolic_evictor=True,
+    ))
+
+
+#: Builders in the order the paper's Figure 13 lists them.
+_BUILDERS = {
+    "original+sram": build_original_sram,
+    "original+edram": build_original_edram,
+    "aep+sram": build_aep_sram,
+    "aerp+sram": build_aerp_sram,
+    "kelle+edram": build_kelle_edram,
+}
+
+
+def baseline_suite(kv_budget: int = 2048) -> dict[str, EdgeSystem]:
+    """All five Figure 13 systems configured for one KV budget."""
+    return {name: builder(kv_budget) for name, builder in _BUILDERS.items()}

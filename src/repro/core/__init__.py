@@ -1,0 +1,47 @@
+"""The Kelle algorithms: AERP, 2DRP and the Kelle scheduler.
+
+* :mod:`repro.core.importance` -- accumulated attention-score tracking
+  (Equation 3 of the paper).
+* :mod:`repro.core.kv_cache` -- :class:`AERPCache`, the per-head evicting /
+  recomputing KV cache that implements Section 4.1.
+* :mod:`repro.core.aerp` -- policy configuration and cache factories.
+* :mod:`repro.core.refresh` -- the two-dimensional adaptive refresh policy
+  (Section 4.2) expressed as refresh-interval groups and the bit-level fault
+  injector they induce.
+* :mod:`repro.core.scheduler` -- the Kelle scheduler data-lifetime model
+  (Section 6, Equations 7-8).
+* :mod:`repro.core.policy` -- bundled Kelle policy presets matching the
+  evaluation settings of Section 7.1.
+"""
+
+from repro.core.aerp import AERPConfig, aerp_cache_factory, budget_for_dataset
+from repro.core.importance import ImportanceTracker
+from repro.core.kv_cache import AERPCache, TokenEntry
+from repro.core.refresh import (
+    KVFaultInjector,
+    RefreshPolicy,
+    TwoDRefreshPolicy,
+    UniformRefreshPolicy,
+    no_refresh_errors,
+)
+from repro.core.scheduler import SchedulerModel, baseline_data_lifetime, kelle_data_lifetime
+from repro.core.policy import KellePolicy, PAPER_DATASET_SETTINGS
+
+__all__ = [
+    "AERPConfig",
+    "AERPCache",
+    "TokenEntry",
+    "aerp_cache_factory",
+    "budget_for_dataset",
+    "ImportanceTracker",
+    "RefreshPolicy",
+    "TwoDRefreshPolicy",
+    "UniformRefreshPolicy",
+    "KVFaultInjector",
+    "no_refresh_errors",
+    "SchedulerModel",
+    "baseline_data_lifetime",
+    "kelle_data_lifetime",
+    "KellePolicy",
+    "PAPER_DATASET_SETTINGS",
+]

@@ -1,0 +1,315 @@
+"""AERP KV cache: per-head eviction plus popularity-driven recomputation.
+
+This is the functional implementation of Section 4.1 of the paper.  Each
+decoder layer owns one :class:`AERPCache`; within a layer the cache keeps at
+most ``budget`` tokens *per attention head*, evicting the token with the
+lowest accumulated attention score (Equation 3) whenever a new token arrives
+at a full head.  Sink tokens (the first few positions) and the most recent
+tokens are protected from eviction, following StreamingLLM/H2O practice and
+Section 7.1 of the paper.
+
+Recomputation: tokens retained by at least ``popularity_threshold`` of the
+heads ("popular" tokens) are stored as their block *input vector* ``x`` (C
+elements) instead of per-head key/value pairs (2C elements across all heads);
+their K/V are recomputed on demand through the layer's projection weights.
+The same code path provides the storage accounting used by the accelerator
+energy model and keeps the functional effect of fault injection honest: 2DRP
+bit flips are applied to whatever representation is actually stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.llm.cache import LayerKVCache, RecomputeFn
+from repro.core.importance import ImportanceTracker
+from repro.core.refresh import KVFaultInjector
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.aerp import AERPConfig
+
+
+@dataclass
+class TokenEntry:
+    """Book-keeping for one token held by the cache (across heads)."""
+
+    token_index: int
+    position: int
+    x: np.ndarray
+    keys: np.ndarray  # [H, head_dim]
+    values: np.ndarray  # [H, head_dim]
+    importance: np.ndarray  # [H]
+    retaining_heads: set[int]
+    storage_format: str = "kv"  # "kv" or "x"
+    is_sink: bool = False
+    corrupted: bool = False
+    created_step: int = 0
+    observation_count: int = 0
+    recomputed: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
+
+    def mean_importance(self) -> float:
+        """Mean accumulated score over the heads still retaining the token."""
+        if not self.retaining_heads:
+            return 0.0
+        heads = sorted(self.retaining_heads)
+        return float(np.mean(self.importance[heads]))
+
+    def importance_rate(self) -> float:
+        """Mean attention received per query observed (age-normalised importance).
+
+        Using the per-query rate rather than the raw accumulated sum makes the
+        HST/LST classification fair between long-resident pre-fill tokens and
+        freshly decoded tokens.
+        """
+        return self.mean_importance() / max(1, self.observation_count)
+
+
+class AERPCache(LayerKVCache):
+    """Per-layer KV cache implementing AERP (Section 4.1) with optional 2DRP faults."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int, config: "AERPConfig",
+                 recompute_fn: RecomputeFn, injector: KVFaultInjector | None = None,
+                 seed: int = 0, layer_index: int = 0) -> None:
+        super().__init__(n_heads, head_dim, d_model)
+        self.config = config
+        self.recompute_fn = recompute_fn
+        self.injector = injector or KVFaultInjector()
+        self._rng = derive_rng(seed, "aerp", layer_index)
+        self._entries: dict[int, TokenEntry] = {}
+        self._slots: list[list[int]] = [[] for _ in range(n_heads)]
+        self._next_token_index = 0
+        self._current_position = -1
+        self._step = 0
+        self._last_fetch_slots: list[list[int]] | None = None
+        self.eviction_count = 0
+        self.recompute_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and the experiments
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> dict[int, TokenEntry]:
+        return self._entries
+
+    def tokens_for_head(self, head: int) -> list[int]:
+        """Token indices currently retained by ``head`` (slot order)."""
+        return list(self._slots[head])
+
+    def popularity(self, token_index: int) -> float:
+        """Fraction of heads retaining the token."""
+        entry = self._entries[token_index]
+        return len(entry.retaining_heads) / self.n_heads
+
+    @property
+    def num_tokens(self) -> int:
+        return max((len(slots) for slots in self._slots), default=0)
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Fraction of live entries stored in recomputation (x) format."""
+        if not self._entries:
+            return 0.0
+        stored_x = sum(1 for e in self._entries.values() if e.storage_format == "x")
+        return stored_x / len(self._entries)
+
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        total_elements = 0
+        for entry in self._entries.values():
+            if entry.storage_format == "x":
+                total_elements += self.d_model
+            else:
+                total_elements += 2 * self.head_dim * len(entry.retaining_heads)
+        return total_elements * bits_per_element // 8
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _is_protected(self, entry: TokenEntry) -> bool:
+        """Sink tokens and the most recent window are never evicted."""
+        if entry.is_sink:
+            return True
+        return entry.position > self._current_position - self.config.recent_window
+
+    def _classify_high_score(self, entry: TokenEntry) -> bool:
+        """HST/LST classification relative to the median live importance rate."""
+        if len(self._entries) <= 1:
+            return True
+        scores = np.array([e.importance_rate() for e in self._entries.values()])
+        return entry.importance_rate() >= float(np.median(scores))
+
+    def _corrupt_entry(self, entry: TokenEntry, is_high_score: bool) -> None:
+        """Apply the 2DRP fault model to whatever representation is stored."""
+        if entry.corrupted or self.injector.is_noop:
+            entry.corrupted = True
+            return
+        if entry.storage_format == "x":
+            entry.x = self.injector.corrupt(entry.x, is_high_score, self._rng)
+            entry.recomputed = None
+        else:
+            entry.keys = self.injector.corrupt(entry.keys, is_high_score, self._rng)
+            entry.values = self.injector.corrupt(entry.values, is_high_score, self._rng)
+        entry.corrupted = True
+
+    def _choose_format(self, retained_heads: int) -> str:
+        """Storage-format decision of Figure 7 (a)."""
+        if not self.config.recompute_enabled:
+            return "kv"
+        popularity = retained_heads / self.n_heads
+        if popularity < self.config.popularity_threshold:
+            return "kv"
+        if self.recompute_fraction >= self.config.max_recompute_fraction:
+            return "kv"
+        return "x"
+
+    def _evict_from_head(self, head: int) -> None:
+        """Remove the lowest-importance eligible token from ``head``."""
+        slots = self._slots[head]
+        candidates = [tok for tok in slots if not self._is_protected(self._entries[tok])]
+        if not candidates:
+            candidates = [tok for tok in slots if not self._entries[tok].is_sink]
+        if not candidates:
+            candidates = list(slots)
+        victim = min(candidates, key=lambda tok: self._entries[tok].importance[head])
+        slots.remove(victim)
+        entry = self._entries[victim]
+        entry.retaining_heads.discard(head)
+        self.eviction_count += 1
+        if not entry.retaining_heads:
+            del self._entries[victim]
+
+    def _recomputed_kv(self, entry: TokenEntry) -> tuple[np.ndarray, np.ndarray]:
+        if entry.recomputed is None:
+            entry.recomputed = self.recompute_fn(entry.x, entry.position)
+            self.recompute_count += 1
+        return entry.recomputed
+
+    # ------------------------------------------------------------------
+    # LayerKVCache interface
+    # ------------------------------------------------------------------
+    def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                attn_probs: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        inputs = np.asarray(inputs, dtype=np.float32)
+        n_ctx = keys.shape[1]
+        self._current_position = n_ctx - 1
+        importance = ImportanceTracker.prefill_importance(attn_probs)  # [H, N]
+        budget = self.config.budget
+
+        retained_by_head: list[np.ndarray] = []
+        for head in range(self.n_heads):
+            forced = set(range(min(self.config.sink_tokens, n_ctx)))
+            forced |= set(range(max(0, n_ctx - self.config.recent_window), n_ctx))
+            if n_ctx <= budget:
+                kept = np.arange(n_ctx)
+            else:
+                remaining_budget = max(0, budget - len(forced))
+                others = [n for n in range(n_ctx) if n not in forced]
+                others.sort(key=lambda n: importance[head, n], reverse=True)
+                kept = np.array(sorted(forced | set(others[:remaining_budget])), dtype=np.int64)
+            retained_by_head.append(kept)
+
+        retain_count = np.zeros(n_ctx, dtype=np.int64)
+        for kept in retained_by_head:
+            retain_count[kept] += 1
+
+        for n in range(n_ctx):
+            if retain_count[n] == 0:
+                continue
+            heads = {h for h in range(self.n_heads) if n in set(retained_by_head[h].tolist())}
+            entry = TokenEntry(
+                token_index=self._next_token_index,
+                position=n,
+                x=np.array(inputs[n], dtype=np.float32),
+                keys=np.array(keys[:, n, :], dtype=np.float32),
+                values=np.array(values[:, n, :], dtype=np.float32),
+                importance=np.array(importance[:, n], dtype=np.float64),
+                retaining_heads=heads,
+                is_sink=n < self.config.sink_tokens,
+                created_step=self._step,
+                observation_count=max(1, n_ctx - n),
+            )
+            entry.storage_format = self._choose_format(len(heads))
+            self._entries[entry.token_index] = entry
+            for head in heads:
+                self._slots[head].append(entry.token_index)
+            self._next_token_index += 1
+
+        # Fault injection for pre-filled entries: classification uses the
+        # pre-filling importance ranking.
+        live = list(self._entries.values())
+        if live and not self.injector.is_noop:
+            median = float(np.median([e.importance_rate() for e in live]))
+            for entry in live:
+                self._corrupt_entry(entry, entry.importance_rate() >= median)
+
+    def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        self._current_position = max(self._current_position, position)
+        for head in range(self.n_heads):
+            if len(self._slots[head]) >= self.config.budget:
+                self._evict_from_head(head)
+        entry = TokenEntry(
+            token_index=self._next_token_index,
+            position=position,
+            x=np.array(x, dtype=np.float32),
+            keys=np.array(key, dtype=np.float32),
+            values=np.array(value, dtype=np.float32),
+            importance=np.zeros(self.n_heads, dtype=np.float64),
+            retaining_heads=set(range(self.n_heads)),
+            is_sink=position < self.config.sink_tokens,
+            created_step=self._step,
+        )
+        entry.storage_format = self._choose_format(len(entry.retaining_heads))
+        self._entries[entry.token_index] = entry
+        for head in range(self.n_heads):
+            self._slots[head].append(entry.token_index)
+        self._next_token_index += 1
+
+    def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n_max = self.num_tokens
+        keys = np.zeros((self.n_heads, n_max, self.head_dim), dtype=np.float32)
+        values = np.zeros((self.n_heads, n_max, self.head_dim), dtype=np.float32)
+        valid = np.zeros((self.n_heads, n_max), dtype=bool)
+        for head in range(self.n_heads):
+            for slot, token_index in enumerate(self._slots[head]):
+                entry = self._entries[token_index]
+                if entry.storage_format == "x":
+                    k_all, v_all = self._recomputed_kv(entry)
+                    keys[head, slot] = k_all[head]
+                    values[head, slot] = v_all[head]
+                else:
+                    keys[head, slot] = entry.keys[head]
+                    values[head, slot] = entry.values[head]
+                valid[head, slot] = True
+        self._last_fetch_slots = [list(slots) for slots in self._slots]
+        return keys, values, valid
+
+    def observe_attention(self, probs: np.ndarray) -> None:
+        if self._last_fetch_slots is None:
+            raise RuntimeError("observe_attention called before fetch")
+        probs = np.asarray(probs, dtype=np.float64)
+        observed: set[int] = set()
+        for head in range(self.n_heads):
+            for slot, token_index in enumerate(self._last_fetch_slots[head]):
+                entry = self._entries.get(token_index)
+                if entry is not None and head in entry.retaining_heads:
+                    entry.importance[head] += probs[head, slot]
+                    observed.add(token_index)
+        for token_index in observed:
+            self._entries[token_index].observation_count += 1
+        self._last_fetch_slots = None
+        # Lazy 2DRP fault injection: an entry is corrupted once, after it has
+        # been resident for at least one step (so its HST/LST class reflects
+        # observed importance rather than defaulting to "new token").
+        if self.injector.is_noop:
+            return
+        for entry in self._entries.values():
+            if not entry.corrupted and entry.created_step < self._step:
+                self._corrupt_entry(entry, self._classify_high_score(entry))
+
+    def end_step(self) -> None:
+        self._step += 1

@@ -1,0 +1,70 @@
+"""Bundled Kelle policy presets.
+
+A :class:`KellePolicy` ties together the AERP cache configuration, the
+refresh policy (which induces the fault injector used by the functional
+path and the refresh intervals used by the energy model) and the scheduler
+choice.  ``PAPER_DATASET_SETTINGS`` reproduces the Section 7.1 configuration
+for every dataset regime of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.aerp import AERPConfig, aerp_cache_factory, budget_for_dataset
+from repro.core.refresh import GuardRefreshPolicy, RefreshPolicy, TwoDRefreshPolicy
+from repro.llm.cache import KVCacheFactory
+
+
+@dataclass(frozen=True)
+class KellePolicy:
+    """The full Kelle algorithm configuration (AERP + 2DRP + scheduler)."""
+
+    aerp: AERPConfig = field(default_factory=AERPConfig)
+    refresh: RefreshPolicy = field(default_factory=TwoDRefreshPolicy)
+    use_kelle_scheduler: bool = True
+    weight_bits: int = 8
+    kv_bits: int = 16
+    name: str = "kelle"
+
+    def cache_factory(self, seed: int = 0, inject_faults: bool = True) -> KVCacheFactory:
+        """Cache factory combining AERP eviction/recomputation and 2DRP faults."""
+        injector = self.refresh.make_injector() if inject_faults else None
+        return aerp_cache_factory(self.aerp, injector=injector, seed=seed)
+
+    def without_recomputation(self) -> "KellePolicy":
+        """The AEP variant (eviction only)."""
+        return replace(self, aerp=self.aerp.without_recomputation(), name=f"{self.name}-aep")
+
+    def with_guard_refresh(self) -> "KellePolicy":
+        """Variant refreshed at the guard interval (no corruption, "Org")."""
+        return replace(self, refresh=GuardRefreshPolicy(), name=f"{self.name}-guard")
+
+    def with_budget(self, budget: int) -> "KellePolicy":
+        """Variant with a different per-head token budget."""
+        return replace(self, aerp=self.aerp.with_budget(budget))
+
+
+def paper_policy_for_dataset(dataset: str, scale: float = 1.0) -> KellePolicy:
+    """The paper's Kelle configuration for one dataset regime."""
+    return KellePolicy(aerp=budget_for_dataset(dataset, scale=scale), refresh=TwoDRefreshPolicy(),
+                       name=f"kelle-{dataset.lower()}")
+
+
+#: Ready-made policies for every dataset regime evaluated in the paper.
+PAPER_DATASET_SETTINGS: dict[str, KellePolicy] = {
+    dataset: paper_policy_for_dataset(dataset)
+    for dataset in (
+        "piqa",
+        "lambada",
+        "arc-easy",
+        "arc-challenge",
+        "wikitext2",
+        "triviaqa",
+        "qasper",
+        "pg19",
+        "cnn-dailymail",
+        "truthfulqa",
+        "bbq",
+    )
+}

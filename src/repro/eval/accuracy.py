@@ -1,0 +1,73 @@
+"""Accuracy metrics: multiple choice, and ROUGE-1-style unigram overlap."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.llm.cache import KVCacheFactory
+from repro.llm.generation import forced_decode_logprobs, generate
+from repro.llm.model import DecoderLM
+from repro.workloads.tasks import MultipleChoiceItem
+
+
+def choice_logprob(model: DecoderLM, prompt: Sequence[int], choice: Sequence[int],
+                   cache_factory: KVCacheFactory | None) -> float:
+    """Total log-probability of ``choice`` given ``prompt`` under a cache policy."""
+    logprobs = forced_decode_logprobs(model, prompt, choice, cache_factory=cache_factory)
+    return float(np.sum(logprobs))
+
+
+def multiple_choice_accuracy(model: DecoderLM, items: Sequence[MultipleChoiceItem],
+                             cache_factory: KVCacheFactory | None) -> float:
+    """Fraction of items whose correct choice receives the highest log-probability."""
+    if not items:
+        raise ValueError("items must be non-empty")
+    correct = 0
+    for item in items:
+        scores = [
+            choice_logprob(model, item.prompt_tokens, choice, cache_factory)
+            for choice in item.choices
+        ]
+        if int(np.argmax(scores)) == item.correct_index:
+            correct += 1
+    return correct / len(items)
+
+
+def unigram_overlap_f1(generated: Sequence[int], reference: Sequence[int]) -> float:
+    """ROUGE-1-style unigram F1 between generated and reference token bags."""
+    if len(reference) == 0:
+        raise ValueError("reference must be non-empty")
+    if len(generated) == 0:
+        return 0.0
+    gen_counts = Counter(int(t) for t in generated)
+    ref_counts = Counter(int(t) for t in reference)
+    overlap = sum((gen_counts & ref_counts).values())
+    precision = overlap / max(1, sum(gen_counts.values()))
+    recall = overlap / sum(ref_counts.values())
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def summarization_overlap(model: DecoderLM, documents: Sequence[tuple[np.ndarray, np.ndarray]],
+                          cache_factory: KVCacheFactory | None, summary_len: int = 32,
+                          seed: int = 0) -> float:
+    """Mean unigram-overlap score of generated continuations against references.
+
+    Each document is paired with its salient reference tokens (see
+    :func:`repro.workloads.tasks.make_summarization_items`); the model
+    generates ``summary_len`` tokens after the document under the cache
+    policy and the continuation is scored by unigram F1 against the
+    reference.
+    """
+    if not documents:
+        raise ValueError("documents must be non-empty")
+    scores = []
+    for doc, reference in documents:
+        result = generate(model, doc, summary_len, cache_factory=cache_factory, temperature=0.0,
+                          seed=seed)
+        scores.append(unigram_overlap_f1(result.generated_tokens, reference))
+    return float(np.mean(scores))

@@ -1,0 +1,114 @@
+"""Shared evaluation harness: trained tiny models and dataset evaluation.
+
+The functional accuracy experiments all need a *trained* tiny model over the
+synthetic language.  Training takes a few seconds per model, so trained
+parameters are cached both in memory (per process) and on disk (across pytest
+invocations, under ``$REPRO_CACHE_DIR`` or ``~/.cache/kelle-repro``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.cache import KVCacheFactory
+from repro.llm.config import TINY_CONFIGS, ModelConfig, get_config
+from repro.llm.model import DecoderLM
+from repro.llm.training import TrainingConfig, train_lm
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.synthetic import SyntheticLanguage
+from repro.workloads.tasks import make_multiple_choice_task, make_summarization_items
+from repro.eval.accuracy import multiple_choice_accuracy, summarization_overlap
+from repro.eval.perplexity import perplexity_over_documents
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", os.path.join(os.path.expanduser("~"), ".cache", "kelle-repro"))
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass
+class EvalModel:
+    """A trained tiny model bundled with the language it was trained on."""
+
+    name: str
+    config: ModelConfig
+    model: DecoderLM
+    language: SyntheticLanguage
+    final_train_loss: float
+
+    def sample_documents(self, n_docs: int, length: int, seed: int = 0) -> list[np.ndarray]:
+        """Sample evaluation documents from the training language (held-out seeds)."""
+        return [
+            self.language.sample_document(length, seed=100_000 + seed * 1000 + i)[0]
+            for i in range(n_docs)
+        ]
+
+
+def default_language(config: ModelConfig, seed: int = 0) -> SyntheticLanguage:
+    """The synthetic language sized to a tiny model's vocabulary."""
+    # Reserve the model's vocabulary: specials + keys + values + content.
+    n_keys = 8
+    n_values = 8
+    n_content = max(8, config.vocab_size - 5 - n_keys - n_values)
+    return SyntheticLanguage(n_keys=n_keys, n_values=n_values, n_content=n_content, seed=seed)
+
+
+@lru_cache(maxsize=16)
+def get_eval_model(name: str = "tiny-llama2-7b", seed: int = 0, steps: int = 350,
+                   corpus_length: int = 40_000) -> EvalModel:
+    """Return a trained tiny model (memoised in memory and on disk).
+
+    ``name`` must be one of the tiny configurations in
+    :data:`repro.llm.config.TINY_CONFIGS`.
+    """
+    if name not in TINY_CONFIGS:
+        raise KeyError(f"'{name}' is not a tiny config; known: {sorted(TINY_CONFIGS)}")
+    config = get_config(name)
+    language = default_language(config, seed=seed)
+    if language.vocab_size > config.vocab_size:
+        raise ValueError("language vocabulary exceeds the model vocabulary")
+    cache_file = _cache_dir() / f"{name}-seed{seed}-steps{steps}-v2.npz"
+    if cache_file.exists():
+        archive = np.load(cache_file)
+        params = {key: archive[key] for key in archive.files if key != "__final_loss__"}
+        final_loss = float(archive["__final_loss__"])
+        model = DecoderLM(config, params=params)
+        return EvalModel(name, config, model, language, final_loss)
+    corpus = language.training_corpus(corpus_length, seed=seed)
+    training = TrainingConfig(steps=steps, batch_size=12, seq_len=96, learning_rate=3e-3, seed=seed)
+    model, report = train_lm(config, corpus, training)
+    payload = dict(model.params)
+    payload["__final_loss__"] = np.array(report.final_loss)
+    np.savez_compressed(cache_file, **payload)
+    return EvalModel(name, config, model, language, report.final_loss)
+
+
+def evaluate_dataset(eval_model: EvalModel, spec: DatasetSpec,
+                     cache_factory: KVCacheFactory | None, n_items: int = 8,
+                     seed: int = 0) -> float:
+    """Evaluate one dataset regime under a cache policy, returning its metric.
+
+    Dispatches on the dataset ``kind``: perplexity/generation regimes return
+    perplexity (lower is better), multiple-choice regimes return accuracy and
+    summarisation regimes return the unigram-overlap score.
+    """
+    language = eval_model.language
+    if spec.kind in ("perplexity", "generation"):
+        total_len = spec.context_len + spec.decode_len
+        documents = eval_model.sample_documents(max(2, n_items // 2), total_len, seed=seed)
+        return perplexity_over_documents(eval_model.model, documents, cache_factory,
+                                         prefill_len=spec.context_len)
+    if spec.kind == "multiple_choice":
+        items = make_multiple_choice_task(language, n_items, spec.context_len, seed=seed)
+        return multiple_choice_accuracy(eval_model.model, items, cache_factory)
+    if spec.kind == "summarization":
+        items = make_summarization_items(language, max(2, n_items // 2), spec.context_len, seed=seed)
+        return summarization_overlap(eval_model.model, items, cache_factory)
+    raise ValueError(f"unsupported dataset kind '{spec.kind}'")

@@ -1,0 +1,46 @@
+"""One experiment module per table and figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a
+:class:`repro.utils.tables.TableResult` whose rows mirror the corresponding
+table or figure series.  The benchmark harness under ``benchmarks/`` invokes
+these functions and asserts the qualitative shape of the results; the
+EXPERIMENTS.md report records measured-versus-paper values.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig3_motivation,
+    fig4_retention,
+    fig8_error_tolerance,
+    fig13_end2end,
+    fig14_accelerators,
+    fig15_ablation,
+    fig16_roofline_longseq,
+    table1_devices,
+    table2_accuracy,
+    table3_budget,
+    table4_refresh,
+    table5_qualitative,
+    table6_quant,
+    table7_budget_energy,
+    table8_retention,
+    table9_batch,
+)
+
+__all__ = [
+    "table1_devices",
+    "fig3_motivation",
+    "fig4_retention",
+    "fig8_error_tolerance",
+    "table2_accuracy",
+    "table3_budget",
+    "table4_refresh",
+    "table5_qualitative",
+    "table6_quant",
+    "fig13_end2end",
+    "fig14_accelerators",
+    "table7_budget_energy",
+    "fig15_ablation",
+    "fig16_roofline_longseq",
+    "table8_retention",
+    "table9_batch",
+]

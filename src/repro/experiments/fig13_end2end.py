@@ -1,0 +1,73 @@
+"""Figure 13: end-to-end speedup and energy efficiency of the five systems.
+
+The paper evaluates Original+SRAM, Original+eDRAM, AEP+SRAM, AERP+SRAM and
+Kelle+eDRAM on Lambada, TriviaQA, Qasper and PG19 across several model sizes
+(batch 16) and reports speedup / energy efficiency normalised to
+Original+SRAM, plus the on-chip energy breakdown of Kelle+eDRAM.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.systems import baseline_suite
+from repro.experiments.common import HARDWARE_BUDGETS, HARDWARE_MODELS, simulate_system
+from repro.utils.tables import TableResult
+
+SYSTEM_ORDER = ("original+sram", "original+edram", "aep+sram", "aerp+sram", "kelle+edram")
+
+
+def run(model_names: tuple[str, ...] = HARDWARE_MODELS,
+        datasets: tuple[str, ...] = ("lambada", "triviaqa", "qasper", "pg19")) -> TableResult:
+    """Speedup and energy efficiency of every system, normalised to Original+SRAM."""
+    table = TableResult(
+        title="Figure 13: end-to-end speedup and energy efficiency",
+        columns=["model", "dataset", "system", "latency_s", "energy_j", "speedup", "energy_efficiency"],
+    )
+    for model_name in model_names:
+        for dataset in datasets:
+            budget = HARDWARE_BUDGETS[dataset]
+            suite = baseline_suite(kv_budget=budget)
+            reference = simulate_system(suite["original+sram"], model_name, dataset)
+            for system_name in SYSTEM_ORDER:
+                result = simulate_system(suite[system_name], model_name, dataset)
+                table.add_row(
+                    model=model_name,
+                    dataset=dataset,
+                    system=system_name,
+                    latency_s=result.total_latency_s,
+                    energy_j=result.total_energy_j,
+                    speedup=result.speedup_over(reference),
+                    energy_efficiency=result.energy_efficiency_over(reference),
+                )
+    return table
+
+
+def run_energy_breakdown(model_name: str = "llama2-7b", dataset: str = "pg19") -> TableResult:
+    """The Kelle+eDRAM on-chip energy breakdown pie of Figure 13."""
+    suite = baseline_suite(kv_budget=HARDWARE_BUDGETS[dataset])
+    result = simulate_system(suite["kelle+edram"], model_name, dataset)
+    energy = result.energy
+    onchip = energy.onchip_total()
+    table = TableResult(
+        title="Figure 13: Kelle+eDRAM on-chip energy breakdown",
+        columns=["component", "energy_j", "fraction_of_onchip"],
+    )
+    groups = {
+        "rsa": energy.get("rsa") + energy.get("sfu"),
+        "kv": energy.get("kv_onchip") + energy.get("refresh") + energy.get("activation_buffer"),
+        "sram": energy.get("weight_sram"),
+        "other": energy.get("leakage") + energy.get("evictor"),
+    }
+    for component, value in groups.items():
+        table.add_row(component=component, energy_j=value,
+                      fraction_of_onchip=value / onchip if onchip else 0.0)
+    return table
+
+
+def average_improvements(table: TableResult) -> tuple[float, float]:
+    """Mean Kelle+eDRAM speedup and energy efficiency across all rows."""
+    kelle_rows = [row for row in table.rows if row["system"] == "kelle+edram"]
+    if not kelle_rows:
+        raise ValueError("table contains no kelle+edram rows")
+    speedup = sum(row["speedup"] for row in kelle_rows) / len(kelle_rows)
+    efficiency = sum(row["energy_efficiency"] for row in kelle_rows) / len(kelle_rows)
+    return speedup, efficiency

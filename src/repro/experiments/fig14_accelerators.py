@@ -1,0 +1,49 @@
+"""Figure 14: comparison with other edge LLM accelerators.
+
+Kelle+eDRAM is compared against the NVIDIA Jetson Orin (FP8 GPU), LLM.npu,
+DynaX and COMET; the paper normalises speedup and energy efficiency to the
+Jetson.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.accelerators import RIVAL_ACCELERATORS
+from repro.baselines.systems import build_kelle_edram
+from repro.experiments.common import HARDWARE_BUDGETS, simulate_system
+from repro.llm.config import get_config
+from repro.utils.tables import TableResult
+from repro.workloads.generator import trace_for_dataset
+
+ACCELERATOR_ORDER = ("jetson-orin", "llm.npu", "dynax", "comet", "kelle+edram")
+
+
+def run(model_names: tuple[str, ...] = ("llama2-7b", "llama3.2-3b"),
+        datasets: tuple[str, ...] = ("lambada", "triviaqa", "qasper", "pg19")) -> TableResult:
+    """Speedup and energy efficiency of each accelerator, normalised to the Jetson."""
+    table = TableResult(
+        title="Figure 14: comparison with other LLM accelerators",
+        columns=["model", "dataset", "accelerator", "latency_s", "energy_j", "speedup",
+                 "energy_efficiency"],
+    )
+    for model_name in model_names:
+        model = get_config(model_name)
+        for dataset in datasets:
+            budget = HARDWARE_BUDGETS[dataset]
+            trace = trace_for_dataset(dataset)
+            jetson = RIVAL_ACCELERATORS["jetson-orin"](budget).simulate(model, trace)
+            results = {"jetson-orin": jetson}
+            for name in ("llm.npu", "dynax", "comet"):
+                results[name] = RIVAL_ACCELERATORS[name](budget).simulate(model, trace)
+            results["kelle+edram"] = simulate_system(build_kelle_edram(budget), model_name, dataset)
+            for name in ACCELERATOR_ORDER:
+                result = results[name]
+                table.add_row(
+                    model=model_name,
+                    dataset=dataset,
+                    accelerator=name,
+                    latency_s=result.total_latency_s,
+                    energy_j=result.total_energy_j,
+                    speedup=jetson.total_latency_s / result.total_latency_s,
+                    energy_efficiency=jetson.energy_per_token_j / result.energy_per_token_j,
+                )
+    return table

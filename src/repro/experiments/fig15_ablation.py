@@ -1,0 +1,82 @@
+"""Figure 15: ablations of recomputation, 2DRP and the Kelle scheduler.
+
+(a) Kelle+eDRAM with and without KV-cache recomputation: energy breakdown and
+    relative energy efficiency.
+(b) Four refresh strategies on the LLaMA2-7B PG19 workload: guard-interval
+    refresh ("Org"), a uniform relaxed interval ("Uni"), 2DRP ("2D") and
+    2DRP combined with the Kelle scheduler ("2K").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.accelerator.accelerator import EdgeSystem
+from repro.baselines.systems import build_kelle_edram
+from repro.experiments.common import HARDWARE_BUDGETS, simulate_system
+from repro.utils.tables import TableResult
+
+
+def run_recomputation(model_names: tuple[str, ...] = ("llama3.2-3b", "llama2-13b"),
+                      dataset: str = "pg19") -> TableResult:
+    """Figure 15 (a): impact of KV-cache recomputation in Kelle+eDRAM."""
+    budget = HARDWARE_BUDGETS[dataset]
+    table = TableResult(
+        title="Figure 15 (a): impact of KV cache recomputation",
+        columns=["model", "recomputation", "energy_j", "kv_energy_frac", "rsa_energy_frac",
+                 "relative_efficiency"],
+    )
+    for model_name in model_names:
+        with_recompute = simulate_system(build_kelle_edram(kv_budget=budget), model_name, dataset)
+        no_recompute_system = EdgeSystem(replace(
+            build_kelle_edram(kv_budget=budget).config, recompute_fraction=0.0, kv_policy="aep",
+            name="kelle+edram-norecomp"))
+        without = simulate_system(no_recompute_system, model_name, dataset)
+        for label, result in (("with", with_recompute), ("without", without)):
+            energy = result.energy
+            kv_frac = (energy.fraction("kv_onchip") + energy.fraction("refresh")
+                       + energy.fraction("dram"))
+            table.add_row(
+                model=model_name,
+                recomputation=label,
+                energy_j=result.total_energy_j,
+                kv_energy_frac=kv_frac,
+                rsa_energy_frac=energy.fraction("rsa"),
+                relative_efficiency=without.total_energy_j / result.total_energy_j,
+            )
+    return table
+
+
+def run_refresh_strategies(model_name: str = "llama2-7b", dataset: str = "pg19") -> TableResult:
+    """Figure 15 (b): Org / Uni / 2D / 2K refresh-strategy comparison."""
+    budget = HARDWARE_BUDGETS[dataset]
+    base = build_kelle_edram(kv_budget=budget).config
+    strategies = {
+        "org": replace(base, name="kelle-org", refresh="guard", use_kelle_scheduler=False),
+        "uni": replace(base, name="kelle-uni", refresh="uniform", uniform_interval_s=0.36e-3,
+                       use_kelle_scheduler=False),
+        "2d": replace(base, name="kelle-2d", refresh="2drp", use_kelle_scheduler=False),
+        "2k": replace(base, name="kelle-2k", refresh="2drp", use_kelle_scheduler=True),
+    }
+    table = TableResult(
+        title="Figure 15 (b): refresh strategy ablation",
+        columns=["strategy", "energy_j", "refresh_frac", "energy_efficiency"],
+    )
+    reference = simulate_system(EdgeSystem(strategies["org"]), model_name, dataset)
+    for label, config in strategies.items():
+        result = simulate_system(EdgeSystem(config), model_name, dataset)
+        table.add_row(
+            strategy=label,
+            energy_j=result.total_energy_j,
+            refresh_frac=result.energy.fraction("refresh"),
+            energy_efficiency=reference.total_energy_j / result.total_energy_j,
+        )
+    return table
+
+
+def run() -> dict[str, TableResult]:
+    """Both Figure 15 panels."""
+    return {
+        "recomputation": run_recomputation(),
+        "refresh": run_refresh_strategies(),
+    }

@@ -1,0 +1,74 @@
+"""Figure 16: roofline analysis of recomputation and long-input-sequence study.
+
+(a) Roofline operating points of Kelle under no / moderate / excessive
+    recomputation.
+(b) Energy breakdown across long input sequences (2K-16K input crossed with
+    128/512/2K output), split into prefill and decode contributions.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.accelerator import EdgeSystem
+from repro.accelerator.roofline import RooflineModel, recomputation_sweep
+from repro.baselines.systems import build_kelle_edram, build_original_sram
+from repro.llm.config import get_config
+from repro.utils.tables import TableResult
+from repro.workloads.generator import WorkloadTrace, long_context_traces
+
+
+def run_roofline(model_name: str = "llama2-7b", dataset_budget: int = 2048,
+                 fractions: tuple[float, ...] = (0.0, 0.15, 0.6)) -> TableResult:
+    """Figure 16 (a): roofline points for no / moderate / over recomputation."""
+    model = get_config(model_name)
+    trace = WorkloadTrace("pg19", 512, 8192, 16)
+    kelle = build_kelle_edram(kv_budget=dataset_budget)
+    roofline = RooflineModel.for_system(kelle)
+    points = recomputation_sweep(kelle.config, model, trace, fractions=fractions)
+    table = TableResult(
+        title="Figure 16 (a): roofline of recomputation settings",
+        columns=["setting", "operational_intensity", "performance_ops_per_s", "attainable_ops_per_s",
+                 "compute_bound"],
+    )
+    for point in points:
+        table.add_row(
+            setting=point.name,
+            operational_intensity=point.operational_intensity,
+            performance_ops_per_s=point.performance_ops_per_s,
+            attainable_ops_per_s=roofline.attainable(point.operational_intensity),
+            compute_bound=roofline.is_compute_bound(point.operational_intensity),
+        )
+    return table
+
+
+def run_long_sequences(model_name: str = "llama2-7b", kv_budget: int = 2048) -> TableResult:
+    """Figure 16 (b): energy breakdown and gains across long input sequences."""
+    model = get_config(model_name)
+    kelle = build_kelle_edram(kv_budget=kv_budget)
+    baseline = build_original_sram()
+    table = TableResult(
+        title="Figure 16 (b): long input sequences",
+        columns=["trace", "context_len", "decode_len", "prefill_energy_frac", "decode_energy_frac",
+                 "dram_energy_frac", "energy_efficiency"],
+    )
+    for trace in long_context_traces():
+        kelle_result = kelle.simulate(model, trace)
+        base_result = baseline.simulate(model, trace)
+        total = kelle_result.total_energy_j
+        table.add_row(
+            trace=trace.name,
+            context_len=trace.context_len,
+            decode_len=trace.decode_len,
+            prefill_energy_frac=kelle_result.prefill.energy_total_j / total,
+            decode_energy_frac=kelle_result.decode.energy_total_j / total,
+            dram_energy_frac=kelle_result.energy.fraction("dram"),
+            energy_efficiency=kelle_result.energy_efficiency_over(base_result),
+        )
+    return table
+
+
+def run() -> dict[str, TableResult]:
+    """Both Figure 16 panels."""
+    return {
+        "roofline": run_roofline(),
+        "long_sequences": run_long_sequences(),
+    }

@@ -1,0 +1,124 @@
+"""Figure 3: motivation experiments.
+
+(a) Normalised decode latency of edge systems with 4 MB versus 8 MB on-chip
+    SRAM across sequence lengths.
+(b) Area breakdown of 8 MB-eDRAM versus 8 MB-SRAM systems.
+(c) Energy breakdown of the unoptimised eDRAM system (guard refresh) across
+    models and decoding lengths.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
+from repro.accelerator.area import area_report
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.llm.config import get_config
+from repro.utils.tables import TableResult
+from repro.utils.units import MB
+from repro.workloads.generator import WorkloadTrace
+
+
+def _sram_system(kv_capacity_bytes: int, name: str) -> EdgeSystem:
+    return EdgeSystem(AcceleratorConfig(
+        name=name,
+        pe_rows=32,
+        pe_cols=32,
+        memory=MemorySubsystem.sram_baseline(kv_capacity_bytes=kv_capacity_bytes),
+        kv_policy="full",
+        refresh="none",
+    ))
+
+
+def run_latency(model_name: str = "llama2-7b",
+                decode_lengths: tuple[int, ...] = (1024, 2048, 4096, 8192),
+                prefill_len: int = 512, batch_size: int = 16) -> TableResult:
+    """Figure 3 (a): decode latency with 4 MB versus 8 MB of on-chip SRAM."""
+    model = get_config(model_name)
+    small = _sram_system(2 * MB, "sram-4mb")
+    large = _sram_system(6 * MB, "sram-8mb")
+    table = TableResult(
+        title="Figure 3 (a): latency, 4 MB vs 8 MB SRAM",
+        columns=["model", "decode_len", "latency_4mb_s", "latency_8mb_s", "speedup_8mb"],
+    )
+    for decode_len in decode_lengths:
+        trace = WorkloadTrace(f"fig3a-{decode_len}", prefill_len, decode_len, batch_size)
+        small_result = small.simulate(model, trace)
+        large_result = large.simulate(model, trace)
+        table.add_row(
+            model=model_name,
+            decode_len=decode_len,
+            latency_4mb_s=small_result.total_latency_s,
+            latency_8mb_s=large_result.total_latency_s,
+            speedup_8mb=large_result.speedup_over(small_result),
+        )
+    return table
+
+
+def run_area() -> TableResult:
+    """Figure 3 (b): area breakdown of the eDRAM-based vs SRAM-based systems."""
+    table = TableResult(
+        title="Figure 3 (b): area breakdown",
+        columns=["system", "rsa_mm2", "onchip_memory_mm2", "sfu_mm2", "onchip_total_mm2", "dram_mm2"],
+    )
+    configs = {
+        "edram-8mb": MemorySubsystem.kelle(kv_capacity_bytes=8 * MB),
+        "sram-8mb": MemorySubsystem.sram_baseline(kv_capacity_bytes=8 * MB),
+    }
+    for name, memory in configs.items():
+        system = EdgeSystem(AcceleratorConfig(name=name, memory=memory, systolic_evictor=True,
+                                              refresh="guard" if memory.kv_is_edram else "none"))
+        report = area_report(system.array, system.sfu, system.memory, system.evictor)
+        memory_area = (report.components["weight_sram"] + report.components["activation_buffer"]
+                       + report.components["kv_store"])
+        table.add_row(
+            system=name,
+            rsa_mm2=report.components["rsa"],
+            onchip_memory_mm2=memory_area,
+            sfu_mm2=report.components["sfu"],
+            onchip_total_mm2=report.onchip_total,
+            dram_mm2=report.components["dram"],
+        )
+    return table
+
+
+def run_energy_breakdown(model_names: tuple[str, ...] = ("llama2-7b", "llama2-13b"),
+                         decode_lengths: tuple[int, ...] = (1024, 2048, 4096, 8192),
+                         prefill_len: int = 512, batch_size: int = 16) -> TableResult:
+    """Figure 3 (c): energy breakdown of the unoptimised (guard-refresh) eDRAM system."""
+    table = TableResult(
+        title="Figure 3 (c): energy breakdown of the unoptimised eDRAM system",
+        columns=["model", "decode_len", "refresh_frac", "dram_frac", "buffer_frac", "compute_frac"],
+    )
+    system = EdgeSystem(AcceleratorConfig(
+        name="original+edram",
+        memory=MemorySubsystem.kelle(kv_capacity_bytes=8 * MB),
+        kv_policy="full",
+        refresh="guard",
+    ))
+    for model_name in model_names:
+        model = get_config(model_name)
+        for decode_len in decode_lengths:
+            trace = WorkloadTrace(f"fig3c-{decode_len}", prefill_len, decode_len, batch_size)
+            result = system.simulate(model, trace)
+            energy = result.energy
+            buffer_frac = (energy.fraction("kv_onchip") + energy.fraction("weight_sram")
+                           + energy.fraction("activation_buffer"))
+            compute_frac = energy.fraction("rsa") + energy.fraction("sfu")
+            table.add_row(
+                model=model_name,
+                decode_len=decode_len,
+                refresh_frac=energy.fraction("refresh"),
+                dram_frac=energy.fraction("dram"),
+                buffer_frac=buffer_frac,
+                compute_frac=compute_frac,
+            )
+    return table
+
+
+def run() -> dict[str, TableResult]:
+    """All three Figure 3 panels."""
+    return {
+        "latency": run_latency(),
+        "area": run_area(),
+        "energy_breakdown": run_energy_breakdown(),
+    }

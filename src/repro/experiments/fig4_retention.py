@@ -1,0 +1,31 @@
+"""Figure 4: eDRAM retention failure rate versus refresh interval (65 nm, 105 C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.retention import DEFAULT_RETENTION_MODEL, RetentionModel
+from repro.utils.tables import TableResult
+
+#: The refresh intervals highlighted in the paper's Figure 4.
+PAPER_MARKERS_US = (45.0, 784.0, 1778.0, 9120.0)
+
+
+def run(retention: RetentionModel | None = None,
+        intervals_us: tuple[float, ...] | None = None) -> TableResult:
+    """Reproduce the Figure 4 curve at the paper's marked intervals plus a sweep."""
+    retention = retention or DEFAULT_RETENTION_MODEL
+    if intervals_us is None:
+        sweep = np.geomspace(10.0, 20000.0, 16)
+        intervals_us = tuple(sorted(set(PAPER_MARKERS_US) | set(np.round(sweep, 1))))
+    table = TableResult(
+        title="Figure 4: retention failure rate vs refresh interval",
+        columns=["refresh_interval_us", "failure_rate", "is_paper_marker"],
+    )
+    for interval_us in sorted(intervals_us):
+        table.add_row(
+            refresh_interval_us=float(interval_us),
+            failure_rate=retention.failure_rate(interval_us * 1e-6),
+            is_paper_marker=interval_us in PAPER_MARKERS_US,
+        )
+    return table

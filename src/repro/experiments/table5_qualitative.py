@@ -1,0 +1,51 @@
+"""Table 5: qualitative generation metrics under the Kelle policy.
+
+The paper checks that 2DRP's approximate memory behaviour does not hurt
+human-facing qualities: summarisation coherence (CNN/DailyMail, ROUGE-1),
+factual correctness (TruthfulQA) and bias (BBQ).  The reproduction evaluates
+the unigram-overlap summarisation score and two multiple-choice stand-ins on
+the synthetic language, comparing the full-precision full-cache model against
+the Kelle policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.aerp import AERPConfig, aerp_cache_factory
+from repro.eval.accuracy import multiple_choice_accuracy, summarization_overlap
+from repro.eval.harness import get_eval_model
+from repro.experiments.common import tiny_2drp_policy
+from repro.utils.tables import TableResult
+from repro.workloads.tasks import make_multiple_choice_task, make_summarization_items
+
+CONTEXT_LEN = 64
+BUDGET = 40
+N_ITEMS = 8
+
+
+def run(model_names: tuple[str, ...] = ("tiny-llama2-7b", "tiny-mistral-7b"),
+        seed: int = 0) -> TableResult:
+    """CNN-style overlap, TruthfulQA-style and BBQ-style accuracy, FP16 vs Kelle."""
+    table = TableResult(
+        title="Table 5: qualitative metrics",
+        columns=["model", "method", "cnn_overlap", "truthfulness_acc", "bbq_acc"],
+    )
+    aerp = AERPConfig(budget=BUDGET, sink_tokens=4, recent_window=12)
+    injector = tiny_2drp_policy().make_injector()
+    for model_name in model_names:
+        eval_model = get_eval_model(model_name)
+        summ_items = make_summarization_items(eval_model.language, max(2, N_ITEMS // 2), CONTEXT_LEN,
+                                              seed=seed)
+        truth_items = make_multiple_choice_task(eval_model.language, N_ITEMS, CONTEXT_LEN,
+                                                seed=seed + 1)
+        bbq_items = make_multiple_choice_task(eval_model.language, N_ITEMS, CONTEXT_LEN,
+                                              seed=seed + 2)
+        for method, factory in (("fp16", None),
+                                ("kelle", aerp_cache_factory(aerp, injector=injector, seed=seed))):
+            table.add_row(
+                model=model_name,
+                method=method,
+                cnn_overlap=summarization_overlap(eval_model.model, summ_items, factory),
+                truthfulness_acc=multiple_choice_accuracy(eval_model.model, truth_items, factory),
+                bbq_acc=multiple_choice_accuracy(eval_model.model, bbq_items, factory),
+            )
+    return table

@@ -1,0 +1,30 @@
+"""Table 7: Kelle+eDRAM energy efficiency across KV-cache budgets (PG19)."""
+
+from __future__ import annotations
+
+from repro.baselines.systems import build_kelle_edram, build_original_sram
+from repro.experiments.common import simulate_system
+from repro.utils.tables import TableResult
+
+#: Budgets swept by the paper's Table 7 (8750 is the no-eviction upper bound).
+PAPER_BUDGETS = (2048, 3500, 5250, 7000, 8750)
+
+
+def run(model_names: tuple[str, ...] = ("llama3.2-3b", "llama2-13b"),
+        budgets: tuple[int, ...] = PAPER_BUDGETS, dataset: str = "pg19") -> TableResult:
+    """Energy efficiency of Kelle+eDRAM over Original+SRAM as the budget grows."""
+    table = TableResult(
+        title="Table 7: energy efficiency over KV cache budgets (PG19)",
+        columns=["model", "budget", "energy_efficiency", "speedup"],
+    )
+    for model_name in model_names:
+        reference = simulate_system(build_original_sram(), model_name, dataset)
+        for budget in budgets:
+            result = simulate_system(build_kelle_edram(kv_budget=budget), model_name, dataset)
+            table.add_row(
+                model=model_name,
+                budget=budget,
+                energy_efficiency=result.energy_efficiency_over(reference),
+                speedup=result.speedup_over(reference),
+            )
+    return table

@@ -1,0 +1,33 @@
+"""Table 9: energy efficiency across batch sizes (LLaMA2-7B, PG19)."""
+
+from __future__ import annotations
+
+from repro.baselines.systems import baseline_suite
+from repro.experiments.common import HARDWARE_BUDGETS, simulate_system
+from repro.utils.tables import TableResult
+
+PAPER_BATCH_SIZES = (16, 4, 1)
+SYSTEMS = ("original+sram", "aep+sram", "aerp+sram", "kelle+edram")
+
+
+def run(model_name: str = "llama2-7b", dataset: str = "pg19",
+        batch_sizes: tuple[int, ...] = PAPER_BATCH_SIZES) -> TableResult:
+    """Energy efficiency of each system over Original+SRAM at several batch sizes."""
+    budget = HARDWARE_BUDGETS[dataset]
+    suite = baseline_suite(kv_budget=budget)
+    table = TableResult(
+        title="Table 9: energy efficiency across batch sizes",
+        columns=["batch_size", "system", "energy_efficiency", "speedup"],
+    )
+    for batch_size in batch_sizes:
+        reference = simulate_system(suite["original+sram"], model_name, dataset,
+                                    batch_size=batch_size)
+        for system_name in SYSTEMS:
+            result = simulate_system(suite[system_name], model_name, dataset, batch_size=batch_size)
+            table.add_row(
+                batch_size=batch_size,
+                system=system_name,
+                energy_efficiency=result.energy_efficiency_over(reference),
+                speedup=result.speedup_over(reference),
+            )
+    return table

@@ -1,0 +1,359 @@
+"""A compact reverse-mode automatic-differentiation engine on NumPy.
+
+The engine exists so the tiny functional models can be *trained* on synthetic
+corpora (random weights would make the accuracy experiments meaningless: the
+perplexity of an untrained model is insensitive to KV-cache corruption).  It
+supports exactly the operations the transformer forward pass needs; the
+inference path in :mod:`repro.llm.model` stays plain NumPy for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+class Tensor:
+    """A node in the computation graph wrapping a NumPy array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data: np.ndarray, requires_grad: bool = False,
+                 parents: tuple["Tensor", ...] = (),
+                 backward: Callable[[np.ndarray], None] | None = None) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents = parents
+        self._backward = backward
+
+    # -- graph bookkeeping -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=np.float32)
+        self.grad += grad.astype(np.float32)
+
+    def backward(self) -> None:
+        """Run reverse-mode differentiation from this (scalar) tensor."""
+        if self.data.size != 1:
+            raise ValueError("backward() must be called on a scalar loss")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: Tensor) -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        self.grad = np.ones_like(self.data)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- operator sugar ------------------------------------------------------
+    def __add__(self, other: "Tensor") -> "Tensor":
+        return add(self, other)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        return mul(self, other)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+
+def _needs_graph(*tensors: Tensor) -> bool:
+    return any(t.requires_grad or t._parents for t in tensors)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def constant(data: np.ndarray) -> Tensor:
+    """A graph leaf that never receives gradient."""
+    return Tensor(data, requires_grad=False)
+
+
+def parameter(data: np.ndarray) -> Tensor:
+    """A trainable graph leaf."""
+    return Tensor(data, requires_grad=True)
+
+
+# ---------------------------------------------------------------------------
+# Primitive operations
+# ---------------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad or a._parents:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad or b._parents:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    if not _needs_graph(a, b):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad or a._parents:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad or b._parents:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    if not _needs_graph(a, b):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def scale(a: Tensor, factor: float) -> Tensor:
+    out_data = a.data * factor
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * factor)
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad or a._parents:
+            grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            a.accumulate_grad(_unbroadcast(grad_a, a.shape))
+        if b.requires_grad or b._parents:
+            grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            b.accumulate_grad(_unbroadcast(grad_b, b.shape))
+
+    if not _needs_graph(a, b):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def embedding(weight: Tensor, tokens: np.ndarray) -> Tensor:
+    tokens = np.asarray(tokens, dtype=np.int64)
+    out_data = weight.data[tokens]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_w = np.zeros_like(weight.data)
+        np.add.at(grad_w, tokens, grad)
+        weight.accumulate_grad(grad_w)
+
+    if not _needs_graph(weight):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(weight,), backward=backward)
+
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    out_data = a.data.reshape(shape)
+    original = a.shape
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad.reshape(original))
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def moveaxis(a: Tensor, source: int, destination: int) -> Tensor:
+    out_data = np.moveaxis(a.data, source, destination)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(np.moveaxis(grad, destination, source))
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def swap_last_axes(a: Tensor) -> Tensor:
+    out_data = np.swapaxes(a.data, -1, -2)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(np.swapaxes(grad, -1, -2))
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def silu(a: Tensor) -> Tensor:
+    x = a.data
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    out_data = x * sig
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * sig * (1.0 + x * (1.0 - sig)))
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def gelu(a: Tensor) -> Tensor:
+    x = a.data
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+        d = 0.5 * (1.0 + tanh_inner) + 0.5 * x * (1.0 - tanh_inner**2) * d_inner
+        a.accumulate_grad(grad * d)
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def rms_norm(a: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    x = a.data
+    inv_rms = 1.0 / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    normed = x * inv_rms
+    out_data = normed * weight.data
+
+    def backward(grad: np.ndarray) -> None:
+        d = x.shape[-1]
+        if weight.requires_grad or weight._parents:
+            weight.accumulate_grad(_unbroadcast(grad * normed, weight.shape))
+        if a.requires_grad or a._parents:
+            gw = grad * weight.data
+            dot = np.sum(gw * x, axis=-1, keepdims=True)
+            grad_x = gw * inv_rms - x * dot * (inv_rms**3) / d
+            a.accumulate_grad(grad_x)
+
+    if not _needs_graph(a, weight):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a, weight), backward=backward)
+
+
+def layer_norm(a: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    x = a.data
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normed = (x - mean) * inv_std
+    out_data = normed * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        d = x.shape[-1]
+        if weight.requires_grad or weight._parents:
+            weight.accumulate_grad(_unbroadcast(grad * normed, weight.shape))
+        if bias.requires_grad or bias._parents:
+            bias.accumulate_grad(_unbroadcast(grad, bias.shape))
+        if a.requires_grad or a._parents:
+            gw = grad * weight.data
+            mean_gw = np.mean(gw, axis=-1, keepdims=True)
+            mean_gw_normed = np.mean(gw * normed, axis=-1, keepdims=True)
+            grad_x = (gw - mean_gw - normed * mean_gw_normed) * inv_std
+            del d
+            a.accumulate_grad(grad_x)
+
+    if not _needs_graph(a, weight, bias):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a, weight, bias), backward=backward)
+
+
+def softmax(a: Tensor, mask: np.ndarray | None = None) -> Tensor:
+    """Softmax over the last axis with an optional additive mask (constant)."""
+    x = a.data if mask is None else a.data + mask
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = np.sum(grad * probs, axis=-1, keepdims=True)
+        a.accumulate_grad(probs * (grad - dot))
+
+    if not _needs_graph(a):
+        return Tensor(probs)
+    return Tensor(probs, parents=(a,), backward=backward)
+
+
+def rope(a: Tensor, cos: np.ndarray, sin: np.ndarray, positions: np.ndarray) -> Tensor:
+    """Rotary embedding on the last axis of ``[..., T, head_dim]``."""
+    x = a.data
+    half = x.shape[-1] // 2
+    c = cos[positions]
+    s = sin[positions]
+    x1, x2 = x[..., :half], x[..., half:]
+    out_data = np.concatenate([x1 * c - x2 * s, x2 * c + x1 * s], axis=-1)
+
+    def backward(grad: np.ndarray) -> None:
+        g1, g2 = grad[..., :half], grad[..., half:]
+        dx1 = g1 * c + g2 * s
+        dx2 = -g1 * s + g2 * c
+        a.accumulate_grad(np.concatenate([dx1, dx2], axis=-1))
+
+    if not _needs_graph(a):
+        return Tensor(out_data)
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def cross_entropy_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean token-level cross entropy (nats) with a fused backward pass."""
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = targets.reshape(-1)
+    shifted = flat_logits - np.max(flat_logits, axis=-1, keepdims=True)
+    logsumexp = np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+    logp = shifted - logsumexp
+    count = flat_targets.size
+    loss_value = -np.mean(logp[np.arange(count), flat_targets])
+
+    def backward(grad: np.ndarray) -> None:
+        probs = np.exp(logp)
+        probs[np.arange(count), flat_targets] -= 1.0
+        grad_logits = probs.reshape(logits.data.shape) * (float(grad) / count)
+        logits.accumulate_grad(grad_logits)
+
+    if not _needs_graph(logits):
+        return Tensor(np.array(loss_value))
+    return Tensor(np.array(loss_value), parents=(logits,), backward=backward)
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-4) -> np.ndarray:
+    """Finite-difference gradient, used by the autodiff test suite."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def zero_grads(tensors: Iterable[Tensor]) -> None:
+    """Reset gradients of the given tensors."""
+    for tensor in tensors:
+        tensor.grad = None

@@ -1,0 +1,142 @@
+"""KV-cache interface and the full-cache reference implementation.
+
+The attention layer of :class:`repro.llm.model.DecoderLM` talks to the cache
+through a narrow interface so that the paper's policies (AERP with eviction
+and recomputation, 2DRP fault injection) and the baselines (full cache,
+StreamingLLM, H2O, random eviction, quantized caches) are interchangeable.
+
+All caches are **per-layer** objects with **per-head** slot state, because
+AERP evicts independently per attention head (Section 4.1 of the paper) and
+relies on the permutation invariance of Equations 1-2 to reuse the victim's
+slot for the incoming token.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Protocol
+
+import numpy as np
+
+#: Recompute callback: maps (input vector ``x`` of size C, absolute position)
+#: to the per-head key and value vectors ``([H, d], [H, d])`` for this layer.
+RecomputeFn = Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]]
+
+
+class LayerKVCache(abc.ABC):
+    """Abstract per-layer KV cache with per-head slots."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
+        if n_heads <= 0 or head_dim <= 0 or d_model <= 0:
+            raise ValueError("n_heads, head_dim and d_model must be positive")
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.d_model = d_model
+
+    @abc.abstractmethod
+    def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                attn_probs: np.ndarray) -> None:
+        """Load the context tokens processed in parallel during pre-filling.
+
+        Parameters
+        ----------
+        keys, values:
+            ``[H, N_ctx, head_dim]`` per-head projections of the context.
+        inputs:
+            ``[N_ctx, d_model]`` normalised block inputs (needed when a token
+            is stored in recomputation format).
+        attn_probs:
+            ``[H, N_ctx, N_ctx]`` causal attention probabilities of the
+            pre-filling pass, used to compute importance scores.
+        """
+
+    @abc.abstractmethod
+    def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        """Insert the KV vectors of a newly decoded token.
+
+        ``key``/``value`` are ``[H, head_dim]``, ``x`` is the ``[d_model]``
+        block input and ``position`` the absolute token position (needed to
+        re-apply rotary embeddings when the token is recomputed later).
+        """
+
+    @abc.abstractmethod
+    def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(K, V, valid)`` with shapes ``[H, n, d], [H, n, d], [H, n]``.
+
+        ``valid`` is a boolean mask marking live slots; invalid slots must be
+        ignored by the attention computation.
+        """
+
+    @abc.abstractmethod
+    def observe_attention(self, probs: np.ndarray) -> None:
+        """Feed back the attention probabilities of the newest query.
+
+        ``probs`` has shape ``[H, n]`` aligned with the slots returned by the
+        immediately preceding :meth:`fetch`.
+        """
+
+    @property
+    @abc.abstractmethod
+    def num_tokens(self) -> int:
+        """Number of live tokens (maximum across heads)."""
+
+    @abc.abstractmethod
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        """Bytes of cache storage currently occupied (for energy accounting)."""
+
+    def end_step(self) -> None:
+        """Hook called once per decode step after attention; default no-op."""
+
+
+class KVCacheFactory(Protocol):
+    """Factory building one :class:`LayerKVCache` per decoder layer."""
+
+    def __call__(self, layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                 recompute_fn: RecomputeFn) -> LayerKVCache:
+        ...
+
+
+class FullKVCache(LayerKVCache):
+    """The unbounded baseline cache: every token's KV vectors are retained."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
+        super().__init__(n_heads, head_dim, d_model)
+        self._keys: list[np.ndarray] = []  # each [H, d]
+        self._values: list[np.ndarray] = []
+
+    def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                attn_probs: np.ndarray) -> None:
+        del inputs, attn_probs
+        n_ctx = keys.shape[1]
+        for n in range(n_ctx):
+            self._keys.append(np.array(keys[:, n, :], dtype=np.float32))
+            self._values.append(np.array(values[:, n, :], dtype=np.float32))
+
+    def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        del x, position
+        self._keys.append(np.array(key, dtype=np.float32))
+        self._values.append(np.array(value, dtype=np.float32))
+
+    def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        keys = np.stack(self._keys, axis=1)  # [H, n, d]
+        values = np.stack(self._values, axis=1)
+        valid = np.ones((self.n_heads, keys.shape[1]), dtype=bool)
+        return keys, values, valid
+
+    def observe_attention(self, probs: np.ndarray) -> None:
+        del probs  # the full cache does not track importance
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self._keys)
+
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        elements = 2 * len(self._keys) * self.n_heads * self.head_dim
+        return elements * bits_per_element // 8
+
+
+def full_cache_factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                       recompute_fn: RecomputeFn) -> LayerKVCache:
+    """Factory for the full-cache baseline (ignores the recompute callback)."""
+    del layer_index, recompute_fn
+    return FullKVCache(n_heads, head_dim, d_model)

@@ -1,0 +1,174 @@
+"""Model configurations.
+
+Two families of configurations live here:
+
+* **Full-size shape configs** mirror the architectures the paper evaluates
+  (LLaMA-2-7B/13B/70B, LLaMA-3-8B, LLaMA-3.2-3B, Mistral-7B, Qwen2-7B,
+  OPT-6.7B).  They are never instantiated as weights; the accelerator
+  performance model only needs their *shapes* (parameter bytes, KV bytes per
+  token, MACs per token).
+* **Tiny trainable configs** are small enough to train on a synthetic corpus
+  in seconds on a CPU.  They drive the functional accuracy experiments
+  (Tables 2-6, Figure 8) where only relative trends matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture description of a decoder-only transformer."""
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    d_ff: int
+    vocab_size: int
+    max_seq_len: int = 4096
+    n_kv_heads: int | None = None  # grouped-query attention; None => == n_heads
+    norm: str = "rms"  # "rms" (LLaMA family) or "layer" (OPT)
+    mlp: str = "gated"  # "gated" (SwiGLU) or "standard" (GeLU MLP)
+    positional: str = "rope"  # "rope" or "learned"
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.norm not in ("rms", "layer"):
+            raise ValueError("norm must be 'rms' or 'layer'")
+        if self.mlp not in ("gated", "standard"):
+            raise ValueError("mlp must be 'gated' or 'standard'")
+        if self.positional not in ("rope", "learned"):
+            raise ValueError("positional must be 'rope' or 'learned'")
+        if self.kv_heads <= 0 or self.n_heads % self.kv_heads != 0:
+            raise ValueError("n_kv_heads must divide n_heads")
+
+    # -- derived shapes -------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    def attention_params(self) -> int:
+        """Parameters of one self-attention block (Q, K, V, O projections)."""
+        q_and_o = 2 * self.d_model * self.d_model
+        kv = 2 * self.d_model * (self.kv_heads * self.head_dim)
+        return q_and_o + kv
+
+    def mlp_params(self) -> int:
+        """Parameters of one feed-forward block."""
+        if self.mlp == "gated":
+            return 3 * self.d_model * self.d_ff
+        return 2 * self.d_model * self.d_ff
+
+    def layer_params(self) -> int:
+        """Parameters of one decoder layer (attention + MLP + norms)."""
+        return self.attention_params() + self.mlp_params() + 2 * self.d_model
+
+    def total_params(self) -> int:
+        """Total parameter count including embeddings."""
+        embed = self.vocab_size * self.d_model
+        head = 0 if self.tie_embeddings else self.vocab_size * self.d_model
+        pos = self.max_seq_len * self.d_model if self.positional == "learned" else 0
+        return self.n_layers * self.layer_params() + embed + head + pos + self.d_model
+
+    def weight_bytes(self, bits: int = 8) -> int:
+        """Bytes of model weights at ``bits``-bit precision."""
+        return self.total_params() * bits // 8
+
+    def kv_bytes_per_token(self, bits: int = 16, layers: int | None = None) -> int:
+        """Bytes of KV cache per token across ``layers`` layers (default all)."""
+        layers = self.n_layers if layers is None else layers
+        per_layer = 2 * self.kv_heads * self.head_dim * bits // 8
+        return layers * per_layer
+
+    def kv_bytes_per_token_per_layer(self, bits: int = 16) -> int:
+        """Bytes of KV cache for one token in one layer."""
+        return 2 * self.kv_heads * self.head_dim * bits // 8
+
+    def decode_macs_per_token(self, context_len: int) -> int:
+        """MAC operations to decode one token given ``context_len`` cached tokens."""
+        proj = self.attention_params() + self.mlp_params()
+        attention = 2 * context_len * self.kv_heads * self.head_dim * (self.n_heads // self.kv_heads)
+        logits = self.d_model * self.vocab_size
+        return self.n_layers * (proj + attention) + logits
+
+    def prefill_macs(self, context_len: int) -> int:
+        """MAC operations for the pre-filling stage over ``context_len`` tokens."""
+        proj = (self.attention_params() + self.mlp_params()) * context_len
+        # causal attention: QK^T and AV together cost ~ N^2 * C MACs per layer
+        attention = context_len * context_len * self.d_model
+        return self.n_layers * (proj + attention)
+
+    def with_name(self, name: str) -> "ModelConfig":
+        return replace(self, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Full-size shape configurations (performance model only).
+# ---------------------------------------------------------------------------
+FULL_SIZE_CONFIGS: dict[str, ModelConfig] = {
+    "llama2-7b": ModelConfig("llama2-7b", 32, 4096, 32, 11008, 32000),
+    "llama2-13b": ModelConfig("llama2-13b", 40, 5120, 40, 13824, 32000),
+    "llama2-70b": ModelConfig("llama2-70b", 80, 8192, 64, 28672, 32000, n_kv_heads=8),
+    "llama3-8b": ModelConfig("llama3-8b", 32, 4096, 32, 14336, 128256, n_kv_heads=8),
+    "llama3.2-3b": ModelConfig("llama3.2-3b", 28, 3072, 24, 8192, 128256, n_kv_heads=8),
+    "mistral-7b": ModelConfig("mistral-7b", 32, 4096, 32, 14336, 32000, n_kv_heads=8),
+    "qwen2-7b": ModelConfig("qwen2-7b", 28, 3584, 28, 18944, 152064, n_kv_heads=4),
+    "opt-6.7b": ModelConfig(
+        "opt-6.7b", 32, 4096, 32, 16384, 50272, norm="layer", mlp="standard", positional="learned"
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Tiny trainable configurations (functional accuracy experiments).
+# ---------------------------------------------------------------------------
+def tiny_config(name: str = "tiny-2l", n_layers: int = 2, d_model: int = 64, n_heads: int = 4,
+                d_ff: int = 128, vocab_size: int = 64, max_seq_len: int = 512,
+                norm: str = "rms", mlp: str = "gated", positional: str = "rope") -> ModelConfig:
+    """Build a tiny trainable configuration."""
+    return ModelConfig(
+        name=name,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        d_ff=d_ff,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+        norm=norm,
+        mlp=mlp,
+        positional=positional,
+    )
+
+
+#: Tiny stand-ins for the paper's model family.  Each mirrors the family's
+#: architectural idiosyncrasies (norm type, MLP type, positional encoding)
+#: at a laptop-trainable scale.
+TINY_CONFIGS: dict[str, ModelConfig] = {
+    "tiny-llama2-7b": tiny_config("tiny-llama2-7b", n_layers=2, d_model=64, n_heads=4),
+    "tiny-llama2-13b": tiny_config("tiny-llama2-13b", n_layers=3, d_model=96, n_heads=6),
+    "tiny-llama3.2-3b": tiny_config("tiny-llama3.2-3b", n_layers=2, d_model=48, n_heads=4),
+    "tiny-llama3-8b": tiny_config("tiny-llama3-8b", n_layers=2, d_model=64, n_heads=8),
+    "tiny-mistral-7b": tiny_config("tiny-mistral-7b", n_layers=2, d_model=64, n_heads=4),
+    "tiny-qwen2-7b": tiny_config("tiny-qwen2-7b", n_layers=2, d_model=56, n_heads=4),
+    "tiny-opt-6.7b": tiny_config(
+        "tiny-opt-6.7b", n_layers=2, d_model=64, n_heads=4, norm="layer", mlp="standard",
+        positional="learned"
+    ),
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a configuration by name across both families."""
+    if name in FULL_SIZE_CONFIGS:
+        return FULL_SIZE_CONFIGS[name]
+    if name in TINY_CONFIGS:
+        return TINY_CONFIGS[name]
+    raise KeyError(f"unknown model config '{name}'")

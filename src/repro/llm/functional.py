@@ -1,0 +1,100 @@
+"""Numerical primitives shared by the inference and training paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float32)
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation used by the gated MLP (LLaMA family)."""
+    return x * sigmoid(x)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GeLU activation (tanh approximation) used by the standard MLP (OPT/GPT)."""
+    x = np.asarray(x, dtype=np.float32)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalisation (LLaMA family)."""
+    x = np.asarray(x, dtype=np.float32)
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / rms * weight
+
+
+def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Standard layer normalisation (OPT/GPT family)."""
+    x = np.asarray(x, dtype=np.float32)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * weight + bias
+
+
+def rope_frequencies(head_dim: int, max_seq_len: int, base: float = 10000.0) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the cosine/sine tables for rotary position embeddings."""
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even for RoPE")
+    inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2, dtype=np.float32) / head_dim))
+    positions = np.arange(max_seq_len, dtype=np.float32)
+    angles = np.outer(positions, inv_freq)  # [T, head_dim/2]
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary embeddings.
+
+    ``x`` has shape ``[..., T, head_dim]`` (head dim last); ``positions`` has
+    shape ``[T]`` giving the absolute position of each of the T vectors.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    head_dim = x.shape[-1]
+    half = head_dim // 2
+    c = cos[positions]  # [T, half]
+    s = sin[positions]
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    rotated_first = x1 * c - x2 * s
+    rotated_second = x2 * c + x1 * s
+    return np.concatenate([rotated_first, rotated_second], axis=-1)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross entropy (nats) of ``targets`` under ``logits``.
+
+    ``logits`` has shape ``[..., V]`` and ``targets`` the matching leading
+    shape of integer class indices.
+    """
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, logp.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    picked = flat_logp[np.arange(flat_targets.size), flat_targets]
+    return float(-np.mean(picked))
+
+
+def causal_mask(size: int) -> np.ndarray:
+    """Additive causal mask of shape ``[size, size]`` (0 on/below diag, -inf above)."""
+    mask = np.zeros((size, size), dtype=np.float32)
+    mask[np.triu_indices(size, k=1)] = -np.inf
+    return mask

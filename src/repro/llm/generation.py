@@ -1,0 +1,98 @@
+"""Prefill + auto-regressive decode driver.
+
+This is the serving loop of Figure 1 (a) of the paper: the context is
+processed in parallel during pre-filling, then tokens are generated
+auto-regressively, each step reading the KV cache managed by the active
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.llm.cache import KVCacheFactory, LayerKVCache
+from repro.llm.functional import log_softmax, softmax
+from repro.llm.model import DecoderLM
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one prefill + decode run."""
+
+    prompt_tokens: list[int]
+    generated_tokens: list[int]
+    logprobs: list[float] = field(default_factory=list)
+    caches: list[LayerKVCache] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        return len(self.prompt_tokens) + len(self.generated_tokens)
+
+
+def _select_token(logits: np.ndarray, temperature: float, rng: np.random.Generator) -> int:
+    if temperature <= 0:
+        return int(np.argmax(logits))
+    probs = softmax(logits / temperature)
+    return int(rng.choice(probs.size, p=probs))
+
+
+def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int,
+             cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
+             eos_id: int | None = None, seed: int = 0) -> GenerationResult:
+    """Generate ``max_new_tokens`` continuation tokens for ``prompt_tokens``.
+
+    ``cache_factory`` selects the KV-cache policy (full cache by default);
+    ``temperature`` 0 means greedy decoding.
+    """
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens must be non-negative")
+    prompt_tokens = list(int(t) for t in prompt_tokens)
+    if not prompt_tokens:
+        raise ValueError("prompt_tokens must be non-empty")
+    rng = derive_rng(seed, "generate")
+    caches = model.make_caches(cache_factory)
+    logits = model.prefill(prompt_tokens, caches)
+    result = GenerationResult(prompt_tokens=prompt_tokens, generated_tokens=[], caches=caches)
+    position = len(prompt_tokens)
+    for _ in range(max_new_tokens):
+        token = _select_token(logits, temperature, rng)
+        logp = float(log_softmax(logits)[token])
+        result.generated_tokens.append(token)
+        result.logprobs.append(logp)
+        if eos_id is not None and token == eos_id:
+            break
+        logits = model.decode_step(token, position, caches)
+        position += 1
+    return result
+
+
+def forced_decode_logprobs(model: DecoderLM, prompt_tokens: Sequence[int],
+                           continuation_tokens: Sequence[int],
+                           cache_factory: KVCacheFactory | None = None) -> list[float]:
+    """Log-probabilities of a forced continuation under a cache policy.
+
+    This is the primitive behind the cache-aware perplexity evaluation: the
+    prompt is pre-filled, then each continuation token is scored with the
+    logits produced while the *policy-managed* cache serves attention, and fed
+    back as the next input (teacher forcing).
+    """
+    prompt_tokens = list(int(t) for t in prompt_tokens)
+    continuation_tokens = list(int(t) for t in continuation_tokens)
+    if not prompt_tokens or not continuation_tokens:
+        raise ValueError("prompt and continuation must be non-empty")
+    caches = model.make_caches(cache_factory)
+    logits = model.prefill(prompt_tokens, caches)
+    logprobs: list[float] = []
+    position = len(prompt_tokens)
+    previous = None
+    for token in continuation_tokens:
+        if previous is not None:
+            logits = model.decode_step(previous, position, caches)
+            position += 1
+        logprobs.append(float(log_softmax(logits)[token]))
+        previous = token
+    return logprobs

@@ -1,0 +1,268 @@
+"""Decoder-only transformer language model on NumPy.
+
+The model owns a flat parameter dictionary (name -> ``np.ndarray``) and
+provides two inference paths:
+
+* :meth:`DecoderLM.forward_full` -- full-sequence teacher-forced forward pass
+  (used for training-data perplexity and as a reference for testing the
+  incremental path);
+* :meth:`DecoderLM.prefill` / :meth:`DecoderLM.decode_step` -- the
+  prefill + auto-regressive decode path with a pluggable per-layer KV cache,
+  which is where the paper's policies plug in.
+
+Only configurations without grouped-query attention are instantiated
+(``n_kv_heads is None``); the full-size GQA configs are used purely for shape
+accounting by the performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.llm.cache import KVCacheFactory, LayerKVCache, full_cache_factory
+from repro.llm.config import ModelConfig
+from repro.llm.functional import (
+    apply_rope,
+    causal_mask,
+    gelu,
+    layer_norm,
+    rms_norm,
+    rope_frequencies,
+    silu,
+    softmax,
+)
+from repro.utils.rng import derive_rng
+
+
+class DecoderLM:
+    """A decoder-only transformer LM with explicit NumPy parameters."""
+
+    def __init__(self, config: ModelConfig, params: dict[str, np.ndarray] | None = None,
+                 seed: int = 0) -> None:
+        if config.n_kv_heads is not None:
+            raise ValueError("DecoderLM does not instantiate grouped-query configurations")
+        self.config = config
+        self.params = params if params is not None else self._init_params(config, seed)
+        if config.positional == "rope":
+            self._rope_cos, self._rope_sin = rope_frequencies(config.head_dim, config.max_seq_len)
+        else:
+            self._rope_cos = self._rope_sin = None
+
+    # ------------------------------------------------------------------
+    # Parameter initialisation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _init_params(config: ModelConfig, seed: int) -> dict[str, np.ndarray]:
+        rng = derive_rng(seed, "init", config.name)
+        params: dict[str, np.ndarray] = {}
+        scale = 0.02
+
+        def normal(shape: tuple[int, ...]) -> np.ndarray:
+            return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+        params["embed.weight"] = normal((config.vocab_size, config.d_model))
+        if config.positional == "learned":
+            params["pos_embed.weight"] = normal((config.max_seq_len, config.d_model))
+        for i in range(config.n_layers):
+            prefix = f"layers.{i}"
+            params[f"{prefix}.attn_norm.weight"] = np.ones(config.d_model, dtype=np.float32)
+            params[f"{prefix}.mlp_norm.weight"] = np.ones(config.d_model, dtype=np.float32)
+            if config.norm == "layer":
+                params[f"{prefix}.attn_norm.bias"] = np.zeros(config.d_model, dtype=np.float32)
+                params[f"{prefix}.mlp_norm.bias"] = np.zeros(config.d_model, dtype=np.float32)
+            for proj in ("wq", "wk", "wv", "wo"):
+                params[f"{prefix}.{proj}"] = normal((config.d_model, config.d_model))
+            if config.mlp == "gated":
+                params[f"{prefix}.w1"] = normal((config.d_model, config.d_ff))
+                params[f"{prefix}.w3"] = normal((config.d_model, config.d_ff))
+                params[f"{prefix}.w2"] = normal((config.d_ff, config.d_model))
+            else:
+                params[f"{prefix}.w1"] = normal((config.d_model, config.d_ff))
+                params[f"{prefix}.w2"] = normal((config.d_ff, config.d_model))
+        params["final_norm.weight"] = np.ones(config.d_model, dtype=np.float32)
+        if config.norm == "layer":
+            params["final_norm.bias"] = np.zeros(config.d_model, dtype=np.float32)
+        if not config.tie_embeddings:
+            params["lm_head.weight"] = normal((config.vocab_size, config.d_model))
+        return params
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _norm(self, x: np.ndarray, prefix: str) -> np.ndarray:
+        weight = self.params[f"{prefix}.weight"]
+        if self.config.norm == "rms":
+            return rms_norm(x, weight)
+        return layer_norm(x, weight, self.params[f"{prefix}.bias"])
+
+    def _mlp(self, x: np.ndarray, layer: int) -> np.ndarray:
+        prefix = f"layers.{layer}"
+        if self.config.mlp == "gated":
+            gate = silu(x @ self.params[f"{prefix}.w1"])
+            up = x @ self.params[f"{prefix}.w3"]
+            return (gate * up) @ self.params[f"{prefix}.w2"]
+        hidden = gelu(x @ self.params[f"{prefix}.w1"])
+        return hidden @ self.params[f"{prefix}.w2"]
+
+    def _embed(self, tokens: np.ndarray) -> np.ndarray:
+        hidden = self.params["embed.weight"][tokens]
+        if self.config.positional == "learned":
+            positions = np.arange(tokens.shape[-1])
+            hidden = hidden + self.params["pos_embed.weight"][positions]
+        return hidden.astype(np.float32)
+
+    def _lm_head(self, hidden: np.ndarray) -> np.ndarray:
+        weight = self.params["embed.weight"] if self.config.tie_embeddings else self.params[
+            "lm_head.weight"
+        ]
+        return hidden @ weight.T
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """[..., C] -> [..., H, d] -> moved to [H, ..., d]."""
+        new_shape = x.shape[:-1] + (self.config.n_heads, self.config.head_dim)
+        return np.moveaxis(x.reshape(new_shape), -2, 0)
+
+    def _project_kv(self, x: np.ndarray, layer: int, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Compute per-head K/V (with RoPE on K) for block input ``x`` ``[T, C]``."""
+        prefix = f"layers.{layer}"
+        keys = self._split_heads(x @ self.params[f"{prefix}.wk"])  # [H, T, d]
+        values = self._split_heads(x @ self.params[f"{prefix}.wv"])
+        if self.config.positional == "rope":
+            keys = apply_rope(keys, positions, self._rope_cos, self._rope_sin)
+        return keys, values
+
+    def recompute_fn(self, layer: int):
+        """Return the recompute callback the AERP cache uses for this layer."""
+
+        def recompute(x: np.ndarray, position: int) -> tuple[np.ndarray, np.ndarray]:
+            keys, values = self._project_kv(x[None, :], layer, np.array([position]))
+            return keys[:, 0, :], values[:, 0, :]
+
+        return recompute
+
+    # ------------------------------------------------------------------
+    # Full-sequence forward (no cache)
+    # ------------------------------------------------------------------
+    def forward_full(self, tokens: np.ndarray) -> np.ndarray:
+        """Teacher-forced forward pass.
+
+        ``tokens`` has shape ``[T]`` or ``[B, T]``; returns logits of shape
+        ``[..., T, vocab]``.
+        """
+        tokens = np.asarray(tokens)
+        squeeze = tokens.ndim == 1
+        if squeeze:
+            tokens = tokens[None, :]
+        batch, seq_len = tokens.shape
+        hidden = self._embed(tokens)  # [B, T, C]
+        positions = np.arange(seq_len)
+        mask = causal_mask(seq_len)
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")
+            queries = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, B, T, d]
+            keys = self._split_heads(normed @ self.params[f"{prefix}.wk"])
+            values = self._split_heads(normed @ self.params[f"{prefix}.wv"])
+            if self.config.positional == "rope":
+                queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
+                keys = apply_rope(keys, positions, self._rope_cos, self._rope_sin)
+            scores = np.einsum("hbtd,hbsd->hbts", queries, keys) * scale + mask
+            probs = softmax(scores, axis=-1)
+            context = np.einsum("hbts,hbsd->hbtd", probs, values)
+            context = np.moveaxis(context, 0, -2).reshape(batch, seq_len, self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        hidden = self._norm(hidden, "final_norm")
+        logits = self._lm_head(hidden)
+        return logits[0] if squeeze else logits
+
+    # ------------------------------------------------------------------
+    # Prefill + decode path with pluggable KV caches
+    # ------------------------------------------------------------------
+    def make_caches(self, factory: KVCacheFactory | None = None) -> list[LayerKVCache]:
+        """Build one cache per layer using ``factory`` (full cache by default)."""
+        factory = factory or full_cache_factory
+        return [
+            factory(layer, self.config.n_heads, self.config.head_dim, self.config.d_model,
+                    self.recompute_fn(layer))
+            for layer in range(self.config.n_layers)
+        ]
+
+    def prefill(self, tokens: Sequence[int], caches: list[LayerKVCache]) -> np.ndarray:
+        """Process the context tokens in parallel, filling the caches.
+
+        Returns the logits of the last context position (shape ``[vocab]``).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ValueError("prefill expects a non-empty 1-D token sequence")
+        seq_len = tokens.shape[0]
+        hidden = self._embed(tokens[None, :])[0]  # [T, C]
+        positions = np.arange(seq_len)
+        mask = causal_mask(seq_len)
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [T, C]
+            queries = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, T, d]
+            if self.config.positional == "rope":
+                queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
+            keys, values = self._project_kv(normed, layer, positions)
+            scores = np.einsum("htd,hsd->hts", queries, keys) * scale + mask
+            probs = softmax(scores, axis=-1)  # [H, T, T]
+            caches[layer].prefill(keys, values, normed, probs)
+            context = np.einsum("hts,hsd->htd", probs, values)
+            context = np.moveaxis(context, 0, -2).reshape(seq_len, self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        hidden = self._norm(hidden, "final_norm")
+        return self._lm_head(hidden[-1])
+
+    def decode_step(self, token: int, position: int, caches: list[LayerKVCache]) -> np.ndarray:
+        """Decode one token at absolute ``position`` using the caches.
+
+        Returns the next-token logits (shape ``[vocab]``).
+        """
+        hidden = self.params["embed.weight"][token].astype(np.float32)
+        if self.config.positional == "learned":
+            hidden = hidden + self.params["pos_embed.weight"][position]
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        position_arr = np.array([position])
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [C]
+            query = self._split_heads((normed @ self.params[f"{prefix}.wq"])[None, :])  # [H, 1, d]
+            if self.config.positional == "rope":
+                query = apply_rope(query, position_arr, self._rope_cos, self._rope_sin)
+            query = query[:, 0, :]  # [H, d]
+            keys_new, values_new = self._project_kv(normed[None, :], layer, position_arr)
+            caches[layer].append(keys_new[:, 0, :], values_new[:, 0, :], normed, position)
+            keys, values, valid = caches[layer].fetch()
+            scores = np.einsum("hd,hnd->hn", query, keys) * scale
+            scores = np.where(valid, scores, -np.inf)
+            probs = softmax(scores, axis=-1)
+            caches[layer].observe_attention(probs)
+            context = np.einsum("hn,hnd->hd", probs, values).reshape(self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        for cache in caches:
+            cache.end_step()
+        hidden = self._norm(hidden, "final_norm")
+        return self._lm_head(hidden)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def num_params(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def copy_with_params(self, params: dict[str, np.ndarray]) -> "DecoderLM":
+        """Return a model sharing this config with replacement parameters."""
+        return DecoderLM(self.config, params=params)

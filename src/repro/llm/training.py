@@ -1,0 +1,188 @@
+"""Training loop for the tiny functional models.
+
+The accuracy experiments (Tables 2-6, Figure 8) need models whose attention
+and next-token predictions carry real signal, otherwise corrupting or
+evicting KV entries would not change perplexity.  This module trains the tiny
+configurations of :mod:`repro.llm.config` on synthetic corpora with Adam,
+using the autodiff engine of :mod:`repro.llm.autodiff`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm import autodiff as ad
+from repro.llm.config import ModelConfig
+from repro.llm.functional import causal_mask, rope_frequencies
+from repro.llm.model import DecoderLM
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the Adam training loop."""
+
+    steps: int = 300
+    batch_size: int = 16
+    seq_len: int = 128
+    learning_rate: float = 3e-3
+    warmup_steps: int = 20
+    beta1: float = 0.9
+    beta2: float = 0.95
+    eps: float = 1e-8
+    grad_clip: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class TrainingReport:
+    """Loss trajectory and final statistics of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        return float(np.mean(self.losses[-10:])) if self.losses else float("nan")
+
+
+def sample_batch(corpus: np.ndarray, batch_size: int, seq_len: int,
+                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Sample random (input, target) windows from a flat token array."""
+    corpus = np.asarray(corpus, dtype=np.int64)
+    if corpus.size <= seq_len + 1:
+        raise ValueError("corpus too small for the requested sequence length")
+    starts = rng.integers(0, corpus.size - seq_len - 1, size=batch_size)
+    inputs = np.stack([corpus[s:s + seq_len] for s in starts])
+    targets = np.stack([corpus[s + 1:s + seq_len + 1] for s in starts])
+    return inputs, targets
+
+
+def _training_forward(params: dict[str, ad.Tensor], config: ModelConfig, tokens: np.ndarray,
+                      rope_tables: tuple[np.ndarray, np.ndarray] | None) -> ad.Tensor:
+    """Autodiff forward pass mirroring :meth:`DecoderLM.forward_full`."""
+    batch, seq_len = tokens.shape
+    positions = np.arange(seq_len)
+    hidden = ad.embedding(params["embed.weight"], tokens)  # [B, T, C]
+    if config.positional == "learned":
+        hidden = ad.add(hidden, ad.embedding(params["pos_embed.weight"], positions))
+    mask = causal_mask(seq_len)
+    scale = 1.0 / np.sqrt(config.head_dim)
+
+    def norm(x: ad.Tensor, prefix: str) -> ad.Tensor:
+        if config.norm == "rms":
+            return ad.rms_norm(x, params[f"{prefix}.weight"])
+        return ad.layer_norm(x, params[f"{prefix}.weight"], params[f"{prefix}.bias"])
+
+    def to_heads(x: ad.Tensor) -> ad.Tensor:
+        reshaped = ad.reshape(x, (batch, seq_len, config.n_heads, config.head_dim))
+        return ad.moveaxis(reshaped, 2, 1)  # [B, H, T, d]
+
+    for layer in range(config.n_layers):
+        prefix = f"layers.{layer}"
+        normed = norm(hidden, f"{prefix}.attn_norm")
+        queries = to_heads(ad.matmul(normed, params[f"{prefix}.wq"]))
+        keys = to_heads(ad.matmul(normed, params[f"{prefix}.wk"]))
+        values = to_heads(ad.matmul(normed, params[f"{prefix}.wv"]))
+        if config.positional == "rope" and rope_tables is not None:
+            cos, sin = rope_tables
+            queries = ad.rope(queries, cos, sin, positions)
+            keys = ad.rope(keys, cos, sin, positions)
+        scores = ad.scale(ad.matmul(queries, ad.swap_last_axes(keys)), scale)
+        probs = ad.softmax(scores, mask=mask)
+        context = ad.matmul(probs, values)  # [B, H, T, d]
+        context = ad.reshape(ad.moveaxis(context, 1, 2), (batch, seq_len, config.d_model))
+        hidden = ad.add(hidden, ad.matmul(context, params[f"{prefix}.wo"]))
+        normed = norm(hidden, f"{prefix}.mlp_norm")
+        if config.mlp == "gated":
+            gate = ad.silu(ad.matmul(normed, params[f"{prefix}.w1"]))
+            up = ad.matmul(normed, params[f"{prefix}.w3"])
+            mlp_out = ad.matmul(ad.mul(gate, up), params[f"{prefix}.w2"])
+        else:
+            mlp_out = ad.matmul(ad.gelu(ad.matmul(normed, params[f"{prefix}.w1"])),
+                                params[f"{prefix}.w2"])
+        hidden = ad.add(hidden, mlp_out)
+    hidden = norm(hidden, "final_norm")
+    head_weight = params["embed.weight"] if config.tie_embeddings else params["lm_head.weight"]
+    logits = ad.matmul(hidden, ad.swap_last_axes(head_weight))
+    return logits
+
+
+def training_loss(params: dict[str, ad.Tensor], config: ModelConfig, inputs: np.ndarray,
+                  targets: np.ndarray,
+                  rope_tables: tuple[np.ndarray, np.ndarray] | None) -> ad.Tensor:
+    """Cross-entropy training loss for one batch."""
+    logits = _training_forward(params, config, inputs, rope_tables)
+    return ad.cross_entropy_loss(logits, targets)
+
+
+class AdamOptimizer:
+    """Standard Adam with bias correction and global-norm gradient clipping."""
+
+    def __init__(self, params: dict[str, ad.Tensor], learning_rate: float, beta1: float,
+                 beta2: float, eps: float, grad_clip: float) -> None:
+        self.params = params
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = {name: np.zeros_like(p.data) for name, p in params.items()}
+        self._v = {name: np.zeros_like(p.data) for name, p in params.items()}
+        self._step = 0
+
+    def step(self, learning_rate: float | None = None) -> float:
+        """Apply one update; returns the pre-clip global gradient norm."""
+        lr = self.learning_rate if learning_rate is None else learning_rate
+        self._step += 1
+        grads = {name: (p.grad if p.grad is not None else np.zeros_like(p.data))
+                 for name, p in self.params.items()}
+        global_norm = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads.values())))
+        clip_scale = 1.0
+        if self.grad_clip > 0 and global_norm > self.grad_clip:
+            clip_scale = self.grad_clip / (global_norm + 1e-12)
+        for name, p in self.params.items():
+            grad = grads[name] * clip_scale
+            self._m[name] = self.beta1 * self._m[name] + (1 - self.beta1) * grad
+            self._v[name] = self.beta2 * self._v[name] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[name] / (1 - self.beta1**self._step)
+            v_hat = self._v[name] / (1 - self.beta2**self._step)
+            p.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        return global_norm
+
+
+def train_lm(config: ModelConfig, corpus: np.ndarray,
+             training: TrainingConfig | None = None) -> tuple[DecoderLM, TrainingReport]:
+    """Train a tiny decoder LM on ``corpus`` and return the trained model.
+
+    The returned :class:`DecoderLM` shares its parameter arrays with the
+    training graph, so it reflects the final optimiser state.
+    """
+    training = training or TrainingConfig()
+    model = DecoderLM(config, seed=training.seed)
+    params = {name: ad.parameter(array) for name, array in model.params.items()}
+    rope_tables = None
+    if config.positional == "rope":
+        rope_tables = rope_frequencies(config.head_dim, config.max_seq_len)
+    optimizer = AdamOptimizer(params, training.learning_rate, training.beta1, training.beta2,
+                              training.eps, training.grad_clip)
+    rng = derive_rng(training.seed, "batches", config.name)
+    report = TrainingReport()
+    for step in range(training.steps):
+        inputs, targets = sample_batch(corpus, training.batch_size, training.seq_len, rng)
+        ad.zero_grads(params.values())
+        loss = training_loss(params, config, inputs, targets, rope_tables)
+        loss.backward()
+        warmup = min(1.0, (step + 1) / max(1, training.warmup_steps))
+        optimizer.step(learning_rate=training.learning_rate * warmup)
+        report.losses.append(float(loss.data))
+    # The parameter Tensors wrap the same arrays held by ``model.params`` only
+    # if updates happen in place; Adam assigns ``p.data -= ...`` in place, so
+    # rebuild the dict from the Tensor data to be explicit and safe.
+    trained_params = {name: np.asarray(tensor.data, dtype=np.float32) for name, tensor in params.items()}
+    return DecoderLM(config, params=trained_params), report

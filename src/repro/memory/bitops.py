@@ -1,0 +1,102 @@
+"""Bit-level manipulation of fp16 values for retention-failure injection.
+
+The 2DRP experiments (Figure 8, Table 4) corrupt the KV cache at the bit
+level: a retention failure flips a stored bit.  The paper distinguishes the
+more-significant byte (bits 15-8, "MSBs") from the less-significant byte
+(bits 7-0, "LSBs") of each 16-bit value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of bits per stored KV element (activations/KV kept at 16 bit).
+FP16_BITS = 16
+
+#: Bit positions belonging to the more-significant byte (bits 15-8).
+MSB_POSITIONS = tuple(range(8, 16))
+
+#: Bit positions belonging to the less-significant byte (bits 7-0).
+LSB_POSITIONS = tuple(range(0, 8))
+
+MSB_MASK = np.uint16(0xFF00)
+LSB_MASK = np.uint16(0x00FF)
+
+
+def float16_to_bits(values: np.ndarray) -> np.ndarray:
+    """View an array of fp16 values as uint16 bit patterns."""
+    return np.asarray(values, dtype=np.float16).view(np.uint16)
+
+
+def bits_to_float16(bits: np.ndarray) -> np.ndarray:
+    """View an array of uint16 bit patterns as fp16 values."""
+    return np.asarray(bits, dtype=np.uint16).view(np.float16)
+
+
+#: Fault modes: a 3T gain cell loses charge over time, so an unrefreshed bit
+#: *decays* towards the discharged state (a stored 1 reads back as 0); the
+#: symmetric random-flip model is kept as an option for sensitivity studies.
+FAULT_MODE_DECAY = "decay"
+FAULT_MODE_FLIP = "flip"
+
+
+def _event_mask(shape: tuple[int, ...], positions: tuple[int, ...], probability: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Build a uint16 mask with each listed bit set with ``probability``."""
+    mask = np.zeros(shape, dtype=np.uint16)
+    if probability <= 0:
+        return mask
+    for pos in positions:
+        events = rng.random(shape) < probability
+        mask |= events.astype(np.uint16) << np.uint16(pos)
+    return mask
+
+
+def inject_bit_flips(bits: np.ndarray, probability: float, rng: np.random.Generator,
+                     positions: tuple[int, ...] = tuple(range(FP16_BITS)),
+                     mode: str = FAULT_MODE_DECAY) -> np.ndarray:
+    """Corrupt each selected bit of each uint16 element independently.
+
+    Parameters
+    ----------
+    bits:
+        uint16 array of stored bit patterns.
+    probability:
+        Per-bit retention-failure probability.
+    rng:
+        Random generator (fault injection is always seeded).
+    positions:
+        Bit positions subject to failure; defaults to all 16.
+    mode:
+        ``"decay"`` (default) models charge leakage: a failed bit reads back
+        as 0 regardless of the stored value.  ``"flip"`` inverts the failed
+        bit (the symmetric model).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    if mode not in (FAULT_MODE_DECAY, FAULT_MODE_FLIP):
+        raise ValueError("mode must be 'decay' or 'flip'")
+    bits = np.asarray(bits, dtype=np.uint16)
+    mask = _event_mask(bits.shape, tuple(positions), probability, rng)
+    if mode == FAULT_MODE_FLIP:
+        return bits ^ mask
+    return bits & np.invert(mask)
+
+
+def inject_bit_flips_fp16(values: np.ndarray, msb_probability: float, lsb_probability: float,
+                          rng: np.random.Generator, mode: str = FAULT_MODE_DECAY) -> np.ndarray:
+    """Corrupt fp16 values with separate MSB-byte and LSB-byte failure rates.
+
+    Returns a new fp16 array; NaN/Inf patterns produced by flips in the
+    exponent (only possible in ``"flip"`` mode) are clamped to the largest
+    finite fp16 magnitude so that a single catastrophic flip corrupts one
+    value rather than poisoning downstream softmax computations with NaNs
+    (the accelerator's datapath saturates the same way).
+    """
+    bits = float16_to_bits(values)
+    bits = inject_bit_flips(bits, msb_probability, rng, MSB_POSITIONS, mode=mode)
+    bits = inject_bit_flips(bits, lsb_probability, rng, LSB_POSITIONS, mode=mode)
+    corrupted = bits_to_float16(bits).astype(np.float32)
+    finite_max = float(np.finfo(np.float16).max)
+    corrupted = np.nan_to_num(corrupted, nan=0.0, posinf=finite_max, neginf=-finite_max)
+    return corrupted.astype(np.float16)

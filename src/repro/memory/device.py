@@ -1,0 +1,134 @@
+"""Generic analytical memory-device model.
+
+Each device is characterised by capacity, area, access latency, per-byte
+access energy, leakage power and (optionally) sustained bandwidth.  Devices
+are deliberately simple: the accelerator model composes them into a memory
+subsystem and derives traffic-dependent latency and energy from these
+parameters, exactly as the paper's evaluation methodology does with
+Destiny/CACTI characterisation numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class AccessKind(str, enum.Enum):
+    """Read/write distinction, kept for traffic accounting symmetry."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """An analytical memory device.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier, e.g. ``"eDRAM-4MB"``.
+    capacity_bytes:
+        Usable storage capacity in bytes.
+    area_mm2:
+        Silicon area of the array plus periphery.
+    access_latency_s:
+        Random access latency for one access.
+    access_energy_per_byte_j:
+        Dynamic energy per byte transferred.
+    leakage_power_w:
+        Static power dissipated whenever the device is powered.
+    bandwidth_bytes_per_s:
+        Sustained streaming bandwidth.
+    refresh_energy_per_full_refresh_j:
+        Energy to refresh the whole array once (0 for SRAM/DRAM-as-backing
+        because DRAM refresh is folded into its background power here).
+    retention_time_s:
+        Worst-case cell retention time (0 if the device needs no refresh).
+    """
+
+    name: str
+    capacity_bytes: int
+    area_mm2: float
+    access_latency_s: float
+    access_energy_per_byte_j: float
+    leakage_power_w: float
+    bandwidth_bytes_per_s: float
+    refresh_energy_per_full_refresh_j: float = 0.0
+    retention_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth_bytes_per_s must be positive")
+        if self.access_energy_per_byte_j < 0 or self.leakage_power_w < 0:
+            raise ValueError("energy/power parameters must be non-negative")
+
+    @property
+    def needs_refresh(self) -> bool:
+        """Whether the device loses data without periodic refresh."""
+        return self.retention_time_s > 0
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` through the device interface."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.access_latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    def access_energy(self, num_bytes: float, kind: AccessKind = AccessKind.READ) -> float:
+        """Dynamic energy to transfer ``num_bytes`` (reads and writes cost alike)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        del kind  # symmetric read/write energy in this model
+        return num_bytes * self.access_energy_per_byte_j
+
+    def leakage_energy(self, duration_s: float) -> float:
+        """Static energy dissipated over ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        return self.leakage_power_w * duration_s
+
+    def refresh_energy(self, duration_s: float, refresh_interval_s: float,
+                       fraction_refreshed: float = 1.0) -> float:
+        """Refresh energy over ``duration_s`` at a given refresh interval.
+
+        ``fraction_refreshed`` scales the cost when only part of the array
+        holds live data (the Kelle eDRAM controller only refreshes occupied
+        rows).
+        """
+        if not self.needs_refresh:
+            return 0.0
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive")
+        if not 0.0 <= fraction_refreshed <= 1.0:
+            raise ValueError("fraction_refreshed must lie in [0, 1]")
+        refreshes = duration_s / refresh_interval_s
+        return refreshes * self.refresh_energy_per_full_refresh_j * fraction_refreshed
+
+    def scaled(self, capacity_bytes: int, name: str | None = None) -> "MemoryDevice":
+        """Return a copy scaled to a different capacity.
+
+        Area, leakage and refresh energy scale linearly with capacity; access
+        latency and per-byte energy scale with the square root of the ratio,
+        a standard first-order SRAM/eDRAM scaling rule that matches the 29% /
+        26% power / area increase the paper reports when growing SRAM from
+        4 MB to 8 MB reasonably well.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        ratio = capacity_bytes / self.capacity_bytes
+        sqrt_ratio = ratio**0.5
+        return replace(
+            self,
+            name=name or f"{self.name.split('-')[0]}-{capacity_bytes // (1024 * 1024)}MB",
+            capacity_bytes=capacity_bytes,
+            area_mm2=self.area_mm2 * ratio,
+            access_latency_s=self.access_latency_s * sqrt_ratio,
+            access_energy_per_byte_j=self.access_energy_per_byte_j * sqrt_ratio,
+            leakage_power_w=self.leakage_power_w * ratio,
+            refresh_energy_per_full_refresh_j=self.refresh_energy_per_full_refresh_j * ratio,
+        )

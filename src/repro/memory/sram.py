@@ -1,0 +1,39 @@
+"""SRAM device models (Table 1 of the paper, 65 nm, 4 MB reference point)."""
+
+from __future__ import annotations
+
+from repro.memory.device import MemoryDevice
+from repro.utils.units import GB, MB, MILLIWATT, NANOSECOND, PICOJOULE
+
+# Table 1: 65 nm, 4 MB SRAM characterised with Destiny.
+_SRAM_4MB = MemoryDevice(
+    name="SRAM-4MB",
+    capacity_bytes=4 * MB,
+    area_mm2=7.3,
+    access_latency_s=2.6 * NANOSECOND,
+    access_energy_per_byte_j=185.9 * PICOJOULE,
+    leakage_power_w=415 * MILLIWATT,
+    bandwidth_bytes_per_s=128 * GB,  # Section 8: weight SRAM bandwidth 128 GB/s
+)
+
+
+def make_sram(capacity_bytes: int = 4 * MB, bandwidth_bytes_per_s: float | None = None,
+              name: str | None = None) -> MemoryDevice:
+    """Build an SRAM device scaled from the 4 MB Table 1 reference point."""
+    device = _SRAM_4MB.scaled(capacity_bytes, name=name or f"SRAM-{capacity_bytes // MB}MB")
+    if bandwidth_bytes_per_s is not None:
+        device = MemoryDevice(
+            name=device.name,
+            capacity_bytes=device.capacity_bytes,
+            area_mm2=device.area_mm2,
+            access_latency_s=device.access_latency_s,
+            access_energy_per_byte_j=device.access_energy_per_byte_j,
+            leakage_power_w=device.leakage_power_w,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        )
+    return device
+
+
+def make_weight_sram(capacity_bytes: int = 2 * MB) -> MemoryDevice:
+    """The 2 MB weight SRAM of the Kelle accelerator (Section 5.1)."""
+    return make_sram(capacity_bytes, name=f"WeightSRAM-{capacity_bytes // MB}MB")

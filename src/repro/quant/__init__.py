@@ -1,0 +1,26 @@
+"""Quantization substrate: integer quantization and Hadamard transforms.
+
+These utilities back the weight quantization used throughout the paper
+(8-bit weights on the Kelle RSA), the QuaRot-style 4-bit KV baseline of
+Table 2 and the W4A8 compatibility study of Table 6.
+"""
+
+from repro.quant.integer import (
+    QuantizedTensor,
+    dequantize,
+    quantization_mse,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+from repro.quant.hadamard import hadamard_matrix, apply_hadamard, remove_hadamard
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize",
+    "quantization_mse",
+    "hadamard_matrix",
+    "apply_hadamard",
+    "remove_hadamard",
+]

@@ -1,0 +1,39 @@
+"""Walsh-Hadamard transform utilities (QuaRot substrate).
+
+QuaRot rotates activations and KV vectors with a Hadamard matrix before
+quantization so that outliers are spread across channels, enabling 4-bit
+quantization with little accuracy loss.  The rotation is orthogonal, so it is
+exactly removable; the baseline in :mod:`repro.baselines.quant_kv` applies the
+transform, quantizes, dequantizes and removes the transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hadamard_matrix(size: int) -> np.ndarray:
+    """Return the (normalised, orthonormal) Hadamard matrix of ``size``.
+
+    ``size`` must be a power of two.  The matrix satisfies ``H @ H.T == I``.
+    """
+    if size <= 0 or size & (size - 1) != 0:
+        raise ValueError("size must be a positive power of two")
+    h = np.array([[1.0]])
+    while h.shape[0] < size:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(size)
+
+
+def apply_hadamard(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Rotate ``values`` along ``axis`` with the orthonormal Hadamard matrix."""
+    values = np.asarray(values, dtype=np.float64)
+    size = values.shape[axis]
+    h = hadamard_matrix(size)
+    rotated = np.moveaxis(values, axis, -1) @ h
+    return np.moveaxis(rotated, -1, axis)
+
+
+def remove_hadamard(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Undo :func:`apply_hadamard` (the matrix is symmetric and orthonormal)."""
+    return apply_hadamard(values, axis=axis)

@@ -1,0 +1,101 @@
+"""Integer quantization primitives (symmetric and asymmetric, per-axis).
+
+The paper quantizes weights to 8 bit everywhere, compares against QuaRot-style
+4-bit KV quantization and KIVI-style 2-bit asymmetric per-channel KV
+quantization, and studies a W4A8 Kelle variant (Table 6).  These functions are
+fake-quantization utilities: they return both the integer codes and the
+dequantised values, so both the accuracy path (dequantised) and the storage
+accounting path (bit width) can share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus the affine parameters needed to reconstruct values."""
+
+    codes: np.ndarray
+    scale: np.ndarray
+    zero_point: np.ndarray
+    bits: int
+    axis: int | None
+
+    @property
+    def storage_bits(self) -> int:
+        """Total payload bits of the codes (excluding scales/zero points)."""
+        return int(self.codes.size * self.bits)
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct floating-point values from the codes."""
+        return dequantize(self)
+
+
+def _reduction_axes(ndim: int, axis: int | None) -> tuple[int, ...] | None:
+    if axis is None:
+        return None
+    axis = axis % ndim
+    return tuple(i for i in range(ndim) if i != axis)
+
+
+def quantize_symmetric(values: np.ndarray, bits: int = 8, axis: int | None = None) -> QuantizedTensor:
+    """Symmetric (zero-point-free) quantization to ``bits`` bits.
+
+    ``axis`` selects per-axis scales (e.g. per output channel for weights);
+    ``None`` uses a single tensor-wide scale.
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError("bits must lie in [2, 16]")
+    values = np.asarray(values, dtype=np.float64)
+    qmax = 2 ** (bits - 1) - 1
+    reduce_over = _reduction_axes(values.ndim, axis)
+    max_abs = np.max(np.abs(values), axis=reduce_over, keepdims=True)
+    scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    codes = np.clip(np.round(values / scale), -qmax - 1, qmax).astype(np.int32)
+    zero_point = np.zeros_like(scale)
+    return QuantizedTensor(codes=codes, scale=scale, zero_point=zero_point, bits=bits, axis=axis)
+
+
+def quantize_asymmetric(values: np.ndarray, bits: int = 8, axis: int | None = None) -> QuantizedTensor:
+    """Asymmetric (affine) quantization to ``bits`` bits.
+
+    This is the KIVI-style scheme: per-channel min/max with a zero point,
+    which tolerates the skewed distributions of key vectors better than the
+    symmetric scheme at very low bit widths.
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError("bits must lie in [2, 16]")
+    values = np.asarray(values, dtype=np.float64)
+    qmax = 2**bits - 1
+    reduce_over = _reduction_axes(values.ndim, axis)
+    vmin = np.min(values, axis=reduce_over, keepdims=True)
+    vmax = np.max(values, axis=reduce_over, keepdims=True)
+    span = vmax - vmin
+    scale = np.where(span > 0, span / qmax, 1.0)
+    zero_point = np.round(-vmin / scale)
+    codes = np.clip(np.round(values / scale) + zero_point, 0, qmax).astype(np.int32)
+    return QuantizedTensor(codes=codes, scale=scale, zero_point=zero_point, bits=bits, axis=axis)
+
+
+def dequantize(tensor: QuantizedTensor) -> np.ndarray:
+    """Reconstruct floating-point values from a :class:`QuantizedTensor`."""
+    return ((tensor.codes.astype(np.float64) - tensor.zero_point) * tensor.scale).astype(np.float32)
+
+
+def quantization_mse(values: np.ndarray, tensor: QuantizedTensor) -> float:
+    """Mean squared reconstruction error of a quantization."""
+    values = np.asarray(values, dtype=np.float64)
+    reconstructed = dequantize(tensor).astype(np.float64)
+    return float(np.mean((values - reconstructed) ** 2))
+
+
+def fake_quantize(values: np.ndarray, bits: int = 8, axis: int | None = None,
+                  symmetric: bool = True) -> np.ndarray:
+    """Quantize and immediately dequantize, returning float32 values."""
+    if symmetric:
+        return dequantize(quantize_symmetric(values, bits=bits, axis=axis))
+    return dequantize(quantize_asymmetric(values, bits=bits, axis=axis))

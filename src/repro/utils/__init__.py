@@ -1,0 +1,47 @@
+"""Shared utilities: units, deterministic RNG helpers and table formatting."""
+
+from repro.utils.units import (
+    BYTE,
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    MILLIWATT,
+    MICROSECOND,
+    MILLIJOULE,
+    MILLISECOND,
+    NANOJOULE,
+    NANOSECOND,
+    PICOJOULE,
+    SECOND,
+    WATT,
+    bytes_to_human,
+    seconds_to_human,
+)
+from repro.utils.rng import derive_rng, spawn_seeds
+from repro.utils.tables import TableResult, format_table
+
+__all__ = [
+    "BYTE",
+    "KB",
+    "MB",
+    "GB",
+    "SECOND",
+    "MILLISECOND",
+    "MICROSECOND",
+    "NANOSECOND",
+    "PICOJOULE",
+    "NANOJOULE",
+    "MILLIJOULE",
+    "WATT",
+    "MILLIWATT",
+    "MHZ",
+    "GHZ",
+    "bytes_to_human",
+    "seconds_to_human",
+    "derive_rng",
+    "spawn_seeds",
+    "TableResult",
+    "format_table",
+]

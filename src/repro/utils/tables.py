@@ -1,0 +1,72 @@
+"""Lightweight result-table container used by the experiment harnesses.
+
+Every experiment in :mod:`repro.experiments` returns a :class:`TableResult`
+whose rows mirror the corresponding table or figure series in the paper, so
+benchmarks and the EXPERIMENTS.md report can render them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+@dataclass
+class TableResult:
+    """An ordered collection of rows keyed by column name."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; every value must belong to a declared column."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; declared {list(self.columns)}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of one column across all rows."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        return format_table(self.columns, self.rows, title=self.title, notes=self.notes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+    title: str = "",
+    notes: str = "",
+) -> str:
+    """Render rows as a markdown table with an optional title and notes."""
+    lines: list[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(row.get(col, "")) for col in columns) + " |")
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)

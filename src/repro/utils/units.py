@@ -1,0 +1,57 @@
+"""Physical unit constants used throughout the hardware models.
+
+All models in :mod:`repro.memory` and :mod:`repro.accelerator` work in SI base
+units internally (bytes, seconds, joules, watts, hertz).  These constants make
+call sites read like the paper ("45 us refresh interval", "84.8 pJ/byte").
+"""
+
+from __future__ import annotations
+
+# --- storage ---------------------------------------------------------------
+BYTE = 1
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- time ------------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+# --- energy ----------------------------------------------------------------
+JOULE = 1.0
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+NANOJOULE = 1e-9
+PICOJOULE = 1e-12
+
+# --- power -----------------------------------------------------------------
+WATT = 1.0
+MILLIWATT = 1e-3
+
+# --- frequency -------------------------------------------------------------
+HZ = 1.0
+MHZ = 1e6
+GHZ = 1e9
+
+
+def bytes_to_human(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``4.0 MiB``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration with an appropriate sub-second suffix."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    if seconds >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.3f} us"
+    return f"{seconds / NANOSECOND:.3f} ns"

@@ -1,0 +1,38 @@
+"""Workload substrate: synthetic corpora, dataset regimes and hardware traces.
+
+The paper evaluates on WikiText-2, PG19, PIQA, Lambada, ARC, TriviaQA,
+Qasper, CNN/DailyMail, TruthfulQA and BBQ.  Offline reproduction replaces
+them with synthetic equivalents that preserve what those experiments actually
+exercise:
+
+* the *sequence-length regime* (context length / decode length),
+* the *evaluation mode* (perplexity, multiple choice, generation quality),
+* the *token statistics* (a learnable structured language with long-range
+  key-value dependencies so that attention-based eviction has real signal).
+"""
+
+from repro.workloads.synthetic import SyntheticLanguage, markov_corpus, zipf_corpus
+from repro.workloads.datasets import (
+    DatasetSpec,
+    PAPER_DATASETS,
+    get_dataset,
+    scaled_dataset,
+)
+from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task, make_recall_task
+from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
+
+__all__ = [
+    "SyntheticLanguage",
+    "zipf_corpus",
+    "markov_corpus",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "get_dataset",
+    "scaled_dataset",
+    "MultipleChoiceItem",
+    "make_multiple_choice_task",
+    "make_recall_task",
+    "WorkloadTrace",
+    "PAPER_TRACES",
+    "trace_for_dataset",
+]

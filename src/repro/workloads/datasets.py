@@ -1,0 +1,101 @@
+"""Dataset regimes mirroring the paper's evaluation benchmarks.
+
+Each :class:`DatasetSpec` records what matters for the reproduction: how long
+the context is, how long decoding runs, how the metric is computed, and which
+synthetic generator stands in for the original data.  The full-scale lengths
+(used by the hardware experiments) match Section 7.1 / Section 8 of the
+paper; the functional accuracy experiments use :func:`scaled_dataset` to
+shrink lengths proportionally for the tiny models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark regime.
+
+    ``kind`` is one of ``"perplexity"``, ``"multiple_choice"``,
+    ``"generation"`` (long-form generation scored by perplexity) or
+    ``"summarization"`` (generation scored by unigram overlap).
+    """
+
+    name: str
+    kind: str
+    context_len: int
+    decode_len: int
+    metric: str
+    higher_is_better: bool
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("perplexity", "multiple_choice", "generation", "summarization"):
+            raise ValueError(f"unknown dataset kind '{self.kind}'")
+        if self.context_len <= 0 or self.decode_len < 0:
+            raise ValueError("context_len must be positive and decode_len non-negative")
+
+
+#: Full-scale dataset regimes (paper Section 7.1 and Section 8).
+PAPER_DATASETS: dict[str, DatasetSpec] = {
+    "wikitext2": DatasetSpec(
+        "wikitext2", "perplexity", 512, 1024, "ppl", False,
+        "Language-modelling perplexity; sequences of hundreds to thousands of tokens."),
+    "pg19": DatasetSpec(
+        "pg19", "generation", 512, 8192, "ppl", False,
+        "Book-length generation; decode length 8192 after a short prompt."),
+    "piqa": DatasetSpec(
+        "piqa", "multiple_choice", 128, 512, "accuracy", True,
+        "Physical-commonsense two-way multiple choice."),
+    "lambada": DatasetSpec(
+        "lambada", "multiple_choice", 128, 512, "accuracy", True,
+        "Last-word prediction accuracy."),
+    "arc-easy": DatasetSpec(
+        "arc-easy", "multiple_choice", 128, 512, "accuracy", True,
+        "Grade-school science questions, easy split."),
+    "arc-challenge": DatasetSpec(
+        "arc-challenge", "multiple_choice", 128, 512, "accuracy", True,
+        "Grade-school science questions, challenge split."),
+    "triviaqa": DatasetSpec(
+        "triviaqa", "multiple_choice", 512, 2048, "accuracy", True,
+        "Reading-comprehension QA over long contexts."),
+    "qasper": DatasetSpec(
+        "qasper", "multiple_choice", 1024, 5120, "f1", True,
+        "Information-seeking QA anchored in research papers."),
+    "cnn-dailymail": DatasetSpec(
+        "cnn-dailymail", "summarization", 512, 128, "rouge1", True,
+        "Abstractive summarisation scored with ROUGE-1."),
+    "truthfulqa": DatasetSpec(
+        "truthfulqa", "multiple_choice", 128, 64, "accuracy", True,
+        "Multiple-choice single-answer truthfulness benchmark."),
+    "bbq": DatasetSpec(
+        "bbq", "multiple_choice", 128, 64, "bias_score", True,
+        "Bias benchmark for QA."),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a full-scale dataset regime by name (case insensitive)."""
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        raise KeyError(f"unknown dataset '{name}'; known: {sorted(PAPER_DATASETS)}")
+    return PAPER_DATASETS[key]
+
+
+def scaled_dataset(name: str, scale: float) -> DatasetSpec:
+    """A proportionally shrunk regime for the tiny functional models.
+
+    Context and decode lengths are multiplied by ``scale`` (with small floors)
+    so the ratio of KV-cache budget to sequence length stays comparable to the
+    paper even though the tiny models cannot run 8 k-token decodes quickly.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    spec = get_dataset(name)
+    return replace(
+        spec,
+        context_len=max(16, int(round(spec.context_len * scale))),
+        decode_len=max(8, int(round(spec.decode_len * scale))) if spec.decode_len else 0,
+        description=spec.description + f" (scaled x{scale:g} for tiny models)",
+    )

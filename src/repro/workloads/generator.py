@@ -1,0 +1,63 @@
+"""Hardware workload traces.
+
+The accelerator experiments (Figures 13-16, Tables 7-9) do not run the
+functional model; they evaluate the performance/energy model on *traces*
+described by a context length, a decode length and a batch size.  The trace
+definitions here mirror Section 8 of the paper: Lambada 128/512, TriviaQA
+512/2048, Qasper 1024/5120, PG19 512/8192, batch size 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """One serving workload for the hardware model."""
+
+    name: str
+    context_len: int
+    decode_len: int
+    batch_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.context_len <= 0 or self.decode_len <= 0 or self.batch_size <= 0:
+            raise ValueError("context_len, decode_len and batch_size must be positive")
+
+    @property
+    def total_len(self) -> int:
+        return self.context_len + self.decode_len
+
+    def with_batch_size(self, batch_size: int) -> "WorkloadTrace":
+        return replace(self, batch_size=batch_size)
+
+    def with_lengths(self, context_len: int, decode_len: int) -> "WorkloadTrace":
+        return replace(self, context_len=context_len, decode_len=decode_len,
+                       name=f"{self.name}-{context_len}-{decode_len}")
+
+
+#: Section 8 workloads: context length, decode length, batch size 16.
+PAPER_TRACES: dict[str, WorkloadTrace] = {
+    "lambada": WorkloadTrace("lambada", 128, 512),
+    "triviaqa": WorkloadTrace("triviaqa", 512, 2048),
+    "qasper": WorkloadTrace("qasper", 1024, 5120),
+    "pg19": WorkloadTrace("pg19", 512, 8192),
+}
+
+
+def trace_for_dataset(name: str) -> WorkloadTrace:
+    """Look up the hardware trace of a dataset regime (case insensitive)."""
+    key = name.lower()
+    if key not in PAPER_TRACES:
+        raise KeyError(f"unknown trace '{name}'; known: {sorted(PAPER_TRACES)}")
+    return PAPER_TRACES[key]
+
+
+def long_context_traces() -> list[WorkloadTrace]:
+    """The Figure 16 (b) sweep: input 2K-16K crossed with output 128/512/2K."""
+    traces = []
+    for context in (2048, 4096, 8192, 16384):
+        for decode in (128, 512, 2048):
+            traces.append(WorkloadTrace(f"pg19-{context // 1024}K-{decode}", context, decode))
+    return traces

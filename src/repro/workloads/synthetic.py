@@ -1,0 +1,268 @@
+"""Synthetic structured language used by the functional experiments.
+
+The language combines three ingredients so that a tiny transformer trained on
+it exhibits the phenomena the paper's accuracy experiments rely on:
+
+* a **Markov background** -- a sparse random bigram grammar over "content"
+  tokens, giving local predictability (so perplexity has head-room to degrade
+  when the KV cache is corrupted);
+* **document topics** -- every document is written about one of a handful of
+  topics, each with its own preferred vocabulary; a large fraction of the
+  tokens are drawn from the topic distribution, so predicting *any* later
+  token benefits from the whole earlier context (this is what makes
+  long-range KV-cache eviction and corruption genuinely harmful, and what
+  makes topic-bearing tokens the "heavy hitters" that AERP should retain);
+* **key-value probes** -- ``QUERY key value SEP`` statements recurring through
+  each document with document-specific bindings, giving an additional
+  long-range recall structure.
+
+All of this is learnable by a 2-layer, 64-dimensional model within a few
+hundred Adam steps, which is what keeps the accuracy experiments fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def zipf_corpus(vocab_size: int, length: int, alpha: float = 1.2, seed: int = 0) -> np.ndarray:
+    """A corpus of i.i.d. Zipf-distributed tokens over ``vocab_size`` symbols."""
+    if vocab_size < 2 or length < 1:
+        raise ValueError("vocab_size must be >= 2 and length >= 1")
+    rng = derive_rng(seed, "zipf")
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** (-alpha)
+    probs /= probs.sum()
+    return rng.choice(vocab_size, size=length, p=probs).astype(np.int64)
+
+
+def markov_corpus(vocab_size: int, length: int, branching: int = 4, seed: int = 0) -> np.ndarray:
+    """A corpus drawn from a sparse random first-order Markov chain.
+
+    Each state transitions to only ``branching`` successor states, making the
+    sequence learnable by a small model (entropy ~= log(branching)).
+    """
+    if vocab_size < 2 or length < 1:
+        raise ValueError("vocab_size must be >= 2 and length >= 1")
+    branching = min(branching, vocab_size)
+    rng = derive_rng(seed, "markov")
+    successors = np.stack([
+        rng.choice(vocab_size, size=branching, replace=False) for _ in range(vocab_size)
+    ])
+    weights = rng.dirichlet(np.ones(branching) * 2.0, size=vocab_size)
+    tokens = np.empty(length, dtype=np.int64)
+    state = int(rng.integers(vocab_size))
+    for i in range(length):
+        state = int(rng.choice(successors[state], p=weights[state]))
+        tokens[i] = state
+    return tokens
+
+
+@dataclass
+class SyntheticLanguage:
+    """Generator for the structured synthetic language.
+
+    The vocabulary is laid out as::
+
+        [0, n_special)                      special markers (BOS, KEY, VALUE, QUERY, SEP)
+        [n_special, n_special + n_keys)     key symbols
+        [.., .. + n_values)                 value symbols
+        [.., vocab_size)                    content (background + topic) symbols
+    """
+
+    n_keys: int = 8
+    n_values: int = 8
+    n_content: int = 32
+    n_topics: int = 8
+    topic_vocab_size: int = 8
+    topic_fraction: float = 0.6
+    branching: int = 4
+    seed: int = 0
+
+    BOS: int = 0
+    KEY: int = 1
+    VALUE: int = 2
+    QUERY: int = 3
+    SEP: int = 4
+    _N_SPECIAL: int = 5
+
+    _successors: np.ndarray = field(init=False, repr=False)
+    _weights: np.ndarray = field(init=False, repr=False)
+    _topic_tokens: np.ndarray = field(init=False, repr=False)
+    _topic_weights: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if min(self.n_keys, self.n_values, self.n_content) < 2:
+            raise ValueError("n_keys, n_values and n_content must each be >= 2")
+        if not 0.0 <= self.topic_fraction < 1.0:
+            raise ValueError("topic_fraction must lie in [0, 1)")
+        if self.topic_vocab_size > self.n_content:
+            raise ValueError("topic_vocab_size cannot exceed n_content")
+        rng = derive_rng(self.seed, "language-grammar")
+        branching = min(self.branching, self.n_content)
+        self._successors = np.stack([
+            rng.choice(self.n_content, size=branching, replace=False) for _ in range(self.n_content)
+        ])
+        self._weights = rng.dirichlet(np.ones(branching) * 2.0, size=self.n_content)
+        self._topic_tokens = np.stack([
+            rng.choice(self.n_content, size=self.topic_vocab_size, replace=False)
+            for _ in range(self.n_topics)
+        ])
+        self._topic_weights = rng.dirichlet(np.ones(self.topic_vocab_size) * 2.0, size=self.n_topics)
+
+    # -- vocabulary layout --------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return self._N_SPECIAL + self.n_keys + self.n_values + self.n_content
+
+    def key_token(self, key: int) -> int:
+        if not 0 <= key < self.n_keys:
+            raise ValueError("key out of range")
+        return self._N_SPECIAL + key
+
+    def value_token(self, value: int) -> int:
+        if not 0 <= value < self.n_values:
+            raise ValueError("value out of range")
+        return self._N_SPECIAL + self.n_keys + value
+
+    def content_token(self, symbol: int) -> int:
+        if not 0 <= symbol < self.n_content:
+            raise ValueError("content symbol out of range")
+        return self._N_SPECIAL + self.n_keys + self.n_values + symbol
+
+    def topic_tokens(self, topic: int) -> list[int]:
+        """The content tokens preferred by ``topic``."""
+        if not 0 <= topic < self.n_topics:
+            raise ValueError("topic out of range")
+        return [self.content_token(int(c)) for c in self._topic_tokens[topic]]
+
+    # -- generation ----------------------------------------------------------
+    def _background_step(self, state: int, rng: np.random.Generator) -> int:
+        return int(rng.choice(self._successors[state], p=self._weights[state]))
+
+    def _topic_draw(self, topic: int, rng: np.random.Generator) -> int:
+        symbol = int(rng.choice(self._topic_tokens[topic], p=self._topic_weights[topic]))
+        return self.content_token(symbol)
+
+    def _content_span(self, length: int, topic: int, rng: np.random.Generator,
+                      state: int) -> tuple[list[int], int]:
+        tokens: list[int] = []
+        for _ in range(length):
+            if rng.random() < self.topic_fraction:
+                tokens.append(self._topic_draw(topic, rng))
+            else:
+                state = self._background_step(state, rng)
+                tokens.append(self.content_token(state))
+        return tokens, state
+
+    def sample_document(self, length: int, topic: int | None = None, n_bindings: int = 3,
+                        gap: int = 16, seed: int = 0) -> tuple[np.ndarray, dict[str, Any]]:
+        """Sample one document of ``length`` tokens.
+
+        The document is written "about" one topic (most content tokens come
+        from the topic's preferred vocabulary) and is interspersed with
+        ``QUERY key value SEP`` probes whose bindings are fixed per document.
+        Returns the token array and an info dict with the topic and bindings.
+        """
+        if length < 16:
+            raise ValueError("document must have at least 16 tokens")
+        rng = derive_rng(self.seed, "document", seed)
+        if topic is None:
+            topic = int(rng.integers(self.n_topics))
+        keys = rng.choice(self.n_keys, size=min(n_bindings, self.n_keys), replace=False)
+        values = rng.choice(self.n_values, size=len(keys), replace=True)
+        bindings = {int(k): int(v) for k, v in zip(keys, values)}
+        tokens: list[int] = [self.BOS]
+        state = int(rng.integers(self.n_content))
+        while len(tokens) < length:
+            span = int(max(2, min(gap + rng.integers(-gap // 4, gap // 4 + 1), length - len(tokens))))
+            span_tokens, state = self._content_span(span, topic, rng, state)
+            tokens.extend(span_tokens)
+            if len(tokens) + 4 <= length:
+                key = int(rng.choice(list(bindings)))
+                tokens.extend([self.QUERY, self.key_token(key),
+                               self.value_token(bindings[key]), self.SEP])
+        info = {"topic": topic, "bindings": bindings}
+        return np.asarray(tokens[:length], dtype=np.int64), info
+
+    def training_corpus(self, length: int, document_length: int = 192, seed: int = 0) -> np.ndarray:
+        """A flat training corpus of concatenated documents (round-robin topics)."""
+        rng = derive_rng(self.seed, "corpus", seed)
+        chunks: list[np.ndarray] = []
+        total = 0
+        index = 0
+        while total < length:
+            topic = index % self.n_topics
+            doc, _ = self.sample_document(document_length, topic=topic,
+                                          seed=int(rng.integers(1 << 30)) + index)
+            chunks.append(doc)
+            total += doc.size
+            index += 1
+        return np.concatenate(chunks)[:length]
+
+    def sample_topic_choice_item(self, context_len: int, continuation_len: int = 12,
+                                 n_choices: int = 4, seed: int = 0) -> tuple[np.ndarray, list[np.ndarray], int]:
+        """A topic-consistency multiple-choice item.
+
+        The prompt is a document prefix about one topic; the correct choice is
+        a continuation drawn from the same topic, the distractors are
+        continuations drawn from other topics.  Ranking the correct choice
+        requires using information spread across the whole prompt, which is
+        exactly what KV-cache eviction and corruption degrade.
+        """
+        if n_choices < 2 or n_choices > self.n_topics:
+            raise ValueError("n_choices must lie in [2, n_topics]")
+        rng = derive_rng(self.seed, "topic-item", seed)
+        topic = int(rng.integers(self.n_topics))
+        prompt, _ = self.sample_document(context_len, topic=topic, seed=seed * 31 + 7)
+        distractor_topics = [t for t in range(self.n_topics) if t != topic]
+        rng.shuffle(distractor_topics)
+        chosen_topics = [topic] + distractor_topics[: n_choices - 1]
+        choices: list[np.ndarray] = []
+        state = int(rng.integers(self.n_content))
+        for choice_topic in chosen_topics:
+            span, state = self._content_span(continuation_len, choice_topic, rng, state)
+            choices.append(np.asarray(span, dtype=np.int64))
+        order = rng.permutation(n_choices)
+        shuffled = [choices[i] for i in order]
+        correct_index = int(np.where(order == 0)[0][0])
+        return prompt, shuffled, correct_index
+
+    def sample_query_item(self, context_len: int, seed: int = 0,
+                          recall_distance: int | None = None) -> tuple[np.ndarray, int, list[int]]:
+        """Sample a key-value recall probe (harder than the topic task).
+
+        The prompt opens with ``QUERY key value SEP`` binding probes, continues
+        with topic content and ends with ``QUERY key``; the next token should
+        be the bound value.  Returns (prompt, correct value token, candidate
+        value tokens).
+        """
+        if context_len < 24:
+            raise ValueError("context_len must be at least 24 for a recall probe")
+        rng = derive_rng(self.seed, "query", seed)
+        topic = int(rng.integers(self.n_topics))
+        n_bindings = 3
+        keys = rng.choice(self.n_keys, size=n_bindings, replace=False)
+        values = rng.choice(self.n_values, size=n_bindings, replace=True)
+        bindings = {int(k): int(v) for k, v in zip(keys, values)}
+        tokens: list[int] = [self.BOS]
+        for key, value in bindings.items():
+            tokens.extend([self.QUERY, self.key_token(key), self.value_token(value), self.SEP])
+        filler = context_len - len(tokens) - 2
+        if recall_distance is not None:
+            filler = min(filler, recall_distance)
+        if filler > 0:
+            state = int(rng.integers(self.n_content))
+            span, _ = self._content_span(filler, topic, rng, state)
+            tokens.extend(span)
+        queried = int(keys[0])
+        tokens.extend([self.QUERY, self.key_token(queried)])
+        prompt = np.asarray(tokens[-context_len:], dtype=np.int64)
+        correct = self.value_token(bindings[queried])
+        candidates = [self.value_token(v) for v in range(self.n_values)]
+        return prompt, correct, candidates

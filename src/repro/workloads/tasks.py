@@ -1,0 +1,97 @@
+"""Task construction on top of the synthetic language.
+
+Three task families cover the paper's accuracy benchmarks:
+
+* **topic-consistency multiple choice** (stands in for PIQA / ARC / Lambada /
+  TriviaQA / Qasper / TruthfulQA / BBQ): the prompt is a document about one
+  topic and the model must rank a continuation of the same topic above
+  continuations of other topics -- this requires information spread across
+  the whole prompt, which KV-cache eviction and corruption degrade;
+* **key-value recall** (a harder stress test): the prompt binds keys to
+  values and later asks for one of them;
+* **topic summarisation** (stands in for CNN/DailyMail): a faithful
+  continuation of a document should re-use the document topic's preferred
+  tokens, which a unigram-overlap (ROUGE-1 style) score measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.workloads.synthetic import SyntheticLanguage
+
+
+@dataclass(frozen=True)
+class MultipleChoiceItem:
+    """One multiple-choice question."""
+
+    prompt_tokens: tuple[int, ...]
+    choices: tuple[tuple[int, ...], ...]
+    correct_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.correct_index < len(self.choices):
+            raise ValueError("correct_index out of range")
+        if len(self.choices) < 2:
+            raise ValueError("at least two choices are required")
+
+
+def make_multiple_choice_task(language: SyntheticLanguage, n_items: int, context_len: int,
+                              n_choices: int = 4, continuation_len: int = 12,
+                              seed: int = 0) -> list[MultipleChoiceItem]:
+    """Build topic-consistency multiple-choice items."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    items: list[MultipleChoiceItem] = []
+    for i in range(n_items):
+        prompt, choices, correct = language.sample_topic_choice_item(
+            context_len, continuation_len=continuation_len, n_choices=n_choices,
+            seed=seed * 7919 + i)
+        items.append(MultipleChoiceItem(
+            prompt_tokens=tuple(int(t) for t in prompt),
+            choices=tuple(tuple(int(t) for t in choice) for choice in choices),
+            correct_index=correct,
+        ))
+    return items
+
+
+def make_recall_task(language: SyntheticLanguage, n_items: int, context_len: int,
+                     n_choices: int | None = None, seed: int = 0) -> list[MultipleChoiceItem]:
+    """Build key-value recall items (single-token choices over value symbols)."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    n_choices = n_choices or language.n_values
+    rng = derive_rng(seed, "recall-task")
+    items: list[MultipleChoiceItem] = []
+    for i in range(n_items):
+        prompt, correct, candidates = language.sample_query_item(context_len, seed=seed * 104729 + i)
+        distractors = [c for c in candidates if c != correct]
+        rng.shuffle(distractors)
+        chosen = [correct] + distractors[: n_choices - 1]
+        order = rng.permutation(len(chosen))
+        choices = tuple((int(chosen[j]),) for j in order)
+        correct_index = int(np.where(order == 0)[0][0])
+        items.append(MultipleChoiceItem(tuple(int(t) for t in prompt), choices, correct_index))
+    return items
+
+
+def make_summarization_items(language: SyntheticLanguage, n_items: int, context_len: int,
+                             seed: int = 0) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Build (document, reference-summary) pairs for the CNN/DailyMail stand-in.
+
+    The reference summary is the set of content tokens preferred by the
+    document's topic; a faithful continuation should keep using them.
+    """
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    rng = derive_rng(seed, "summ-task")
+    items: list[tuple[np.ndarray, np.ndarray]] = []
+    for i in range(n_items):
+        topic = int(rng.integers(language.n_topics))
+        doc, info = language.sample_document(context_len, topic=topic, seed=seed * 2521 + i)
+        reference = np.asarray(language.topic_tokens(info["topic"]), dtype=np.int64)
+        items.append((doc, reference))
+    return items

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.config import tiny_config
+from repro.llm.model import DecoderLM
+
+
+@pytest.fixture(scope="session")
+def small_model() -> DecoderLM:
+    """A small (untrained) model shared by structural tests."""
+    return DecoderLM(tiny_config("test-tiny", n_layers=2, d_model=32, n_heads=4, d_ff=64,
+                                 vocab_size=32, max_seq_len=128), seed=7)
+
+
+@pytest.fixture(scope="session")
+def opt_style_model() -> DecoderLM:
+    """A small model with the OPT-style architecture (LayerNorm, GeLU, learned positions)."""
+    return DecoderLM(tiny_config("test-opt", n_layers=2, d_model=32, n_heads=4, d_ff=64,
+                                 vocab_size=32, max_seq_len=128, norm="layer", mlp="standard",
+                                 positional="learned"), seed=11)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

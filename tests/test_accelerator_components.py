@@ -1,0 +1,144 @@
+"""Tests for the accelerator component models (RSA, SE, SFU, memory, area, energy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.area import area_report
+from repro.accelerator.energy import EnergyBreakdown
+from repro.accelerator.evictor import SystolicEvictor
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.accelerator.roofline import RooflineModel
+from repro.accelerator.sfu import SpecialFunctionUnit
+from repro.accelerator.systolic import SystolicArray
+from repro.utils.units import GB, KB, MB
+
+
+class TestSystolicArray:
+    def test_peak_throughput(self):
+        array = SystolicArray(rows=32, cols=32, frequency_hz=1e9)
+        assert array.macs_per_cycle == 1024
+        assert array.peak_ops_per_s == pytest.approx(2.048e12)
+
+    def test_matmul_cycles_tile_accounting(self):
+        array = SystolicArray(rows=32, cols=32)
+        single_tile = array.matmul_cycles(10, 32, 32)
+        four_tiles = array.matmul_cycles(10, 64, 64)
+        assert four_tiles == pytest.approx(4 * single_tile)
+        assert array.matmul_time(10, 32, 32) == pytest.approx(single_tile / array.frequency_hz)
+
+    def test_time_and_energy_for_macs(self):
+        array = SystolicArray()
+        assert array.time_for_macs(0) == 0.0
+        assert array.time_for_macs(1e9) > 0
+        assert array.energy_for_macs(1e9) == pytest.approx(1e9 * array.energy_per_mac_j)
+        with pytest.raises(ValueError):
+            array.time_for_macs(-1)
+        with pytest.raises(ValueError):
+            array.matmul_cycles(0, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicArray(rows=0)
+
+
+class TestSystolicEvictor:
+    def test_overhead_only_without_evictor(self):
+        present = SystolicEvictor(present=True)
+        absent = SystolicEvictor(present=False)
+        assert present.latency_factor(True) == 1.0
+        assert absent.latency_factor(True) == pytest.approx(1.07)
+        assert absent.latency_factor(False) == 1.0
+        assert absent.energy_factor(True) == pytest.approx(1.05)
+
+    def test_paper_area_and_power(self):
+        evictor = SystolicEvictor(present=True)
+        assert evictor.area() == pytest.approx(0.06)
+        assert evictor.static_power() == pytest.approx(0.028)
+        assert SystolicEvictor(present=False).area() == 0.0
+
+
+class TestSFU:
+    def test_softmax_element_count(self):
+        sfu = SpecialFunctionUnit()
+        assert sfu.softmax_elements(2, 32, 1, 1024) == 2 * 32 * 1024
+        with pytest.raises(ValueError):
+            sfu.softmax_elements(0, 1, 1, 1)
+
+    def test_time_and_energy_scale_linearly(self):
+        sfu = SpecialFunctionUnit()
+        assert sfu.time_for_elements(2e6) == pytest.approx(2 * sfu.time_for_elements(1e6))
+        assert sfu.energy_for_elements(1e6) == pytest.approx(1e6 * sfu.energy_per_element_j)
+
+
+class TestMemorySubsystem:
+    def test_kelle_configuration(self):
+        memory = MemorySubsystem.kelle()
+        assert memory.kv_is_edram
+        assert memory.weight_sram.capacity_bytes == 2 * MB
+        assert memory.kv_store.capacity_bytes == 4 * MB
+        assert memory.activation_buffer.capacity_bytes == 256 * KB
+
+    def test_sram_baseline_has_no_refresh(self):
+        memory = MemorySubsystem.sram_baseline()
+        assert not memory.kv_is_edram
+
+    def test_edram_system_smaller_than_sram_system_of_same_capacity(self):
+        edram = MemorySubsystem.kelle(kv_capacity_bytes=4 * MB)
+        sram = MemorySubsystem.sram_baseline(kv_capacity_bytes=4 * MB)
+        assert edram.kv_store.area_mm2 < sram.kv_store.area_mm2
+
+    def test_with_kv_bandwidth(self):
+        memory = MemorySubsystem.kelle().with_kv_bandwidth(128 * GB)
+        assert memory.kv_store.bandwidth_bytes_per_s == 128 * GB
+        assert memory.kv_store.needs_refresh
+
+
+class TestEnergyBreakdown:
+    def test_accumulate_merge_and_fractions(self):
+        a = EnergyBreakdown()
+        a.add("dram", 2.0)
+        a.add("rsa", 1.0)
+        a.add("dram", 1.0)
+        b = EnergyBreakdown({"refresh": 1.0})
+        merged = a.merge(b)
+        assert merged.total == pytest.approx(5.0)
+        assert merged.fraction("dram") == pytest.approx(0.6)
+        assert merged.onchip_total() == pytest.approx(2.0)
+        assert merged.scaled(2.0).total == pytest.approx(10.0)
+
+    def test_negative_energy_rejected(self):
+        breakdown = EnergyBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.add("rsa", -1.0)
+        with pytest.raises(ValueError):
+            EnergyBreakdown({"rsa": -1.0})
+
+
+class TestAreaReport:
+    def test_kelle_area_breakdown_roughly_matches_paper(self):
+        """Section 8: ~9.5 mm^2 on-chip; RSA ~23%, eDRAM ~33%, SRAM ~37%, SFU ~7%."""
+        from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
+
+        system = EdgeSystem(AcceleratorConfig(name="kelle", memory=MemorySubsystem.kelle(),
+                                              systolic_evictor=True, refresh="2drp",
+                                              kv_policy="aerp"))
+        report = area_report(system.array, system.sfu, system.memory, system.evictor)
+        assert 6.0 < report.onchip_total < 13.0
+        memory_fraction = (report.components["kv_store"] + report.components["activation_buffer"]
+                           + report.components["weight_sram"]) / report.onchip_total
+        assert 0.4 < memory_fraction < 0.85
+        assert report.components["dram"] == pytest.approx(16.0)
+        assert report.fraction("rsa") > 0.1
+
+
+class TestRoofline:
+    def test_ridge_point_and_attainable(self):
+        roofline = RooflineModel(peak_ops_per_s=2e12, memory_bandwidth_bytes_per_s=64e9)
+        ridge = roofline.ridge_point
+        assert roofline.attainable(ridge / 2) == pytest.approx(ridge / 2 * 64e9)
+        assert roofline.attainable(ridge * 10) == pytest.approx(2e12)
+        assert roofline.is_compute_bound(ridge * 2)
+        assert not roofline.is_compute_bound(ridge / 2)
+        with pytest.raises(ValueError):
+            RooflineModel(0, 1)

@@ -1,0 +1,129 @@
+"""Gradient checks for the autodiff engine against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import autodiff as ad
+
+
+def _gradcheck(build_loss, arrays, atol=2e-3):
+    """Compare analytic gradients with central finite differences."""
+    tensors = [ad.parameter(np.array(a, dtype=np.float32)) for a in arrays]
+    loss = build_loss(*tensors)
+    loss.backward()
+    analytic = [np.array(t.grad, dtype=np.float64) for t in tensors]
+    for index, array in enumerate(arrays):
+        def scalar_loss(x):
+            locals_arrays = [np.array(a, dtype=np.float64) for a in arrays]
+            locals_arrays[index] = x
+            locals_tensors = [ad.parameter(np.array(a, dtype=np.float32)) for a in locals_arrays]
+            return float(np.asarray(build_loss(*locals_tensors).data).item())
+
+        numeric = ad.numerical_gradient(scalar_loss, np.array(array, dtype=np.float64), eps=1e-3)
+        np.testing.assert_allclose(analytic[index], numeric, atol=atol, rtol=5e-2)
+
+
+def _sum(tensor: ad.Tensor) -> ad.Tensor:
+    flat = ad.reshape(tensor, (1, int(np.prod(tensor.shape))))
+    ones = ad.constant(np.ones((int(np.prod(tensor.shape)), 1), dtype=np.float32))
+    return ad.reshape(ad.matmul(flat, ones), (1,))
+
+
+class TestElementaryOps:
+    def test_add_mul_grad(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4))
+        _gradcheck(lambda x, y: _sum(ad.mul(ad.add(x, y), y)), [a, b])
+
+    def test_broadcast_add_grad(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4,))
+        _gradcheck(lambda x, y: _sum(ad.add(x, y)), [a, b])
+
+    def test_matmul_grad(self, rng):
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((5, 2))
+        _gradcheck(lambda x, y: _sum(ad.matmul(x, y)), [a, b])
+
+    def test_batched_matmul_grad(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((4, 3))
+        _gradcheck(lambda x, y: _sum(ad.matmul(x, y)), [a, b])
+
+    def test_scale_and_reshape_grad(self, rng):
+        a = rng.standard_normal((2, 6))
+        _gradcheck(lambda x: _sum(ad.scale(ad.reshape(x, (3, 4)), 2.5)), [a])
+
+    def test_silu_gelu_grad(self, rng):
+        a = rng.standard_normal((4, 4))
+        _gradcheck(lambda x: _sum(ad.silu(x)), [a])
+        _gradcheck(lambda x: _sum(ad.gelu(x)), [a])
+
+    def test_softmax_grad(self, rng):
+        a = rng.standard_normal((3, 5))
+        weights = rng.standard_normal((3, 5)).astype(np.float32)
+        _gradcheck(lambda x: _sum(ad.mul(ad.softmax(x), ad.constant(weights))), [a])
+
+    def test_rms_norm_grad(self, rng):
+        a = rng.standard_normal((2, 8))
+        g = rng.standard_normal(8)
+        _gradcheck(lambda x, w: _sum(ad.rms_norm(x, w)), [a, g])
+
+    def test_layer_norm_grad(self, rng):
+        a = rng.standard_normal((2, 8))
+        g = rng.standard_normal(8)
+        b = rng.standard_normal(8)
+        _gradcheck(lambda x, w, bias: _sum(ad.layer_norm(x, w, bias)), [a, g, b])
+
+    def test_rope_grad(self, rng):
+        from repro.llm.functional import rope_frequencies
+
+        cos, sin = rope_frequencies(8, 16)
+        a = rng.standard_normal((2, 3, 8))
+        _gradcheck(lambda x: _sum(ad.rope(x, cos, sin, np.arange(3))), [a])
+
+    def test_cross_entropy_grad(self, rng):
+        logits = rng.standard_normal((2, 3, 7))
+        targets = rng.integers(0, 7, size=(2, 3))
+        _gradcheck(lambda x: ad.cross_entropy_loss(x, targets), [logits])
+
+    def test_embedding_grad_accumulates_repeated_tokens(self):
+        weight = ad.parameter(np.ones((4, 3), dtype=np.float32))
+        tokens = np.array([1, 1, 2])
+        out = ad.embedding(weight, tokens)
+        loss = _sum(out)
+        loss.backward()
+        assert weight.grad[1].sum() == pytest.approx(6.0)
+        assert weight.grad[2].sum() == pytest.approx(3.0)
+        assert weight.grad[0].sum() == pytest.approx(0.0)
+
+
+class TestEngineBehaviour:
+    def test_backward_requires_scalar(self, rng):
+        t = ad.parameter(rng.standard_normal((2, 2)))
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_constants_receive_no_grad(self, rng):
+        c = ad.constant(rng.standard_normal((2, 2)))
+        p = ad.parameter(rng.standard_normal((2, 2)))
+        loss = _sum(ad.mul(c, p))
+        loss.backward()
+        assert c.grad is None
+        assert p.grad is not None
+
+    def test_zero_grads(self, rng):
+        p = ad.parameter(rng.standard_normal((2, 2)))
+        loss = _sum(p)
+        loss.backward()
+        assert p.grad is not None
+        ad.zero_grads([p])
+        assert p.grad is None
+
+    def test_grad_accumulates_across_uses(self, rng):
+        p = ad.parameter(np.ones((2, 2), dtype=np.float32))
+        loss = _sum(ad.add(p, p))
+        loss.backward()
+        np.testing.assert_allclose(p.grad, 2 * np.ones((2, 2)))

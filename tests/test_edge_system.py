@@ -1,0 +1,229 @@
+"""Integration tests for the end-to-end EdgeSystem performance/energy model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
+from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.baselines.accelerators import RIVAL_ACCELERATORS
+from repro.baselines.systems import (
+    baseline_suite,
+    build_aep_sram,
+    build_aerp_sram,
+    build_kelle_edram,
+    build_original_edram,
+    build_original_sram,
+)
+from repro.llm.config import get_config
+from repro.workloads.generator import WorkloadTrace, trace_for_dataset
+
+MODEL = get_config("llama2-7b")
+PG19 = trace_for_dataset("pg19")
+LAMBADA = trace_for_dataset("lambada")
+
+
+class TestConfigValidation:
+    def test_invalid_policy_and_refresh(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", kv_policy="bogus")
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", refresh="sometimes")
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", kv_budget=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", weight_bits=3)
+
+    def test_refresh_requires_edram(self):
+        config = AcceleratorConfig(name="x", memory=MemorySubsystem.sram_baseline(), refresh="2drp")
+        assert config.refresh_policy() is None
+
+    def test_refresh_policy_selection(self):
+        assert AcceleratorConfig(name="x", refresh="guard").refresh_policy() is not None
+        assert AcceleratorConfig(name="x", refresh="none").refresh_policy() is None
+
+
+class TestSimulationBasics:
+    def test_result_structure(self):
+        result = build_kelle_edram(2048).simulate(MODEL, PG19)
+        assert result.total_latency_s > 0
+        assert result.total_energy_j > 0
+        assert result.tokens_generated == PG19.decode_len * PG19.batch_size
+        assert result.prefill.latency_s > 0 and result.decode.latency_s > 0
+        assert set(result.energy.components) >= {"rsa", "dram", "kv_onchip", "weight_sram"}
+
+    def test_energy_components_non_negative(self):
+        for system in baseline_suite(2048).values():
+            result = system.simulate(MODEL, PG19)
+            assert all(value >= 0 for value in result.energy.components.values())
+
+    def test_decode_dominates_long_generation(self):
+        result = build_original_sram().simulate(MODEL, PG19)
+        assert result.decode.latency_s > result.prefill.latency_s
+
+    def test_prefill_dominates_long_context_short_decode(self):
+        trace = WorkloadTrace("long-prompt", 16384, 128, 16)
+        result = build_kelle_edram(2048).simulate(MODEL, trace)
+        assert result.prefill.latency_s > result.decode.latency_s
+
+
+class TestFigure13Shape:
+    """The qualitative orderings behind Figure 13 must hold."""
+
+    def test_kelle_beats_original_sram_on_every_task(self):
+        for dataset, budget in (("lambada", 128), ("triviaqa", 1024), ("pg19", 2048)):
+            trace = trace_for_dataset(dataset)
+            base = build_original_sram().simulate(MODEL, trace)
+            kelle = build_kelle_edram(budget).simulate(MODEL, trace)
+            assert kelle.speedup_over(base) > 1.3
+            assert kelle.energy_efficiency_over(base) > 1.1
+
+    def test_pg19_headline_factors(self):
+        """Long-decode workloads should show multi-x gains (paper: 3.4-3.9x)."""
+        base = build_original_sram().simulate(MODEL, PG19)
+        kelle = build_kelle_edram(2048).simulate(MODEL, PG19)
+        assert kelle.speedup_over(base) > 2.0
+        assert kelle.energy_efficiency_over(base) > 2.0
+
+    def test_progressive_improvements(self):
+        base = build_original_sram().simulate(MODEL, PG19)
+        aep = build_aep_sram(2048).simulate(MODEL, PG19)
+        aerp = build_aerp_sram(2048).simulate(MODEL, PG19)
+        kelle = build_kelle_edram(2048).simulate(MODEL, PG19)
+        assert aep.energy_efficiency_over(base) > 1.0
+        assert aerp.energy_efficiency_over(base) > aep.energy_efficiency_over(base)
+        assert kelle.energy_efficiency_over(base) > aerp.energy_efficiency_over(base)
+        assert aerp.speedup_over(base) >= aep.speedup_over(base)
+
+    def test_unoptimised_edram_wastes_energy_on_refresh(self):
+        base = build_original_sram().simulate(MODEL, PG19)
+        edram = build_original_edram().simulate(MODEL, PG19)
+        assert edram.energy_efficiency_over(base) < 1.0
+        assert edram.energy.fraction("refresh") > 0.25
+        assert edram.speedup_over(base) >= 1.0
+
+    def test_kelle_refresh_share_is_small(self):
+        kelle = build_kelle_edram(2048).simulate(MODEL, PG19)
+        assert kelle.energy.fraction("refresh") < 0.15
+
+
+class TestAblationShapes:
+    def test_eviction_budget_monotonicity(self):
+        base = build_original_sram().simulate(MODEL, PG19)
+        efficiencies = [
+            build_kelle_edram(budget).simulate(MODEL, PG19).energy_efficiency_over(base)
+            for budget in (2048, 4096, 8192)
+        ]
+        assert efficiencies[0] > efficiencies[1] > efficiencies[2]
+
+    def test_recomputation_improves_energy(self):
+        with_recompute = build_kelle_edram(2048, recompute_fraction=0.15).simulate(MODEL, PG19)
+        without = build_kelle_edram(2048, recompute_fraction=0.0).simulate(MODEL, PG19)
+        assert with_recompute.total_energy_j < without.total_energy_j
+
+    def test_2drp_beats_guard_and_uniform_refresh(self):
+        from dataclasses import replace
+
+        base_config = build_kelle_edram(2048).config
+        guard = EdgeSystem(replace(base_config, name="g", refresh="guard")).simulate(MODEL, PG19)
+        uniform = EdgeSystem(replace(base_config, name="u", refresh="uniform")).simulate(MODEL, PG19)
+        two_d = EdgeSystem(replace(base_config, name="d", refresh="2drp")).simulate(MODEL, PG19)
+        assert two_d.total_energy_j <= uniform.total_energy_j <= guard.total_energy_j
+
+    def test_kelle_scheduler_reduces_latency_or_energy(self):
+        from dataclasses import replace
+
+        base_config = build_kelle_edram(2048).config
+        with_sched = EdgeSystem(replace(base_config, name="s", use_kelle_scheduler=True))
+        without = EdgeSystem(replace(base_config, name="ns", use_kelle_scheduler=False))
+        a = with_sched.simulate(MODEL, PG19)
+        b = without.simulate(MODEL, PG19)
+        assert a.total_latency_s <= b.total_latency_s
+        assert a.total_energy_j <= b.total_energy_j
+
+    def test_systolic_evictor_saves_latency_and_energy(self):
+        from dataclasses import replace
+
+        base_config = build_kelle_edram(2048).config
+        with_se = EdgeSystem(replace(base_config, name="se", systolic_evictor=True)).simulate(MODEL, PG19)
+        without = EdgeSystem(replace(base_config, name="nose", systolic_evictor=False)).simulate(MODEL, PG19)
+        assert with_se.total_latency_s < without.total_latency_s
+        assert with_se.total_energy_j < without.total_energy_j
+
+    def test_smaller_batch_reduces_relative_gain(self):
+        """Table 9: Kelle's advantage shrinks at batch size 1 but stays > 1."""
+        gains = {}
+        for batch in (16, 1):
+            trace = PG19.with_batch_size(batch)
+            base = build_original_sram().simulate(MODEL, trace)
+            kelle = build_kelle_edram(2048).simulate(MODEL, trace)
+            gains[batch] = kelle.energy_efficiency_over(base)
+        assert gains[16] > gains[1] > 1.0
+
+    def test_reduced_edram_bandwidth_still_beats_baseline(self):
+        """Section 8.3.7: halving the eDRAM bandwidth keeps most of the gains."""
+        from dataclasses import replace
+        from repro.utils.units import GB
+
+        base = build_original_sram().simulate(MODEL, PG19)
+        config = build_kelle_edram(2048).config
+        slow = replace(config, name="kelle-slow",
+                       memory=MemorySubsystem.kelle().with_kv_bandwidth(128 * GB))
+        result = EdgeSystem(slow).simulate(MODEL, PG19)
+        assert result.energy_efficiency_over(base) > 1.5
+
+
+class TestRivalAccelerators:
+    def test_all_rivals_simulate(self):
+        for name, builder in RIVAL_ACCELERATORS.items():
+            result = builder(2048).simulate(MODEL, LAMBADA)
+            assert result.total_latency_s > 0, name
+            assert result.total_energy_j > 0, name
+
+    def test_kelle_is_most_energy_efficient(self):
+        jetson = RIVAL_ACCELERATORS["jetson-orin"](2048).simulate(MODEL, PG19)
+        kelle = build_kelle_edram(2048).simulate(MODEL, PG19)
+        for name, builder in RIVAL_ACCELERATORS.items():
+            rival = builder(2048).simulate(MODEL, PG19)
+            assert kelle.energy_per_token_j <= rival.energy_per_token_j, name
+        assert kelle.energy_per_token_j < jetson.energy_per_token_j / 2
+
+    def test_jetson_is_least_energy_efficient(self):
+        jetson = RIVAL_ACCELERATORS["jetson-orin"](2048).simulate(MODEL, PG19)
+        for name in ("llm.npu", "dynax", "comet"):
+            rival = RIVAL_ACCELERATORS[name](2048).simulate(MODEL, PG19)
+            assert rival.energy_per_token_j <= jetson.energy_per_token_j, name
+
+
+class TestModelSizeScaling:
+    @pytest.mark.parametrize("model_name", ["llama2-7b", "llama2-13b", "llama3.2-3b", "mistral-7b",
+                                             "qwen2-7b", "opt-6.7b"])
+    def test_every_shape_config_simulates(self, model_name):
+        result = build_kelle_edram(1024).simulate(get_config(model_name), LAMBADA)
+        assert result.total_latency_s > 0
+
+    def test_bigger_model_costs_more(self):
+        small = build_kelle_edram(2048).simulate(get_config("llama3.2-3b"), PG19)
+        big = build_kelle_edram(2048).simulate(get_config("llama2-13b"), PG19)
+        assert big.total_latency_s > small.total_latency_s
+        assert big.total_energy_j > small.total_energy_j
+
+
+class TestSystemProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=128, max_value=8192), st.integers(min_value=1, max_value=16))
+    def test_energy_and_latency_always_positive(self, budget, batch):
+        trace = WorkloadTrace("prop", 256, 512, batch)
+        result = build_kelle_edram(budget).simulate(MODEL, trace)
+        assert result.total_latency_s > 0
+        assert result.total_energy_j > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=256, max_value=4096))
+    def test_longer_decode_never_cheaper(self, decode_len):
+        short = build_kelle_edram(1024).simulate(MODEL, WorkloadTrace("s", 256, decode_len, 8))
+        long = build_kelle_edram(1024).simulate(MODEL, WorkloadTrace("l", 256, decode_len + 256, 8))
+        assert long.total_latency_s > short.total_latency_s
+        assert long.total_energy_j > short.total_energy_j

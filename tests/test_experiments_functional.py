@@ -1,0 +1,84 @@
+"""Integration tests for the functional (trained-tiny-model) experiments.
+
+These tests train (or load from the on-disk cache) one tiny model, so the
+first run takes ~15 s; subsequent runs re-use ``~/.cache/kelle-repro``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as E
+from repro.eval.harness import get_eval_model
+
+
+@pytest.fixture(scope="module")
+def eval_model():
+    return get_eval_model("tiny-llama2-7b")
+
+
+class TestTrainedModel:
+    def test_model_learned_the_language(self, eval_model):
+        import numpy as np
+
+        assert eval_model.final_train_loss < np.log(eval_model.config.vocab_size) * 0.8
+
+    def test_documents_sampled_from_language(self, eval_model):
+        docs = eval_model.sample_documents(2, 64, seed=0)
+        assert len(docs) == 2 and all(d.shape == (64,) for d in docs)
+
+
+class TestFig8(object):
+    def test_uniform_error_sensitivity(self, eval_model):
+        table = E.fig8_error_tolerance.run_uniform(error_rates=(0.0, 1e-2))
+        clean, corrupted = table.column("ppl")
+        assert corrupted > clean
+        assert clean < 20  # the trained model predicts the language well
+
+    def test_msb_worse_than_lsb(self, eval_model):
+        table = E.fig8_error_tolerance.run_msb_vs_lsb(error_rates=(5e-2,), n_seeds=2)
+        by_group = {row["group"]: row["ppl"] for row in table.rows}
+        assert by_group["MSB"] > by_group["LSB"]
+
+
+class TestTable2(object):
+    def test_kelle_close_to_fp16(self, eval_model):
+        fp16 = E.table2_accuracy.evaluate_method("tiny-llama2-7b", "wikitext2", "fp16")
+        kelle = E.table2_accuracy.evaluate_method("tiny-llama2-7b", "wikitext2", "kelle")
+        assert kelle < fp16 * 1.25  # perplexity within 25% of the full-cache model
+
+    def test_multiple_choice_methods_run(self, eval_model):
+        for method in ("fp16", "kelle", "streaming-llm"):
+            accuracy = E.table2_accuracy.evaluate_method("tiny-llama2-7b", "arc-easy", method,
+                                                         n_items=6)
+            assert 0.0 <= accuracy <= 1.0
+
+
+class TestTable3(object):
+    def test_accuracy_degrades_gracefully(self, eval_model):
+        table = E.table3_budget.run(budgets=(None, 48, 12), n_items=10)
+        accuracies = table.column("accuracy")
+        assert accuracies[0] >= accuracies[-1]
+        assert accuracies[0] >= 0.5  # full cache solves the task
+
+
+class TestTable4(object):
+    def test_2drp_beats_uniform_at_matched_rate(self, eval_model):
+        table = E.table4_refresh.run(scales=(0.25,))
+        rows = {row["policy"]: row for row in table.rows}
+        assert rows["2drp"]["accuracy"] >= rows["uniform"]["accuracy"]
+        assert rows["2drp"]["ppl"] <= rows["uniform"]["ppl"]
+
+
+class TestTables5And6(object):
+    def test_qualitative_metrics_close_to_fp16(self, eval_model):
+        table = E.table5_qualitative.run(model_names=("tiny-llama2-7b",))
+        rows = {row["method"]: row for row in table.rows}
+        assert rows["kelle"]["truthfulness_acc"] >= rows["fp16"]["truthfulness_acc"] - 0.3
+        assert rows["kelle"]["bbq_acc"] >= rows["fp16"]["bbq_acc"] - 0.3
+
+    def test_quantized_kelle_stays_reasonable(self, eval_model):
+        table = E.table6_quant.run()
+        rows = {row["setting"]: row for row in table.rows}
+        assert rows["kelle-w4a8"]["ppl"] < rows["kelle-w8a16"]["ppl"] * 2.0
+        assert rows["kelle-w4a8"]["accuracy"] >= rows["kelle-w8a16"]["accuracy"] - 0.35

@@ -1,0 +1,140 @@
+"""Shape tests for the hardware-side experiment modules (fast, no training)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as E
+
+
+class TestTable1:
+    def test_rows_and_ordering(self):
+        table = E.table1_devices.run()
+        assert len(table) == 2
+        sram, edram = table.rows
+        assert sram["device"] == "SRAM" and edram["device"] == "eDRAM"
+        assert edram["area_mm2"] < sram["area_mm2"]
+        assert edram["access_energy_pj_per_byte"] < sram["access_energy_pj_per_byte"]
+        assert edram["retention_time_us"] == pytest.approx(45.0)
+
+
+class TestFig3:
+    def test_latency_panel(self):
+        table = E.fig3_motivation.run_latency(decode_lengths=(1024, 4096))
+        assert all(row["speedup_8mb"] >= 1.0 for row in table.rows)
+
+    def test_area_panel(self):
+        table = E.fig3_motivation.run_area()
+        by_name = {row["system"]: row for row in table.rows}
+        assert by_name["edram-8mb"]["onchip_total_mm2"] < by_name["sram-8mb"]["onchip_total_mm2"]
+
+    def test_energy_breakdown_panel(self):
+        table = E.fig3_motivation.run_energy_breakdown(model_names=("llama2-7b",),
+                                                       decode_lengths=(1024, 8192))
+        for row in table.rows:
+            assert row["refresh_frac"] > 0.2  # unoptimised refresh dominates
+            total = row["refresh_frac"] + row["dram_frac"] + row["buffer_frac"] + row["compute_frac"]
+            assert total <= 1.01
+
+
+class TestFig4:
+    def test_failure_rate_monotone(self):
+        table = E.fig4_retention.run()
+        rates = table.column("failure_rate")
+        intervals = table.column("refresh_interval_us")
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+        assert intervals == sorted(intervals)
+        markers = [row for row in table.rows if row["is_paper_marker"]]
+        assert len(markers) == 4
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return E.fig13_end2end.run(model_names=("llama2-7b",), datasets=("lambada", "pg19"))
+
+    def test_normalisation(self, table):
+        base_rows = [r for r in table.rows if r["system"] == "original+sram"]
+        assert all(r["speedup"] == pytest.approx(1.0) for r in base_rows)
+
+    def test_kelle_wins_everywhere(self, table):
+        for row in table.rows:
+            if row["system"] == "kelle+edram":
+                assert row["speedup"] > 1.2
+                assert row["energy_efficiency"] > 1.1
+
+    def test_average_improvements(self, table):
+        speedup, efficiency = E.fig13_end2end.average_improvements(table)
+        assert speedup > 1.5
+        assert efficiency > 1.2
+
+    def test_energy_breakdown_pie(self):
+        pie = E.fig13_end2end.run_energy_breakdown()
+        fractions = {row["component"]: row["fraction_of_onchip"] for row in pie.rows}
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+        assert fractions["rsa"] > 0.01
+
+
+class TestFig14:
+    def test_kelle_best_energy_efficiency(self):
+        table = E.fig14_accelerators.run(model_names=("llama2-7b",), datasets=("pg19",))
+        rows = {row["accelerator"]: row for row in table.rows}
+        assert rows["jetson-orin"]["energy_efficiency"] == pytest.approx(1.0)
+        best = max(table.rows, key=lambda r: r["energy_efficiency"])
+        assert best["accelerator"] == "kelle+edram"
+        assert rows["kelle+edram"]["speedup"] > 1.0
+
+
+class TestBudgetAndBatchSweeps:
+    def test_table7_efficiency_decreases_with_budget(self):
+        table = E.table7_budget_energy.run(model_names=("llama2-7b",), budgets=(2048, 5250, 8750))
+        values = table.column("energy_efficiency")
+        assert values[0] > values[1] > values[2]
+        assert values[-1] > 1.0  # even the no-eviction budget keeps a gain
+
+    def test_table9_gain_shrinks_with_batch(self):
+        table = E.table9_batch.run(batch_sizes=(16, 1))
+        kelle = {row["batch_size"]: row["energy_efficiency"]
+                 for row in table.rows if row["system"] == "kelle+edram"}
+        assert kelle[16] > kelle[1] > 1.0
+
+    def test_table8_efficiency_drops_with_shorter_retention(self):
+        table = E.table8_retention.run(datasets=("pg19",))
+        values = table.column("energy_efficiency")
+        assert values == sorted(values, reverse=True)
+        assert values[-1] > 1.0
+
+
+class TestFig15And16:
+    def test_refresh_strategy_ordering(self):
+        table = E.fig15_ablation.run_refresh_strategies()
+        eff = {row["strategy"]: row["energy_efficiency"] for row in table.rows}
+        assert eff["org"] == pytest.approx(1.0)
+        assert eff["uni"] > eff["org"]
+        assert eff["2d"] >= eff["uni"]
+        assert eff["2k"] >= eff["2d"]
+
+    def test_recomputation_helps(self):
+        table = E.fig15_ablation.run_recomputation(model_names=("llama2-7b",))
+        with_rows = [r for r in table.rows if r["recomputation"] == "with"]
+        assert all(r["relative_efficiency"] >= 1.0 for r in with_rows)
+
+    def test_roofline_over_recomputation_is_compute_bound(self):
+        table = E.fig16_roofline_longseq.run_roofline()
+        by_setting = {row["setting"]: row for row in table.rows}
+        assert not by_setting["no-recomp"]["compute_bound"]
+        assert by_setting["recomp-0.6"]["compute_bound"]
+        assert by_setting["recomp-0.15"]["operational_intensity"] > \
+            by_setting["no-recomp"]["operational_intensity"]
+
+    def test_long_sequence_panel(self):
+        table = E.fig16_roofline_longseq.run_long_sequences()
+        assert len(table) == 12
+        for row in table.rows:
+            assert row["energy_efficiency"] > 1.0
+            assert 0 <= row["prefill_energy_frac"] <= 1
+        # At the same (long) input length, adding decode work makes the workload
+        # more memory-intensive and increases Kelle's advantage (Section 8.3.5).
+        prefill_heavy = [r for r in table.rows if r["context_len"] == 16384 and r["decode_len"] == 128]
+        decode_heavy = [r for r in table.rows if r["context_len"] == 16384 and r["decode_len"] == 2048]
+        assert decode_heavy[0]["energy_efficiency"] > prefill_heavy[0]["energy_efficiency"]

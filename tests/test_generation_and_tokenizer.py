@@ -1,0 +1,102 @@
+"""Tests for generation, forced decoding and the tokenizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.generation import forced_decode_logprobs, generate
+from repro.llm.tokenizer import ByteTokenizer, WordTokenizer
+
+
+class TestGenerate:
+    def test_greedy_generation_is_deterministic(self, small_model, rng):
+        prompt = rng.integers(0, small_model.config.vocab_size, size=8).tolist()
+        a = generate(small_model, prompt, 10, temperature=0.0)
+        b = generate(small_model, prompt, 10, temperature=0.0)
+        assert a.generated_tokens == b.generated_tokens
+        assert a.total_tokens == len(prompt) + 10
+
+    def test_sampling_respects_seed(self, small_model, rng):
+        prompt = rng.integers(0, small_model.config.vocab_size, size=8).tolist()
+        a = generate(small_model, prompt, 10, temperature=1.0, seed=5)
+        b = generate(small_model, prompt, 10, temperature=1.0, seed=5)
+        c = generate(small_model, prompt, 10, temperature=1.0, seed=6)
+        assert a.generated_tokens == b.generated_tokens
+        assert a.generated_tokens != c.generated_tokens or a.logprobs != c.logprobs
+
+    def test_eos_stops_generation(self, small_model, rng):
+        prompt = rng.integers(0, small_model.config.vocab_size, size=8).tolist()
+        reference = generate(small_model, prompt, 5, temperature=0.0)
+        eos = reference.generated_tokens[0]
+        result = generate(small_model, prompt, 20, temperature=0.0, eos_id=eos)
+        assert result.generated_tokens[0] == eos
+        assert len(result.generated_tokens) == 1
+
+    def test_invalid_arguments(self, small_model):
+        with pytest.raises(ValueError):
+            generate(small_model, [], 5)
+        with pytest.raises(ValueError):
+            generate(small_model, [1, 2], -1)
+
+    def test_logprobs_are_negative_and_finite(self, small_model, rng):
+        prompt = rng.integers(0, small_model.config.vocab_size, size=6).tolist()
+        result = generate(small_model, prompt, 6)
+        assert len(result.logprobs) == 6
+        assert all(np.isfinite(lp) and lp <= 0 for lp in result.logprobs)
+
+
+class TestForcedDecode:
+    def test_matches_full_forward_logprobs(self, small_model, rng):
+        tokens = rng.integers(0, small_model.config.vocab_size, size=14)
+        prompt, continuation = tokens[:6].tolist(), tokens[6:].tolist()
+        logprobs = forced_decode_logprobs(small_model, prompt, continuation)
+        logits = small_model.forward_full(tokens[:-1])
+        from repro.llm.functional import log_softmax
+
+        reference = [
+            float(log_softmax(logits[position - 1])[token])
+            for position, token in enumerate(tokens.tolist()) if position >= 6
+        ]
+        np.testing.assert_allclose(logprobs, reference, atol=1e-3)
+
+    def test_requires_non_empty_inputs(self, small_model):
+        with pytest.raises(ValueError):
+            forced_decode_logprobs(small_model, [], [1])
+        with pytest.raises(ValueError):
+            forced_decode_logprobs(small_model, [1], [])
+
+
+class TestByteTokenizer:
+    def test_roundtrip(self):
+        tokenizer = ByteTokenizer()
+        text = "Kelle eDRAM KV cache"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_specials(self):
+        tokenizer = ByteTokenizer()
+        tokens = tokenizer.encode("hi", add_bos=True, add_eos=True)
+        assert tokens[0] == tokenizer.bos_id
+        assert tokens[-1] == tokenizer.eos_id
+        assert tokenizer.vocab_size == 258
+
+
+class TestWordTokenizer:
+    def test_roundtrip_known_words(self):
+        tokenizer = WordTokenizer(["kv", "cache", "edram"])
+        ids = tokenizer.encode("kv cache edram", add_bos=False)
+        assert tokenizer.decode(ids) == "kv cache edram"
+
+    def test_unknown_words_map_to_unk(self):
+        tokenizer = WordTokenizer(["kv"])
+        ids = tokenizer.encode("kv mystery", add_bos=False)
+        assert ids[1] == tokenizer.unk_id
+
+    def test_from_corpus_uses_frequency(self):
+        tokenizer = WordTokenizer.from_corpus(["a a a b b c"], max_vocab=2)
+        assert tokenizer.encode("a", add_bos=False)[0] != tokenizer.unk_id
+        assert tokenizer.encode("c", add_bos=False)[0] == tokenizer.unk_id
+
+    def test_specials_cannot_collide(self):
+        with pytest.raises(ValueError):
+            WordTokenizer(["<unk>"])

@@ -1,0 +1,148 @@
+"""Unit tests for the memory-device models (Table 1 parameters and scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.device import MemoryDevice
+from repro.memory.dram import make_lpddr4
+from repro.memory.edram import EDRAMArray, RefreshController, RefreshGroupSpec, make_edram
+from repro.memory.sram import make_sram, make_weight_sram
+from repro.utils.units import GB, MB, MILLIWATT, NANOSECOND, PICOJOULE
+
+
+class TestTable1Parameters:
+    """The 4 MB reference devices must match Table 1 of the paper."""
+
+    def test_sram_4mb_matches_table1(self):
+        sram = make_sram(4 * MB)
+        assert sram.area_mm2 == pytest.approx(7.3)
+        assert sram.access_latency_s == pytest.approx(2.6 * NANOSECOND)
+        assert sram.access_energy_per_byte_j == pytest.approx(185.9 * PICOJOULE)
+        assert sram.leakage_power_w == pytest.approx(415 * MILLIWATT)
+        assert not sram.needs_refresh
+
+    def test_edram_4mb_matches_table1(self):
+        edram = make_edram(4 * MB)
+        assert edram.area_mm2 == pytest.approx(3.2)
+        assert edram.access_latency_s == pytest.approx(1.9 * NANOSECOND)
+        assert edram.access_energy_per_byte_j == pytest.approx(84.8 * PICOJOULE)
+        assert edram.leakage_power_w == pytest.approx(154 * MILLIWATT)
+        assert edram.refresh_energy_per_full_refresh_j == pytest.approx(1.14e-3)
+        assert edram.retention_time_s == pytest.approx(45e-6)
+        assert edram.needs_refresh
+
+    def test_edram_denser_and_cheaper_than_sram(self):
+        sram, edram = make_sram(4 * MB), make_edram(4 * MB)
+        assert edram.area_mm2 < sram.area_mm2 / 2 + 0.1
+        assert edram.access_energy_per_byte_j < sram.access_energy_per_byte_j
+        assert edram.leakage_power_w < sram.leakage_power_w / 2
+
+
+class TestDeviceModel:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        device = make_sram(4 * MB)
+        assert device.transfer_time(0) == 0.0
+        time_small = device.transfer_time(1024)
+        time_big = device.transfer_time(1024 * 1024)
+        assert time_big > time_small > device.access_latency_s
+
+    def test_access_and_leakage_energy(self):
+        device = make_edram(4 * MB)
+        assert device.access_energy(1000) == pytest.approx(1000 * device.access_energy_per_byte_j)
+        assert device.leakage_energy(2.0) == pytest.approx(2.0 * device.leakage_power_w)
+        with pytest.raises(ValueError):
+            device.access_energy(-1)
+        with pytest.raises(ValueError):
+            device.leakage_energy(-1)
+
+    def test_refresh_energy_scales_with_duration_and_occupancy(self):
+        edram = make_edram(4 * MB)
+        full = edram.refresh_energy(1.0, 45e-6, 1.0)
+        half = edram.refresh_energy(1.0, 45e-6, 0.5)
+        longer_interval = edram.refresh_energy(1.0, 90e-6, 1.0)
+        assert half == pytest.approx(full / 2)
+        assert longer_interval == pytest.approx(full / 2)
+        assert make_sram(4 * MB).refresh_energy(1.0, 45e-6) == 0.0
+
+    def test_scaling_rules(self):
+        base = make_sram(4 * MB)
+        doubled = base.scaled(8 * MB)
+        assert doubled.capacity_bytes == 8 * MB
+        assert doubled.area_mm2 == pytest.approx(2 * base.area_mm2)
+        assert doubled.leakage_power_w == pytest.approx(2 * base.leakage_power_w)
+        assert doubled.access_latency_s > base.access_latency_s
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryDevice("bad", 0, 1.0, 1e-9, 1e-12, 0.1, 1e9)
+        with pytest.raises(ValueError):
+            make_sram(4 * MB).scaled(0)
+
+    def test_weight_sram_and_dram_factories(self):
+        weight = make_weight_sram()
+        assert weight.capacity_bytes == 2 * MB
+        dram = make_lpddr4()
+        assert dram.capacity_bytes == 16 * GB
+        assert dram.bandwidth_bytes_per_s == 64 * GB
+        assert not dram.needs_refresh
+
+
+class TestEDRAMArray:
+    def test_bank_layout(self):
+        array = EDRAMArray(num_banks=32)
+        assert set(array.banks) == {"key_msb", "key_lsb", "value_msb", "value_lsb"}
+        assert all(len(banks) == 8 for banks in array.banks.values())
+        assert array.capacity_bytes == 4 * MB
+
+    def test_store_and_evict_token(self):
+        array = EDRAMArray(num_banks=32)
+        array.store_token(1024)
+        assert array.occupied_bytes == 4 * 1024
+        array.evict_token(1024)
+        assert array.occupied_bytes == 0
+
+    def test_bank_overflow_raises(self):
+        array = EDRAMArray(num_banks=4)
+        per_bank = array.device.capacity_bytes // 4
+        with pytest.raises(MemoryError):
+            array.store_token(per_bank + 1)
+
+    def test_invalid_bank_count(self):
+        with pytest.raises(ValueError):
+            EDRAMArray(num_banks=6)
+
+
+class TestRefreshController:
+    def test_refresh_energy_weighted_by_occupancy(self):
+        edram = make_edram(4 * MB)
+        groups = [
+            RefreshGroupSpec("HST/MSB", "HST", "MSB", 0.36e-3),
+            RefreshGroupSpec("LST/LSB", "LST", "LSB", 7.2e-3),
+        ]
+        controller = RefreshController(edram, groups)
+        energy = controller.refresh_energy(1.0, {"HST/MSB": 0.25, "LST/LSB": 0.25})
+        assert energy > 0
+        # The short-interval group dominates the energy.
+        only_fast = controller.refresh_energy(1.0, {"HST/MSB": 0.25})
+        only_slow = controller.refresh_energy(1.0, {"LST/LSB": 0.25})
+        assert only_fast > 10 * only_slow
+
+    def test_average_failure_rate_weighted(self):
+        edram = make_edram(4 * MB)
+        groups = [
+            RefreshGroupSpec("HST/MSB", "HST", "MSB", 0.36e-3),
+            RefreshGroupSpec("LST/LSB", "LST", "LSB", 7.2e-3),
+        ]
+        controller = RefreshController(edram, groups)
+        assert controller.average_failure_rate({}) == 0.0
+        rate = controller.average_failure_rate({"HST/MSB": 0.5, "LST/LSB": 0.5})
+        assert 0 < rate < 1
+
+    def test_group_spec_validation(self):
+        with pytest.raises(ValueError):
+            RefreshGroupSpec("x", "BAD", "MSB", 1e-3)
+        with pytest.raises(ValueError):
+            RefreshGroupSpec("x", "HST", "BAD", 1e-3)
+        with pytest.raises(ValueError):
+            RefreshGroupSpec("x", "HST", "MSB", 0.0)

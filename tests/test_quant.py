@@ -1,0 +1,110 @@
+"""Tests for the quantization substrate (integer quantization, Hadamard)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.hadamard import apply_hadamard, hadamard_matrix, remove_hadamard
+from repro.quant.integer import (
+    dequantize,
+    fake_quantize,
+    quantization_mse,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+
+
+class TestIntegerQuantization:
+    def test_symmetric_roundtrip_error_bounded(self, rng):
+        values = rng.standard_normal((64, 32)).astype(np.float32)
+        tensor = quantize_symmetric(values, bits=8, axis=-1)
+        reconstructed = dequantize(tensor)
+        max_abs = np.abs(values).max(axis=0)
+        assert np.max(np.abs(reconstructed - values)) <= np.max(max_abs) / 127 + 1e-6
+
+    def test_more_bits_means_lower_error(self, rng):
+        values = rng.standard_normal((32, 32))
+        errors = [quantization_mse(values, quantize_symmetric(values, bits=b)) for b in (2, 4, 8)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_asymmetric_handles_shifted_data_better(self, rng):
+        values = rng.random((64, 16)) * 3 + 10.0  # strictly positive, shifted
+        symmetric_error = quantization_mse(values, quantize_symmetric(values, bits=4, axis=-1))
+        asymmetric_error = quantization_mse(values, quantize_asymmetric(values, bits=4, axis=-1))
+        assert asymmetric_error < symmetric_error
+
+    def test_storage_bits(self, rng):
+        values = rng.standard_normal((10, 10))
+        tensor = quantize_symmetric(values, bits=4)
+        assert tensor.storage_bits == 400
+
+    def test_constant_tensor_is_exact(self):
+        values = np.zeros((8, 8))
+        tensor = quantize_symmetric(values, bits=8)
+        np.testing.assert_allclose(dequantize(tensor), values)
+
+    def test_invalid_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            quantize_symmetric(rng.standard_normal(4), bits=1)
+        with pytest.raises(ValueError):
+            quantize_asymmetric(rng.standard_normal(4), bits=20)
+
+    def test_fake_quantize_shape_and_dtype(self, rng):
+        values = rng.standard_normal((5, 7))
+        out = fake_quantize(values, bits=8)
+        assert out.shape == values.shape
+        assert out.dtype == np.float32
+
+
+class TestHadamard:
+    def test_matrix_is_orthonormal(self):
+        for size in (2, 8, 16, 64):
+            h = hadamard_matrix(size)
+            np.testing.assert_allclose(h @ h.T, np.eye(size), atol=1e-10)
+
+    def test_invalid_size_rejected(self):
+        for size in (0, 3, 12):
+            with pytest.raises(ValueError):
+                hadamard_matrix(size)
+
+    def test_apply_then_remove_is_identity(self, rng):
+        values = rng.standard_normal((4, 6, 16))
+        roundtrip = remove_hadamard(apply_hadamard(values))
+        np.testing.assert_allclose(roundtrip, values, atol=1e-10)
+
+    def test_rotation_preserves_norm(self, rng):
+        values = rng.standard_normal((10, 32))
+        rotated = apply_hadamard(values)
+        np.testing.assert_allclose(np.linalg.norm(rotated, axis=-1),
+                                   np.linalg.norm(values, axis=-1), rtol=1e-10)
+
+    def test_rotation_spreads_outliers(self, rng):
+        values = np.zeros((1, 64))
+        values[0, 3] = 100.0  # a single outlier channel
+        rotated = apply_hadamard(values)
+        assert np.abs(rotated).max() < np.abs(values).max()
+
+
+class TestQuantProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10_000))
+    def test_symmetric_error_bounded_by_step(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(64)
+        tensor = quantize_symmetric(values, bits=bits)
+        step = np.abs(values).max() / (2 ** (bits - 1) - 1)
+        assert np.max(np.abs(dequantize(tensor) - values)) <= step + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_quarot_style_roundtrip_beats_plain_4bit_with_outliers(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((8, 32))
+        values[:, 0] *= 50.0  # outlier channel
+        plain = quantization_mse(values, quantize_symmetric(values, bits=4, axis=None))
+        rotated = apply_hadamard(values)
+        quarot = np.mean((remove_hadamard(fake_quantize(rotated, bits=4, axis=None)) - values) ** 2)
+        assert quarot <= plain * 1.5

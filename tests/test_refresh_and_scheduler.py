@@ -1,0 +1,147 @@
+"""Tests for the 2DRP refresh policies and the Kelle scheduler model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refresh import (
+    GuardRefreshPolicy,
+    KVFaultInjector,
+    TwoDRefreshPolicy,
+    UniformRefreshPolicy,
+    no_refresh_errors,
+    uniform_interval_matching_2drp,
+)
+from repro.core.scheduler import SchedulerModel, baseline_data_lifetime, kelle_data_lifetime
+from repro.memory.bitops import FAULT_MODE_FLIP
+from repro.memory.edram import make_edram
+from repro.memory.sram import make_weight_sram
+from repro.utils.units import MB, MILLISECOND
+
+
+class TestRefreshPolicies:
+    def test_paper_intervals(self):
+        policy = TwoDRefreshPolicy()
+        intervals = {g.name: g.refresh_interval_s for g in policy.groups()}
+        assert intervals["HST/MSB"] == pytest.approx(0.36 * MILLISECOND)
+        assert intervals["HST/LSB"] == pytest.approx(5.4 * MILLISECOND)
+        assert intervals["LST/MSB"] == pytest.approx(1.44 * MILLISECOND)
+        assert intervals["LST/LSB"] == pytest.approx(7.2 * MILLISECOND)
+
+    def test_hst_msb_has_lowest_failure_rate(self):
+        injector = TwoDRefreshPolicy().make_injector()
+        assert injector.hst_msb_rate < injector.lst_msb_rate
+        assert injector.hst_msb_rate < injector.hst_lsb_rate
+        assert injector.hst_msb_rate < injector.lst_lsb_rate
+
+    def test_guard_policy_is_error_free(self):
+        injector = GuardRefreshPolicy().make_injector()
+        assert injector.is_noop
+        assert no_refresh_errors().is_noop
+
+    def test_uniform_matching_2drp_average_rate(self):
+        policy = TwoDRefreshPolicy()
+        interval = uniform_interval_matching_2drp(policy)
+        uniform = UniformRefreshPolicy(interval)
+        assert uniform.average_failure_rate() == pytest.approx(policy.average_failure_rate(), rel=0.05)
+
+    def test_refresh_power_decreases_with_longer_intervals(self):
+        edram = make_edram(4 * MB)
+        per_byte = edram.refresh_energy_per_full_refresh_j / edram.capacity_bytes
+        guard = GuardRefreshPolicy().refresh_power_per_byte(per_byte)
+        relaxed = TwoDRefreshPolicy().refresh_power_per_byte(per_byte)
+        assert relaxed < guard / 10
+
+    def test_interval_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TwoDRefreshPolicy(hst_msb_s=2e-3, lst_msb_s=1e-3)
+        with pytest.raises(ValueError):
+            UniformRefreshPolicy(0.0)
+
+    def test_from_table4_row(self):
+        policy = TwoDRefreshPolicy.from_table4_row(180, 3600, 720, 5400)
+        assert policy.hst_msb_s == pytest.approx(180e-6)
+        assert policy.lst_lsb_s == pytest.approx(5400e-6)
+
+    def test_paper_setting_scaling(self):
+        nominal = TwoDRefreshPolicy.paper_setting()
+        halved = TwoDRefreshPolicy.paper_setting(scale=0.5)
+        assert halved.hst_msb_s == pytest.approx(nominal.hst_msb_s / 2)
+        assert halved.average_failure_rate() < nominal.average_failure_rate()
+
+
+class TestKVFaultInjector:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            KVFaultInjector(hst_msb_rate=1.5)
+        with pytest.raises(ValueError):
+            KVFaultInjector(mode="nope")
+
+    def test_corrupt_selects_rates_by_class(self, rng):
+        injector = KVFaultInjector(hst_msb_rate=0.0, hst_lsb_rate=0.0, lst_msb_rate=0.9,
+                                   lst_lsb_rate=0.9, mode=FAULT_MODE_FLIP)
+        # Start from exact fp16 values so the fp16 storage round trip is lossless.
+        values = rng.standard_normal(512).astype(np.float16).astype(np.float32)
+        hst = injector.corrupt(values, is_high_score=True, rng=rng)
+        lst = injector.corrupt(values, is_high_score=False, rng=rng)
+        np.testing.assert_array_equal(hst, values)
+        assert not np.allclose(lst, values)
+
+    def test_average_rate(self):
+        injector = KVFaultInjector(0.1, 0.2, 0.3, 0.4)
+        assert injector.average_rate == pytest.approx(0.25)
+
+
+class TestSchedulerModel:
+    def _model(self, use_kelle: bool) -> SchedulerModel:
+        return SchedulerModel(
+            weight_sram=make_weight_sram(2 * MB),
+            kv_edram=make_edram(4 * MB),
+            weight_bytes_per_matrix=512 * 1024,
+            kv_bytes_per_stream=256 * 1024,
+            use_kelle_schedule=use_kelle,
+        )
+
+    def test_equations_7_and_8(self):
+        assert baseline_data_lifetime(2.0, 3.0) == pytest.approx(6 * 2 + 4 * 3)
+        assert kelle_data_lifetime(2.0, 3.0) == pytest.approx(4 * 2 + 1 * 3)
+        with pytest.raises(ValueError):
+            baseline_data_lifetime(-1.0, 1.0)
+
+    def test_kelle_schedule_shortens_lifetime_and_latency(self):
+        baseline = self._model(use_kelle=False)
+        kelle = self._model(use_kelle=True)
+        assert kelle.transient_data_lifetime() < baseline.transient_data_lifetime()
+        assert kelle.memory_phase_latency() < baseline.memory_phase_latency()
+        assert kelle.lifetime_reduction() > 1.0
+
+    def test_transient_refresh_energy_scales_with_lifetime(self):
+        baseline = self._model(use_kelle=False)
+        kelle = self._model(use_kelle=True)
+        interval = 45e-6
+        assert kelle.transient_refresh_energy(64 * 1024, interval) < \
+            baseline.transient_refresh_energy(64 * 1024, interval)
+        with pytest.raises(ValueError):
+            kelle.transient_refresh_energy(-1, interval)
+        with pytest.raises(ValueError):
+            kelle.transient_refresh_energy(1024, 0.0)
+
+
+class TestRefreshProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e-5, max_value=0.1), st.floats(min_value=1.1, max_value=20.0))
+    def test_longer_uniform_interval_more_errors(self, interval, factor):
+        short = UniformRefreshPolicy(interval).make_injector()
+        long = UniformRefreshPolicy(interval * factor).make_injector()
+        assert long.average_rate >= short.average_rate
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=10.0), st.floats(min_value=0.1, max_value=10.0))
+    def test_lifetime_reduction_at_least_1_5x(self, t_sram, t_edram):
+        """Eq. 7 vs Eq. 8: the Kelle schedule cuts lifetime by at least 1.5x
+        whenever SRAM and eDRAM access times are within 10x of each other."""
+        reduction = baseline_data_lifetime(t_sram, t_edram) / kelle_data_lifetime(t_sram, t_edram)
+        assert reduction >= 1.2

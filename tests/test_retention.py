@@ -1,0 +1,74 @@
+"""Tests for the eDRAM retention-failure model (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.retention import DEFAULT_RETENTION_MODEL, GUARD_REFRESH_INTERVAL_S, RetentionModel
+
+
+class TestRetentionModel:
+    def test_guard_interval_is_effectively_error_free(self):
+        rate = DEFAULT_RETENTION_MODEL.failure_rate(GUARD_REFRESH_INTERVAL_S)
+        assert rate < 1e-5
+
+    def test_paper_markers_reproduced_in_order_of_magnitude(self):
+        model = DEFAULT_RETENTION_MODEL
+        assert 1e-5 < model.failure_rate(784e-6) < 1e-3
+        assert 1e-4 < model.failure_rate(1778e-6) < 5e-3
+        assert 1e-3 < model.failure_rate(9120e-6) < 5e-2
+
+    def test_2drp_average_failure_rate_near_paper_value(self):
+        """Section 7.1: the 2DRP interval mix averages a ~2e-3 failure rate."""
+        model = DEFAULT_RETENTION_MODEL
+        intervals = (0.36e-3, 5.4e-3, 1.44e-3, 7.2e-3)
+        mean_rate = float(np.mean([model.failure_rate(t) for t in intervals]))
+        assert 5e-4 < mean_rate < 1e-2
+
+    def test_inverse_interval_for_failure_rate(self):
+        model = DEFAULT_RETENTION_MODEL
+        for target in (1e-5, 1e-3, 1e-2):
+            interval = model.interval_for_failure_rate(target)
+            assert model.failure_rate(interval) == pytest.approx(target, rel=0.05)
+
+    def test_temperature_scaling_extends_retention(self):
+        hot = DEFAULT_RETENTION_MODEL
+        cool = hot.scaled_to_temperature(45.0)
+        assert cool.failure_rate(1e-3) < hot.failure_rate(1e-3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RETENTION_MODEL.failure_rate(0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_RETENTION_MODEL.interval_for_failure_rate(1.5)
+
+    def test_vectorised_failure_rates_match_scalar(self):
+        model = DEFAULT_RETENTION_MODEL
+        intervals = np.array([45e-6, 1e-3, 1e-2])
+        rates = model.failure_rates(intervals)
+        for interval, rate in zip(intervals, np.atleast_1d(rates)):
+            assert rate == pytest.approx(model.failure_rate(float(interval)))
+
+
+class TestRetentionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1.0), st.floats(min_value=1.01, max_value=100.0))
+    def test_failure_rate_monotone_in_interval(self, interval, factor):
+        """Longer refresh intervals can only increase the failure rate."""
+        model = DEFAULT_RETENTION_MODEL
+        assert model.failure_rate(interval * factor) >= model.failure_rate(interval)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=10.0))
+    def test_failure_rate_is_a_probability(self, interval):
+        rate = DEFAULT_RETENTION_MODEL.failure_rate(interval)
+        assert 0.0 <= rate <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.3, max_value=3.0), st.floats(min_value=1.0, max_value=3.0))
+    def test_custom_models_behave(self, mu_scale, sigma):
+        model = RetentionModel(mu_log_s=0.4 * mu_scale, sigma_log=sigma)
+        assert model.failure_rate(1e-4) <= model.failure_rate(1e-2)

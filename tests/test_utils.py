@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils (units, RNG derivation, result tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, spawn_seeds
+from repro.utils.tables import TableResult, format_table
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    bytes_to_human,
+    seconds_to_human,
+)
+
+
+class TestUnits:
+    def test_storage_constants_are_powers_of_1024(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_time_constants(self):
+        assert MILLISECOND == pytest.approx(1e-3)
+        assert MICROSECOND == pytest.approx(1e-6)
+        assert NANOSECOND == pytest.approx(1e-9)
+
+    def test_bytes_to_human(self):
+        assert bytes_to_human(4 * MB) == "4.0 MiB"
+        assert bytes_to_human(512) == "512.0 B"
+        assert "GiB" in bytes_to_human(3 * GB)
+
+    def test_seconds_to_human(self):
+        assert seconds_to_human(2.0).endswith("s")
+        assert "ms" in seconds_to_human(5 * MILLISECOND)
+        assert "us" in seconds_to_human(45 * MICROSECOND)
+        assert "ns" in seconds_to_human(2 * NANOSECOND)
+
+
+class TestDeriveRng:
+    def test_same_seed_and_tags_reproduce_stream(self):
+        a = derive_rng(3, "alpha").random(8)
+        b = derive_rng(3, "alpha").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_give_different_streams(self):
+        a = derive_rng(3, "alpha").random(8)
+        b = derive_rng(3, "beta").random(8)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = derive_rng(1, "t").random(8)
+        b = derive_rng(2, "t").random(8)
+        assert not np.allclose(a, b)
+
+    def test_generator_input_spawns_child(self):
+        parent = np.random.default_rng(0)
+        child = derive_rng(parent)
+        assert isinstance(child, np.random.Generator)
+
+    def test_spawn_seeds_unique(self):
+        seeds = spawn_seeds(42, 16)
+        assert len(seeds) == 16
+        assert len(set(seeds)) == 16
+
+
+class TestTableResult:
+    def test_add_row_and_column(self):
+        table = TableResult("t", columns=["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3, b=4)
+        assert len(table) == 2
+        assert table.column("a") == [1, 3]
+
+    def test_unknown_column_rejected(self):
+        table = TableResult("t", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(a=1, oops=2)
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_markdown_rendering(self):
+        table = TableResult("My table", columns=["name", "value"], notes="note text")
+        table.add_row(name="x", value=0.123456)
+        text = table.to_markdown()
+        assert "My table" in text
+        assert "| name | value |" in text
+        assert "note text" in text
+
+    def test_format_table_scientific_notation_for_extremes(self):
+        text = format_table(["v"], [{"v": 1e-9}, {"v": 12345.0}])
+        assert "e-09" in text
+        assert "e+04" in text or "1.234e" in text

@@ -1,0 +1,164 @@
+"""Tests for the synthetic language, dataset regimes, tasks and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import PAPER_DATASETS, DatasetSpec, get_dataset, scaled_dataset
+from repro.workloads.generator import PAPER_TRACES, WorkloadTrace, long_context_traces, trace_for_dataset
+from repro.workloads.synthetic import SyntheticLanguage, markov_corpus, zipf_corpus
+from repro.workloads.tasks import (
+    make_multiple_choice_task,
+    make_recall_task,
+    make_summarization_items,
+)
+
+
+@pytest.fixture(scope="module")
+def language() -> SyntheticLanguage:
+    return SyntheticLanguage(n_keys=4, n_values=4, n_content=20, n_topics=4, topic_vocab_size=5,
+                             seed=0)
+
+
+class TestCorpora:
+    def test_zipf_statistics(self):
+        corpus = zipf_corpus(50, 20_000, alpha=1.3, seed=0)
+        counts = np.bincount(corpus, minlength=50)
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_markov_corpus_branching_limits_successors(self):
+        corpus = markov_corpus(16, 5000, branching=3, seed=0)
+        successors = {s: set() for s in range(16)}
+        for a, b in zip(corpus[:-1], corpus[1:]):
+            successors[int(a)].add(int(b))
+        assert max(len(s) for s in successors.values()) <= 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_corpus(1, 10)
+        with pytest.raises(ValueError):
+            markov_corpus(8, 0)
+
+
+class TestSyntheticLanguage:
+    def test_vocabulary_layout_is_disjoint(self, language):
+        keys = {language.key_token(k) for k in range(language.n_keys)}
+        values = {language.value_token(v) for v in range(language.n_values)}
+        content = {language.content_token(c) for c in range(language.n_content)}
+        assert not keys & values and not keys & content and not values & content
+        assert max(content) < language.vocab_size
+
+    def test_document_structure(self, language):
+        doc, info = language.sample_document(120, seed=1)
+        assert doc.shape == (120,)
+        assert doc[0] == language.BOS
+        assert np.all(doc < language.vocab_size)
+        assert 0 <= info["topic"] < language.n_topics
+        assert info["bindings"]
+
+    def test_documents_are_topic_biased(self, language):
+        doc, info = language.sample_document(200, topic=1, seed=2)
+        topic_tokens = set(language.topic_tokens(1))
+        other_tokens = set(language.topic_tokens(3)) - topic_tokens
+        in_topic = sum(1 for t in doc if int(t) in topic_tokens)
+        in_other = sum(1 for t in doc if int(t) in other_tokens)
+        assert in_topic > in_other
+
+    def test_training_corpus_length_and_determinism(self, language):
+        a = language.training_corpus(1000, seed=3)
+        b = language.training_corpus(1000, seed=3)
+        assert a.shape == (1000,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_topic_choice_item(self, language):
+        prompt, choices, correct = language.sample_topic_choice_item(60, n_choices=3, seed=4)
+        assert len(choices) == 3
+        assert 0 <= correct < 3
+        assert prompt.shape == (60,)
+        with pytest.raises(ValueError):
+            language.sample_topic_choice_item(60, n_choices=1)
+
+    def test_query_item_ends_with_query_marker(self, language):
+        prompt, correct, candidates = language.sample_query_item(48, seed=5)
+        assert prompt[-2] == language.QUERY
+        assert correct in candidates
+        with pytest.raises(ValueError):
+            language.sample_query_item(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticLanguage(n_content=4, topic_vocab_size=8)
+        with pytest.raises(ValueError):
+            SyntheticLanguage(topic_fraction=1.0)
+
+
+class TestTasks:
+    def test_multiple_choice_items_well_formed(self, language):
+        items = make_multiple_choice_task(language, 5, 48, n_choices=3, seed=0)
+        assert len(items) == 5
+        for item in items:
+            assert len(item.choices) == 3
+            assert 0 <= item.correct_index < 3
+            assert len(item.prompt_tokens) == 48
+
+    def test_recall_items_single_token_choices(self, language):
+        items = make_recall_task(language, 4, 48, seed=0)
+        for item in items:
+            assert all(len(choice) == 1 for choice in item.choices)
+
+    def test_summarization_items(self, language):
+        items = make_summarization_items(language, 3, 64, seed=0)
+        for doc, reference in items:
+            assert doc.shape == (64,)
+            assert reference.shape == (language.topic_vocab_size,)
+
+    def test_item_count_validation(self, language):
+        with pytest.raises(ValueError):
+            make_multiple_choice_task(language, 0, 48)
+
+
+class TestDatasets:
+    def test_paper_regimes_present(self):
+        for name in ("wikitext2", "pg19", "piqa", "triviaqa", "qasper", "cnn-dailymail"):
+            assert name in PAPER_DATASETS
+
+    def test_pg19_regime_matches_paper(self):
+        spec = get_dataset("pg19")
+        assert spec.decode_len == 8192
+        assert spec.context_len == 512
+
+    def test_scaled_dataset(self):
+        spec = scaled_dataset("pg19", 0.01)
+        assert spec.decode_len == max(8, round(8192 * 0.01))
+        with pytest.raises(ValueError):
+            scaled_dataset("pg19", 0)
+        with pytest.raises(KeyError):
+            get_dataset("unknown")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "bogus-kind", 10, 10, "ppl", False)
+
+
+class TestTraces:
+    def test_paper_traces(self):
+        assert PAPER_TRACES["pg19"].decode_len == 8192
+        assert PAPER_TRACES["lambada"].context_len == 128
+        assert all(t.batch_size == 16 for t in PAPER_TRACES.values())
+
+    def test_trace_helpers(self):
+        trace = trace_for_dataset("triviaqa").with_batch_size(4)
+        assert trace.batch_size == 4
+        resized = trace.with_lengths(1024, 256)
+        assert resized.total_len == 1280
+        with pytest.raises(KeyError):
+            trace_for_dataset("unknown")
+        with pytest.raises(ValueError):
+            WorkloadTrace("bad", 0, 10, 1)
+
+    def test_long_context_traces_cover_fig16_grid(self):
+        traces = long_context_traces()
+        assert len(traces) == 12
+        contexts = {t.context_len for t in traces}
+        assert contexts == {2048, 4096, 8192, 16384}
