@@ -15,19 +15,17 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro import resolve
 from repro.accelerator.accelerator import EdgeSystem
 from repro.accelerator.memory_subsystem import MemorySubsystem
-from repro.baselines.systems import build_kelle_edram, build_original_sram
-from repro.llm.config import get_config
 from repro.utils.units import GB
-from repro.workloads.generator import trace_for_dataset
 
 
 def main() -> None:
-    model = get_config("llama2-7b")
-    trace = trace_for_dataset("pg19")
-    reference = build_original_sram().simulate(model, trace)
-    base_config = build_kelle_edram(kv_budget=2048).config
+    model = resolve("model", "llama2-7b")
+    trace = resolve("trace", "pg19")
+    reference = resolve("system", "original+sram").simulate(model, trace)
+    base_config = resolve("system", "kelle+edram:kv_budget=2048").config
 
     def efficiency(config) -> float:
         return EdgeSystem(config).simulate(model, trace).energy_efficiency_over(reference)

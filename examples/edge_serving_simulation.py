@@ -1,9 +1,14 @@
-"""Edge-serving hardware simulation: reproduce the Figure 13 comparison.
+"""Edge-serving hardware simulation: Figure 13 systems plus live traffic.
 
-Simulates LLaMA2-7B serving the PG19 long-generation workload (512-token
-prompt, 8192 generated tokens, batch 16) on the five systems of the paper and
-prints speedup / energy efficiency normalised to Original+SRAM, plus the
-Kelle+eDRAM energy breakdown.
+Part 1 reproduces the paper's Figure 13 comparison: LLaMA2-7B serving the
+PG19 long-generation workload (512-token prompt, 8192 generated tokens,
+batch 16) on the five baseline systems, with speedup / energy efficiency
+normalised to Original+SRAM.
+
+Part 2 goes beyond the paper: a :class:`repro.ServingEngine` serves a bursty
+multi-request arrival trace on the Kelle system with continuous-batching
+admission, reporting per-request queueing, tail latency and the energy bill --
+the multi-tenant traffic scenario single-trace simulation cannot express.
 
 Run with::
 
@@ -14,17 +19,17 @@ from __future__ import annotations
 
 import sys
 
+from repro import ServingEngine, resolve, simulate
 from repro.baselines.systems import baseline_suite
-from repro.llm.config import get_config
+from repro.serve import poisson_requests
 from repro.utils.units import seconds_to_human
-from repro.workloads.generator import trace_for_dataset
 
 
-def main(model_name: str = "llama2-7b") -> None:
-    model = get_config(model_name)
-    trace = trace_for_dataset("pg19")
+def main(model_name: str = "llama2-7b", n_requests: int = 12) -> None:
+    model = resolve("model", model_name)
+    trace = resolve("trace", "pg19")
     suite = baseline_suite(kv_budget=2048)
-    reference = suite["original+sram"].simulate(model, trace)
+    reference = simulate("original+sram", model, trace)
 
     print(f"Serving {model.name} on the PG19 trace "
           f"(context {trace.context_len}, decode {trace.decode_len}, batch {trace.batch_size})\n")
@@ -38,10 +43,17 @@ def main(model_name: str = "llama2-7b") -> None:
               f"{result.speedup_over(reference):>9.2f}x"
               f"{result.energy_efficiency_over(reference):>12.2f}x")
 
-    kelle = suite["kelle+edram"].simulate(model, trace)
+    kelle = simulate("kelle+edram:kv_budget=2048", model, trace)
     print("\nKelle+eDRAM energy breakdown:")
     for component, energy in sorted(kelle.energy.components.items(), key=lambda kv: -kv[1]):
         print(f"  {component:<18}{energy / 1e3:>10.2f} kJ   ({kelle.energy.fraction(component):5.1%})")
+
+    print("\n--- multi-request serving (beyond the paper) ---")
+    engine = ServingEngine("kelle+edram:kv_budget=2048", model, max_concurrency=4)
+    requests = poisson_requests(n_requests, rate_rps=0.02, prompt_len=512, decode_len=1024,
+                                length_jitter=0.5, seed=0)
+    report = engine.run(requests)
+    print(report.summary())
 
 
 if __name__ == "__main__":

@@ -14,8 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+from repro import resolve
 from repro.core.aerp import AERPConfig, aerp_cache_factory
-from repro.baselines.eviction import streaming_llm_cache_factory
 from repro.eval.harness import get_eval_model
 from repro.eval.perplexity import perplexity_with_cache
 
@@ -40,7 +40,7 @@ def main() -> None:
         ppl = perplexity_with_cache(model, book, aerp_cache_factory(aerp), prefill_len=prefill_len)
         print(f"{'Kelle (AERP)':<24}{budget:>8}{ppl:>10.2f}")
     for budget in (64, 32):
-        factory = streaming_llm_cache_factory(budget, sink_tokens=4)
+        factory = resolve("cache", f"streaming_llm:budget={budget},sink_tokens=4")
         ppl = perplexity_with_cache(model, book, factory, prefill_len=prefill_len)
         print(f"{'StreamingLLM':<24}{budget:>8}{ppl:>10.2f}")
 

@@ -3,7 +3,8 @@
 This example trains a tiny transformer on the synthetic structured language,
 then generates text twice -- once with the unbounded full KV cache and once
 under the Kelle policy (AERP eviction + recomputation with 2DRP retention
-faults) -- and compares perplexity and cache storage.
+faults, resolved from a registry spec string) -- and compares perplexity and
+cache storage.
 
 Run with::
 
@@ -12,27 +13,28 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core.policy import KellePolicy
-from repro.core.aerp import AERPConfig
+from repro import resolve
 from repro.eval.harness import get_eval_model
 from repro.eval.perplexity import perplexity_over_documents
 from repro.llm.generation import generate
 
 
-def main() -> None:
+def main(steps: int = 350, gen_tokens: int = 48, n_docs: int = 3) -> None:
     print("Loading (or training) the tiny evaluation model ...")
-    eval_model = get_eval_model("tiny-llama2-7b")
+    eval_model = get_eval_model("tiny-llama2-7b", steps=steps)
     model, language = eval_model.model, eval_model.language
     print(f"  model: {eval_model.name}, {model.num_params():,} parameters, "
           f"final training loss {eval_model.final_train_loss:.3f}")
 
-    # A Kelle policy sized for short synthetic documents.
-    policy = KellePolicy(aerp=AERPConfig(budget=48, sink_tokens=4, recent_window=12))
+    # A Kelle policy sized for short synthetic documents, addressed by spec.
+    kelle_spec = "kelle:budget=48,sink_tokens=4,recent_window=12"
+    kelle_factory = resolve("cache", kelle_spec)
     prompt, _ = language.sample_document(64, seed=7)
 
-    print("\nGenerating 48 tokens with the full KV cache and with Kelle ...")
-    full = generate(model, prompt, 48, cache_factory=None)
-    kelle = generate(model, prompt, 48, cache_factory=policy.cache_factory(seed=0))
+    print(f"\nGenerating {gen_tokens} tokens with the full KV cache and with "
+          f"'{kelle_spec}' ...")
+    full = generate(model, prompt, gen_tokens, cache_factory=resolve("cache", "full"))
+    kelle = generate(model, prompt, gen_tokens, cache_factory=kelle_factory)
     full_bytes = sum(c.stored_bytes(16) for c in full.caches)
     kelle_bytes = sum(c.stored_bytes(16) for c in kelle.caches)
     print(f"  full cache : {full_bytes:6d} bytes of KV storage")
@@ -40,9 +42,9 @@ def main() -> None:
           f"({full_bytes / max(kelle_bytes, 1):.2f}x smaller)")
 
     print("\nPerplexity of held-out documents (lower is better):")
-    documents = eval_model.sample_documents(3, 128, seed=1)
+    documents = eval_model.sample_documents(n_docs, 128, seed=1)
     ppl_full = perplexity_over_documents(model, documents, None, prefill_len=48)
-    ppl_kelle = perplexity_over_documents(model, documents, policy.cache_factory(seed=0),
+    ppl_kelle = perplexity_over_documents(model, documents, resolve("cache", kelle_spec),
                                           prefill_len=48)
     print(f"  full cache : {ppl_full:.2f}")
     print(f"  Kelle      : {ppl_kelle:.2f}")

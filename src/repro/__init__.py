@@ -29,8 +29,57 @@ The package is organised by subsystem:
     Perplexity / accuracy metrics and the evaluation harness.
 ``repro.experiments``
     One module per table and figure of the paper's evaluation section.
+``repro.registry``
+    The cross-cutting component registry: every cache policy, refresh policy,
+    baseline system, rival accelerator, model shape and workload trace is
+    addressable by a spec string through :func:`repro.resolve`.
+``repro.serve``
+    The request-level serving engine: continuous-batching admission of a
+    multi-request arrival trace with per-request latency/energy accounting.
+
+Quickstart::
+
+    import repro
+
+    # Spec-driven composition of the whole design space.
+    cache = repro.resolve("cache", "kelle:budget=128,sink_tokens=4")
+    result = repro.simulate("kelle+edram:kv_budget=2048", "llama2-7b", "pg19")
+
+    # Multi-request serving.
+    engine = repro.ServingEngine("kelle+edram", "llama2-7b", max_concurrency=8)
+    report = engine.run([repro.Request("0", 0.0, 512, 2048), ...])
 """
 
 from repro._version import __version__
+from repro.registry import RegistryError, known, known_kinds, resolve
 
-__all__ = ["__version__"]
+#: Top-level names served lazily from repro.serve (PEP 562), so that plain
+#: ``import repro`` stays light and component modules keep loading on first
+#: resolve() as the registry documents.
+_SERVE_EXPORTS = ("Request", "RequestResult", "ServingEngine", "ServingReport", "simulate")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        import repro.serve
+
+        return getattr(repro.serve, name)
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SERVE_EXPORTS))
+
+
+__all__ = [
+    "__version__",
+    "RegistryError",
+    "Request",
+    "RequestResult",
+    "ServingEngine",
+    "ServingReport",
+    "known",
+    "known_kinds",
+    "resolve",
+    "simulate",
+]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem, SimulationResult
+from repro.registry import register
 from repro.accelerator.memory_subsystem import MemorySubsystem
 from repro.llm.config import ModelConfig
 from repro.memory.dram import make_lpddr4
@@ -76,6 +77,8 @@ class RivalAcceleratorModel:
         )
 
 
+@register("accelerator", "jetson-orin", "jetson_orin", "jetson",
+          description="edge GPU in FP8, no KV-cache management")
 def jetson_orin(kv_budget: int = 2048) -> RivalAcceleratorModel:
     """NVIDIA Jetson Orin edge GPU running the LLM in FP8 (full KV cache)."""
     del kv_budget
@@ -104,6 +107,8 @@ def jetson_orin(kv_budget: int = 2048) -> RivalAcceleratorModel:
     )
 
 
+@register("accelerator", "llm.npu", "llm_npu",
+          description="NPU offloading accelerating the pre-filling stage")
 def llm_npu(kv_budget: int = 2048) -> RivalAcceleratorModel:
     """LLM.npu: NPU offloading that accelerates the pre-filling stage."""
     del kv_budget
@@ -127,6 +132,8 @@ def llm_npu(kv_budget: int = 2048) -> RivalAcceleratorModel:
     )
 
 
+@register("accelerator", "dynax",
+          description="dynamic structured attention sparsity in pre-filling")
 def dynax(kv_budget: int = 2048) -> RivalAcceleratorModel:
     """DynaX: 90% structured attention sparsity in the pre-filling stage."""
     del kv_budget
@@ -150,6 +157,8 @@ def dynax(kv_budget: int = 2048) -> RivalAcceleratorModel:
     )
 
 
+@register("accelerator", "comet",
+          description="W8/KV4 mixed-precision GPU kernels")
 def comet(kv_budget: int = 2048) -> RivalAcceleratorModel:
     """COMET: GPU mixed-precision kernels with 4-bit KV vectors (no eDRAM co-design)."""
     del kv_budget

@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.llm.cache import KVCacheFactory, LayerKVCache, RecomputeFn
+from repro.registry import register
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.rng import derive_rng
 
 
@@ -136,9 +138,11 @@ class RandomEvictionCache(_SharedSlotCache):
         return int(self._rng.choice(eligible))
 
 
-def streaming_llm_cache_factory(budget: int, sink_tokens: int = 10,
-                                recent_window: int | None = None) -> KVCacheFactory:
-    """Factory for StreamingLLM; by default the window fills the whole budget."""
+@register("cache", "streaming_llm", "streaming-llm", "slm",
+          description="attention sinks + recent window (StreamingLLM)")
+def _build_streaming_llm(budget: int = 512, sink_tokens: int = 10,
+                         recent_window: int | None = None) -> KVCacheFactory:
+    """StreamingLLM factory; by default the window fills the whole budget."""
     window = recent_window if recent_window is not None else max(1, budget - sink_tokens)
 
     def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
@@ -149,8 +153,10 @@ def streaming_llm_cache_factory(budget: int, sink_tokens: int = 10,
     return factory
 
 
-def h2o_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64) -> KVCacheFactory:
-    """Factory for the H2O heavy-hitter baseline."""
+@register("cache", "h2o", description="heavy-hitter oracle eviction (H2O)")
+def _build_h2o(budget: int = 512, sink_tokens: int = 10,
+               recent_window: int = 64) -> KVCacheFactory:
+    """H2O heavy-hitter factory."""
 
     def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
                 recompute_fn: RecomputeFn) -> LayerKVCache:
@@ -160,9 +166,10 @@ def h2o_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 6
     return factory
 
 
-def random_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64,
-                         seed: int = 0) -> KVCacheFactory:
-    """Factory for the random-eviction sanity baseline."""
+@register("cache", "random", description="uniform random eviction (sanity baseline)")
+def _build_random(budget: int = 512, sink_tokens: int = 10, recent_window: int = 64,
+                  seed: int = 0) -> KVCacheFactory:
+    """Random-eviction factory (per-layer derived seeds)."""
 
     def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
                 recompute_fn: RecomputeFn) -> LayerKVCache:
@@ -171,3 +178,27 @@ def random_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int 
                                    seed=seed + layer_index)
 
     return factory
+
+
+# -- deprecated entry points --------------------------------------------------
+def streaming_llm_cache_factory(budget: int, sink_tokens: int = 10,
+                                recent_window: int | None = None) -> KVCacheFactory:
+    """Deprecated: use ``resolve("cache", "streaming_llm:budget=...")``."""
+    warn_deprecated("streaming_llm_cache_factory",
+                    "resolve('cache', 'streaming_llm:budget=...')")
+    return _build_streaming_llm(budget=budget, sink_tokens=sink_tokens,
+                                recent_window=recent_window)
+
+
+def h2o_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64) -> KVCacheFactory:
+    """Deprecated: use ``resolve("cache", "h2o:budget=...")``."""
+    warn_deprecated("h2o_cache_factory", "resolve('cache', 'h2o:budget=...')")
+    return _build_h2o(budget=budget, sink_tokens=sink_tokens, recent_window=recent_window)
+
+
+def random_cache_factory(budget: int, sink_tokens: int = 10, recent_window: int = 64,
+                         seed: int = 0) -> KVCacheFactory:
+    """Deprecated: use ``resolve("cache", "random:budget=...")``."""
+    warn_deprecated("random_cache_factory", "resolve('cache', 'random:budget=...')")
+    return _build_random(budget=budget, sink_tokens=sink_tokens, recent_window=recent_window,
+                         seed=seed)

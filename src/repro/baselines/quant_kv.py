@@ -15,6 +15,8 @@ import numpy as np
 from repro.llm.cache import KVCacheFactory, LayerKVCache, RecomputeFn
 from repro.quant.hadamard import apply_hadamard, remove_hadamard
 from repro.quant.integer import fake_quantize
+from repro.registry import register
+from repro.utils.deprecation import warn_deprecated
 
 
 class QuantizedKVCache(LayerKVCache):
@@ -74,7 +76,8 @@ class QuantizedKVCache(LayerKVCache):
         return elements * self.bits // 8
 
 
-def kivi_cache_factory(bits: int = 2) -> KVCacheFactory:
+@register("cache", "kivi", description="KIVI-style asymmetric low-bit KV quantization")
+def _build_kivi(bits: int = 2) -> KVCacheFactory:
     """KIVI-style asymmetric per-channel low-bit KV cache."""
 
     def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
@@ -86,7 +89,8 @@ def kivi_cache_factory(bits: int = 2) -> KVCacheFactory:
     return factory
 
 
-def quarot_cache_factory(bits: int = 4) -> KVCacheFactory:
+@register("cache", "quarot", description="QuaRot-style Hadamard-rotated KV quantization")
+def _build_quarot(bits: int = 4) -> KVCacheFactory:
     """QuaRot-style Hadamard-rotated symmetric low-bit KV cache."""
 
     def factory(layer_index: int, n_heads: int, head_dim: int, d_model: int,
@@ -96,3 +100,16 @@ def quarot_cache_factory(bits: int = 4) -> KVCacheFactory:
                                 symmetric=True)
 
     return factory
+
+
+# -- deprecated entry points --------------------------------------------------
+def kivi_cache_factory(bits: int = 2) -> KVCacheFactory:
+    """Deprecated: use ``resolve("cache", "kivi:bits=...")``."""
+    warn_deprecated("kivi_cache_factory", "resolve('cache', 'kivi:bits=...')")
+    return _build_kivi(bits=bits)
+
+
+def quarot_cache_factory(bits: int = 4) -> KVCacheFactory:
+    """Deprecated: use ``resolve("cache", "quarot:bits=...")``."""
+    warn_deprecated("quarot_cache_factory", "resolve('cache', 'quarot:bits=...')")
+    return _build_quarot(bits=bits)

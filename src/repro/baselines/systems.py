@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.accelerator.accelerator import AcceleratorConfig, EdgeSystem
 from repro.accelerator.memory_subsystem import MemorySubsystem
+from repro.registry import register, registry
 from repro.utils.units import MB
 
 
@@ -37,6 +38,8 @@ class SystemConfig:
         raise NotImplementedError
 
 
+@register("system", "original+sram", "original_sram",
+          description="full KV cache on the area-matched SRAM edge system")
 def build_original_sram(kv_budget: int = 2048) -> EdgeSystem:
     """Original LLM on the area-matched SRAM system (24x24 PEs, 4 MB SRAM)."""
     del kv_budget  # the full cache ignores the budget
@@ -52,6 +55,8 @@ def build_original_sram(kv_budget: int = 2048) -> EdgeSystem:
     ))
 
 
+@register("system", "original+edram", "original_edram",
+          description="full KV cache on the eDRAM accelerator, guard refresh")
 def build_original_edram(kv_budget: int = 2048) -> EdgeSystem:
     """Original LLM on the eDRAM Kelle accelerator, guard-interval refresh."""
     del kv_budget
@@ -67,6 +72,8 @@ def build_original_edram(kv_budget: int = 2048) -> EdgeSystem:
     ))
 
 
+@register("system", "aep+sram", "aep_sram",
+          description="attention-based eviction (no recomputation) on SRAM")
 def build_aep_sram(kv_budget: int = 2048) -> EdgeSystem:
     """Attention-based eviction (no recomputation) on the SRAM system."""
     return EdgeSystem(AcceleratorConfig(
@@ -82,6 +89,8 @@ def build_aep_sram(kv_budget: int = 2048) -> EdgeSystem:
     ))
 
 
+@register("system", "aerp+sram", "aerp_sram",
+          description="AERP on the SRAM-based Kelle accelerator")
 def build_aerp_sram(kv_budget: int = 2048) -> EdgeSystem:
     """AERP on the SRAM-based Kelle accelerator (32x32 PEs, systolic evictor)."""
     return EdgeSystem(AcceleratorConfig(
@@ -97,6 +106,8 @@ def build_aerp_sram(kv_budget: int = 2048) -> EdgeSystem:
     ))
 
 
+@register("system", "kelle+edram", "kelle_edram", "kelle",
+          description="the full Kelle system: AERP + 2DRP + scheduler + eDRAM")
 def build_kelle_edram(kv_budget: int = 2048, recompute_fraction: float = 0.15) -> EdgeSystem:
     """The full Kelle system: AERP + 2DRP + Kelle scheduler + systolic evictor."""
     return EdgeSystem(AcceleratorConfig(
@@ -113,16 +124,17 @@ def build_kelle_edram(kv_budget: int = 2048, recompute_fraction: float = 0.15) -
     ))
 
 
-#: Builders in the order the paper's Figure 13 lists them.
-_BUILDERS = {
-    "original+sram": build_original_sram,
-    "original+edram": build_original_edram,
-    "aep+sram": build_aep_sram,
-    "aerp+sram": build_aerp_sram,
-    "kelle+edram": build_kelle_edram,
-}
+#: System names in the order the paper's Figure 13 lists them.
+FIGURE13_ORDER: tuple[str, ...] = (
+    "original+sram",
+    "original+edram",
+    "aep+sram",
+    "aerp+sram",
+    "kelle+edram",
+)
 
 
 def baseline_suite(kv_budget: int = 2048) -> dict[str, EdgeSystem]:
     """All five Figure 13 systems configured for one KV budget."""
-    return {name: builder(kv_budget) for name, builder in _BUILDERS.items()}
+    systems = registry("system")
+    return {name: systems.build(name, kv_budget=kv_budget) for name in FIGURE13_ORDER}

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.aerp import AERPConfig, aerp_cache_factory, budget_for_dataset
 from repro.core.refresh import GuardRefreshPolicy, RefreshPolicy, TwoDRefreshPolicy
 from repro.llm.cache import KVCacheFactory
+from repro.registry import register, resolve
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,33 @@ def paper_policy_for_dataset(dataset: str, scale: float = 1.0) -> KellePolicy:
     """The paper's Kelle configuration for one dataset regime."""
     return KellePolicy(aerp=budget_for_dataset(dataset, scale=scale), refresh=TwoDRefreshPolicy(),
                        name=f"kelle-{dataset.lower()}")
+
+
+@register("cache", "kelle", "aerp",
+          description="AERP eviction/recomputation with 2DRP retention faults (the paper)")
+def _build_kelle_cache(budget: int = 128, sink_tokens: int = 10, recent_window: int = 64,
+                       recompute: bool = True, faults: bool = True, refresh: str = "2drp",
+                       seed: int = 0, dataset: str | None = None,
+                       scale: float = 1.0) -> KVCacheFactory:
+    """Registry builder: ``resolve("cache", "kelle:budget=128,sink_tokens=4")``.
+
+    ``dataset`` selects the paper's Section 7.1 budget for that regime instead
+    of the explicit ``budget``/``sink_tokens``/``recent_window`` values;
+    ``refresh`` is a refresh-policy spec (``"none"`` disables fault injection).
+    """
+    if dataset is not None:
+        aerp = budget_for_dataset(dataset, scale=scale)
+    else:
+        aerp = AERPConfig(budget=budget, sink_tokens=sink_tokens, recent_window=recent_window,
+                          recompute_enabled=recompute)
+    if not recompute:
+        aerp = aerp.without_recomputation()
+    refresh_policy = resolve("refresh", refresh)
+    if refresh_policy is None:
+        policy = KellePolicy(aerp=aerp, refresh=GuardRefreshPolicy())
+        return policy.cache_factory(seed=seed, inject_faults=False)
+    policy = KellePolicy(aerp=aerp, refresh=refresh_policy)
+    return policy.cache_factory(seed=seed, inject_faults=faults)
 
 
 #: Ready-made policies for every dataset regime evaluated in the paper.

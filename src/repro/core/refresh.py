@@ -33,6 +33,7 @@ import numpy as np
 from repro.memory.bitops import FAULT_MODE_DECAY, FAULT_MODE_FLIP, inject_bit_flips_fp16
 from repro.memory.edram import RefreshGroupSpec
 from repro.memory.retention import DEFAULT_RETENTION_MODEL, GUARD_REFRESH_INTERVAL_S, RetentionModel
+from repro.registry import register
 from repro.utils.units import MICROSECOND, MILLISECOND
 
 
@@ -230,6 +231,38 @@ class TwoDRefreshPolicy(RefreshPolicy):
             lst_lsb_s=lst_lsb_us * MICROSECOND,
             retention=retention,
         )
+
+
+# -- registry builders --------------------------------------------------------
+@register("refresh", "none", description="no refresh modelling (SRAM KV stores)")
+def _build_no_refresh() -> None:
+    """``resolve("refresh", "none")`` -> ``None`` (no refresh policy)."""
+    return None
+
+
+@register("refresh", "guard", description="guard-interval refresh: no corruption (Org)")
+def _build_guard_refresh(interval_us: float | None = None) -> GuardRefreshPolicy:
+    if interval_us is None:
+        return GuardRefreshPolicy()
+    return GuardRefreshPolicy(interval_s=interval_us * MICROSECOND)
+
+
+@register("refresh", "uniform", description="single relaxed refresh interval (Uni)")
+def _build_uniform_refresh(interval_us: float = 360.0) -> UniformRefreshPolicy:
+    return UniformRefreshPolicy(interval_us * MICROSECOND)
+
+
+@register("refresh", "2drp", "twod", description="two-dimensional adaptive refresh (2DRP)")
+def _build_2drp(scale: float = 1.0, hst_msb_us: float | None = None,
+                hst_lsb_us: float | None = None, lst_msb_us: float | None = None,
+                lst_lsb_us: float | None = None) -> TwoDRefreshPolicy:
+    """Paper intervals scaled by ``scale``, or explicit per-group microseconds."""
+    explicit = (hst_msb_us, hst_lsb_us, lst_msb_us, lst_lsb_us)
+    if any(value is not None for value in explicit):
+        if any(value is None for value in explicit):
+            raise ValueError("2drp needs either all four *_us intervals or none of them")
+        return TwoDRefreshPolicy.from_table4_row(hst_msb_us, hst_lsb_us, lst_msb_us, lst_lsb_us)
+    return TwoDRefreshPolicy.paper_setting(scale=scale)
 
 
 def uniform_interval_matching_2drp(policy: TwoDRefreshPolicy) -> float:

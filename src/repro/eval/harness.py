@@ -19,11 +19,16 @@ from repro.llm.cache import KVCacheFactory
 from repro.llm.config import TINY_CONFIGS, ModelConfig, get_config
 from repro.llm.model import DecoderLM
 from repro.llm.training import TrainingConfig, train_lm
+from repro.registry import resolve
 from repro.workloads.datasets import DatasetSpec
 from repro.workloads.synthetic import SyntheticLanguage
 from repro.workloads.tasks import make_multiple_choice_task, make_summarization_items
 from repro.eval.accuracy import multiple_choice_accuracy, summarization_overlap
 from repro.eval.perplexity import perplexity_over_documents
+
+#: Disk-cache schema version.  Bump when the trained-parameter archive layout
+#: or the training recipe changes so stale caches are never reloaded.
+_CACHE_VERSION = 2
 
 
 def _cache_dir() -> Path:
@@ -74,7 +79,7 @@ def get_eval_model(name: str = "tiny-llama2-7b", seed: int = 0, steps: int = 350
     language = default_language(config, seed=seed)
     if language.vocab_size > config.vocab_size:
         raise ValueError("language vocabulary exceeds the model vocabulary")
-    cache_file = _cache_dir() / f"{name}-seed{seed}-steps{steps}-v2.npz"
+    cache_file = _cache_dir() / f"{name}-seed{seed}-steps{steps}-v{_CACHE_VERSION}.npz"
     if cache_file.exists():
         archive = np.load(cache_file)
         params = {key: archive[key] for key in archive.files if key != "__final_loss__"}
@@ -91,14 +96,23 @@ def get_eval_model(name: str = "tiny-llama2-7b", seed: int = 0, steps: int = 350
 
 
 def evaluate_dataset(eval_model: EvalModel, spec: DatasetSpec,
-                     cache_factory: KVCacheFactory | None, n_items: int = 8,
-                     seed: int = 0) -> float:
+                     cache_factory: KVCacheFactory | str | None = None, n_items: int = 8,
+                     seed: int = 0, *, cache: KVCacheFactory | str | None = None) -> float:
     """Evaluate one dataset regime under a cache policy, returning its metric.
+
+    The cache policy may be passed as a built :data:`KVCacheFactory`, as a
+    registry spec string (``cache="h2o:budget=64,sink_tokens=4"``) or as
+    ``None`` for the unbounded full cache.  ``cache`` is the preferred keyword;
+    the positional ``cache_factory`` form is kept for compatibility.
 
     Dispatches on the dataset ``kind``: perplexity/generation regimes return
     perplexity (lower is better), multiple-choice regimes return accuracy and
     summarisation regimes return the unigram-overlap score.
     """
+    if cache is not None and cache_factory is not None:
+        raise ValueError("pass either 'cache' or 'cache_factory', not both")
+    chosen = cache if cache is not None else cache_factory
+    cache_factory = resolve("cache", chosen) if isinstance(chosen, str) else chosen
     language = eval_model.language
     if spec.kind in ("perplexity", "generation"):
         total_len = spec.context_len + spec.decode_len

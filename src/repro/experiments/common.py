@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from repro.accelerator.accelerator import EdgeSystem, SimulationResult
 from repro.core.refresh import TwoDRefreshPolicy
-from repro.llm.config import ModelConfig, get_config
-from repro.workloads.generator import WorkloadTrace, trace_for_dataset
+from repro.llm.config import ModelConfig
+from repro.registry import resolve
+from repro.workloads.generator import WorkloadTrace
 
 #: Interval scale applied to the 2DRP refresh settings in the *functional*
 #: (tiny-model) experiments.  With the physical charge-decay fault model the
@@ -32,22 +33,27 @@ HARDWARE_BUDGETS: dict[str, int] = {
 HARDWARE_MODELS: tuple[str, ...] = ("llama2-7b", "llama2-13b", "llama3.2-3b", "mistral-7b")
 
 
-def simulate_system(system: EdgeSystem, model_name: str, dataset: str,
+def simulate_system(system: EdgeSystem | str, model_name: str, dataset: str,
                     batch_size: int | None = None) -> SimulationResult:
-    """Simulate one system on one (model, dataset) pair with paper settings."""
-    model = get_config(model_name)
-    trace = trace_for_dataset(dataset)
+    """Simulate one system on one (model, dataset) pair with paper settings.
+
+    ``system`` accepts either a built :class:`EdgeSystem` or a registry spec
+    string (``"kelle+edram:kv_budget=1024"``); ``model_name`` and ``dataset``
+    resolve through the ``model`` and ``trace`` registries.
+    """
+    model = resolve("model", model_name)
+    trace = resolve("trace", dataset)
     if batch_size is not None:
         trace = trace.with_batch_size(batch_size)
-    return system.simulate(model, trace)
+    return resolve("system", system).simulate(model, trace)
 
 
 def hardware_trace(dataset: str, batch_size: int | None = None) -> WorkloadTrace:
     """The hardware trace of a dataset, optionally with a different batch size."""
-    trace = trace_for_dataset(dataset)
+    trace = resolve("trace", dataset)
     return trace if batch_size is None else trace.with_batch_size(batch_size)
 
 
 def hardware_model(name: str) -> ModelConfig:
-    """Convenience wrapper mirroring :func:`repro.llm.config.get_config`."""
-    return get_config(name)
+    """Convenience wrapper resolving through the ``model`` registry."""
+    return resolve("model", name)

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.eviction import h2o_cache_factory, streaming_llm_cache_factory
-from repro.baselines.quant_kv import quarot_cache_factory
 from repro.core.aerp import AERPConfig, aerp_cache_factory
 from repro.eval.harness import get_eval_model
 from repro.experiments.common import tiny_2drp_policy
+from repro.registry import resolve
 from repro.eval.accuracy import multiple_choice_accuracy
 from repro.eval.perplexity import perplexity_over_documents
 from repro.llm.cache import KVCacheFactory
@@ -60,10 +59,11 @@ def _method_factories(setting: TinyTaskSetting, seed: int) -> dict[str, KVCacheF
     injector = tiny_2drp_policy().make_injector()
     return {
         "fp16": None,
-        "streaming-llm": streaming_llm_cache_factory(setting.budget, sink_tokens=setting.sink_tokens),
-        "h2o": h2o_cache_factory(setting.budget, sink_tokens=setting.sink_tokens,
-                                 recent_window=setting.recent_window),
-        "quarot": quarot_cache_factory(bits=4),
+        "streaming-llm": resolve(
+            "cache", f"streaming_llm:budget={setting.budget},sink_tokens={setting.sink_tokens}"),
+        "h2o": resolve("cache", f"h2o:budget={setting.budget},sink_tokens={setting.sink_tokens},"
+                                f"recent_window={setting.recent_window}"),
+        "quarot": resolve("cache", "quarot:bits=4"),
         "kelle": aerp_cache_factory(aerp, injector=injector, seed=seed),
     }
 

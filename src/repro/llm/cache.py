@@ -18,6 +18,8 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from repro.registry import register
+
 #: Recompute callback: maps (input vector ``x`` of size C, absolute position)
 #: to the per-head key and value vectors ``([H, d], [H, d])`` for this layer.
 RecomputeFn = Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]]
@@ -140,3 +142,9 @@ def full_cache_factory(layer_index: int, n_heads: int, head_dim: int, d_model: i
     """Factory for the full-cache baseline (ignores the recompute callback)."""
     del layer_index, recompute_fn
     return FullKVCache(n_heads, head_dim, d_model)
+
+
+@register("cache", "full", "fp16", description="unbounded full KV cache (no eviction)")
+def _build_full_cache() -> KVCacheFactory:
+    """Registry builder for the full-cache baseline: ``resolve("cache", "full")``."""
+    return full_cache_factory

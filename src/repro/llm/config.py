@@ -172,3 +172,17 @@ def get_config(name: str) -> ModelConfig:
     if name in TINY_CONFIGS:
         return TINY_CONFIGS[name]
     raise KeyError(f"unknown model config '{name}'")
+
+
+def _register_model_configs() -> None:
+    """Expose every named configuration through ``resolve("model", name)``."""
+    from repro.registry import registry
+
+    models = registry("model")
+    for family, configs in (("full-size shape config", FULL_SIZE_CONFIGS),
+                            ("tiny trainable config", TINY_CONFIGS)):
+        for config_name, config in configs.items():
+            models.add(config_name, (lambda c=config: c), description=family)
+
+
+_register_model_configs()

@@ -1,0 +1,26 @@
+"""Request-level serving on top of the accelerator model.
+
+* :mod:`repro.serve.engine` -- :class:`Request`, :class:`ServingEngine` and
+  the spec-driven :func:`simulate` helper.  The engine simulates
+  continuous-batching admission of a multi-request arrival trace onto one
+  :class:`repro.accelerator.accelerator.EdgeSystem`, with per-request latency
+  and energy accounting.
+"""
+
+from repro.serve.engine import (
+    Request,
+    RequestResult,
+    ServingEngine,
+    ServingReport,
+    poisson_requests,
+    simulate,
+)
+
+__all__ = [
+    "Request",
+    "RequestResult",
+    "ServingEngine",
+    "ServingReport",
+    "poisson_requests",
+    "simulate",
+]

@@ -1,0 +1,24 @@
+"""Deprecation helper for the legacy factory entry points.
+
+The registry-based API (:func:`repro.registry.resolve`) supersedes the
+scattered per-module factory functions.  The old functions keep working as
+thin shims, but emit a :class:`DeprecationWarning` pointing at the spec-string
+replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit a DeprecationWarning for a legacy entry point.
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller* of the
+    deprecated public function, not at the shim body.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -54,6 +54,37 @@ def trace_for_dataset(name: str) -> WorkloadTrace:
     return PAPER_TRACES[key]
 
 
+def _register_paper_traces() -> None:
+    """Expose the Section 8 traces through ``resolve("trace", spec)``.
+
+    Trace specs accept geometry overrides, e.g. ``"pg19:batch=1"`` or
+    ``"lambada:context=256,decode=1024"``.
+    """
+    from repro.registry import registry
+
+    traces = registry("trace")
+
+    def make_builder(base: WorkloadTrace):
+        def build(context: int | None = None, decode: int | None = None,
+                  batch: int | None = None) -> WorkloadTrace:
+            trace = base
+            if context is not None or decode is not None:
+                trace = trace.with_lengths(
+                    context if context is not None else trace.context_len,
+                    decode if decode is not None else trace.decode_len)
+            if batch is not None:
+                trace = trace.with_batch_size(batch)
+            return trace
+
+        return build
+
+    for name, base_trace in PAPER_TRACES.items():
+        traces.add(name, make_builder(base_trace), description="Section 8 hardware trace")
+
+
+_register_paper_traces()
+
+
 def long_context_traces() -> list[WorkloadTrace]:
     """The Figure 16 (b) sweep: input 2K-16K crossed with output 128/512/2K."""
     traces = []

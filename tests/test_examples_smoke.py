@@ -1,0 +1,51 @@
+"""Smoke tests for the examples: import and run ``main()`` under tiny budgets.
+
+These guard the public API the examples demonstrate -- an API refactor that
+breaks an example now fails the suite instead of silently rotting the docs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import one example module by file path."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_main_runs_under_tiny_step_budget(self, capsys):
+        quickstart = load_example("quickstart")
+        quickstart.main(steps=4, gen_tokens=6, n_docs=2)
+        output = capsys.readouterr().out
+        assert "Kelle" in output
+        assert "bytes of KV storage" in output
+
+
+class TestEdgeServingSimulation:
+    def test_main_runs_with_small_request_budget(self, capsys):
+        example = load_example("edge_serving_simulation")
+        example.main("llama2-7b", n_requests=3)
+        output = capsys.readouterr().out
+        assert "kelle+edram" in output
+        assert "ServingEngine report" in output
+        assert "original+sram" in output
+
+    def test_main_rejects_unknown_model(self):
+        from repro.registry import RegistryError
+
+        example = load_example("edge_serving_simulation")
+        with pytest.raises(RegistryError):
+            example.main("not-a-model", n_requests=2)

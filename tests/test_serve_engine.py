@@ -1,0 +1,149 @@
+"""ServingEngine tests: continuous-batching admission and per-request accounting.
+
+The headline acceptance criterion: a >=8-request mixed-arrival trace must
+produce per-request latency/energy totals that match the sum of the
+equivalent single-request :meth:`EdgeSystem.simulate` calls within 5%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Request, ServingEngine, resolve, simulate
+from repro.serve import poisson_requests
+
+#: A mixed-arrival, mixed-length trace of 9 requests (arrival s, prompt, decode).
+MIXED_TRACE = [
+    Request("a", 0.0, 128, 512),
+    Request("b", 0.5, 512, 2048),
+    Request("c", 1.0, 1024, 512),
+    Request("d", 5.0, 512, 1024),
+    Request("e", 5.0, 128, 128),
+    Request("f", 30.0, 2048, 256),
+    Request("g", 31.0, 512, 512),
+    Request("h", 200.0, 128, 2048),
+    Request("i", 201.0, 256, 256),
+]
+
+
+@pytest.fixture(scope="module")
+def engine() -> ServingEngine:
+    return ServingEngine("kelle+edram:kv_budget=1024", "llama2-7b", max_concurrency=3)
+
+
+@pytest.fixture(scope="module")
+def report(engine):
+    return engine.run(MIXED_TRACE)
+
+
+class TestAccountingMatchesSingleRequestSims:
+    def test_per_request_latency_within_5_percent(self, engine, report):
+        assert report.n_requests >= 8
+        for result in report.results:
+            reference = engine.system.simulate(engine.model, result.request.trace())
+            assert result.service_latency_s == pytest.approx(reference.total_latency_s, rel=0.05)
+            assert result.prefill_latency_s == pytest.approx(reference.prefill.latency_s, rel=0.05)
+            assert result.decode_latency_s == pytest.approx(reference.decode.latency_s, rel=0.05)
+
+    def test_per_request_energy_within_5_percent(self, engine, report):
+        for result in report.results:
+            reference = engine.system.simulate(engine.model, result.request.trace())
+            assert result.energy_j == pytest.approx(reference.total_energy_j, rel=0.05)
+
+    def test_totals_within_5_percent(self, engine, report):
+        ref_latency = ref_energy = 0.0
+        for request in MIXED_TRACE:
+            reference = engine.system.simulate(engine.model, request.trace())
+            ref_latency += reference.total_latency_s
+            ref_energy += reference.total_energy_j
+        assert sum(r.service_latency_s for r in report.results) == pytest.approx(ref_latency,
+                                                                                 rel=0.05)
+        assert report.total_energy_j == pytest.approx(ref_energy, rel=0.05)
+
+
+class TestAdmission:
+    def test_respects_arrival_times_and_capacity(self, report):
+        for result in report.results:
+            assert result.admitted_at_s >= result.request.arrival_time_s
+            assert result.finished_at_s > result.admitted_at_s
+        assert report.peak_concurrency <= 3
+
+    def test_single_slot_serialises(self):
+        engine = ServingEngine("kelle+edram", "llama2-7b", max_concurrency=1)
+        report = engine.run(MIXED_TRACE[:4])
+        ordered = sorted(report.results, key=lambda r: r.admitted_at_s)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.admitted_at_s >= earlier.finished_at_s - 1e-9
+        assert report.peak_concurrency == 1
+
+    def test_unbounded_capacity_has_no_queueing(self):
+        engine = ServingEngine("kelle+edram", "llama2-7b", max_concurrency=len(MIXED_TRACE))
+        report = engine.run(MIXED_TRACE)
+        for result in report.results:
+            assert result.queue_delay_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_tighter_capacity_increases_queueing(self):
+        tight = ServingEngine("kelle+edram", "llama2-7b", max_concurrency=1).run(MIXED_TRACE)
+        loose = ServingEngine("kelle+edram", "llama2-7b", max_concurrency=8).run(MIXED_TRACE)
+        assert tight.mean_queue_delay_s > loose.mean_queue_delay_s
+        assert tight.makespan_s >= loose.makespan_s
+
+
+class TestReport:
+    def test_aggregates(self, report):
+        assert report.total_tokens == sum(r.decode_len for r in MIXED_TRACE)
+        assert report.throughput_tokens_per_s > 0
+        assert report.makespan_s > 0
+        assert report.latency_percentile_s(50) <= report.latency_percentile_s(95)
+        assert report.energy.total == pytest.approx(report.total_energy_j)
+
+    def test_summary_mentions_key_facts(self, report):
+        text = report.summary()
+        assert "9 requests" in text
+        assert "kelle+edram" in text
+        assert "llama2-7b" in text
+
+
+class TestValidation:
+    def test_empty_run_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.run([])
+
+    def test_duplicate_request_ids_raise(self, engine):
+        with pytest.raises(ValueError):
+            engine.run([Request("x", 0.0, 128, 128), Request("x", 1.0, 128, 128)])
+
+    def test_bad_request_fields_raise(self):
+        with pytest.raises(ValueError):
+            Request("x", -1.0, 128, 128)
+        with pytest.raises(ValueError):
+            Request("x", 0.0, 0, 128)
+        with pytest.raises(ValueError):
+            Request("x", 0.0, 128, 0)
+
+    def test_bad_concurrency_raises(self):
+        with pytest.raises(ValueError):
+            ServingEngine(max_concurrency=0)
+
+
+class TestHelpers:
+    def test_poisson_requests_deterministic_and_bounded(self):
+        first = poisson_requests(16, rate_rps=0.1, prompt_len=256, decode_len=512,
+                                 length_jitter=0.5, seed=7)
+        second = poisson_requests(16, rate_rps=0.1, prompt_len=256, decode_len=512,
+                                  length_jitter=0.5, seed=7)
+        assert first == second
+        assert all(r.arrival_time_s >= 0 for r in first)
+        arrivals = [r.arrival_time_s for r in first]
+        assert arrivals == sorted(arrivals)
+        for request in first:
+            assert 128 <= request.prompt_len <= 384
+            assert 256 <= request.decode_len <= 768
+
+    def test_simulate_helper_matches_manual_composition(self):
+        spec_result = simulate("original+sram", "llama2-7b", "lambada:batch=1")
+        system = resolve("system", "original+sram")
+        manual = system.simulate(resolve("model", "llama2-7b"),
+                                 resolve("trace", "lambada:batch=1"))
+        assert spec_result.total_latency_s == pytest.approx(manual.total_latency_s)
+        assert spec_result.total_energy_j == pytest.approx(manual.total_energy_j)
