@@ -1,0 +1,260 @@
+"""Decode-throughput benchmark: legacy list cache vs contiguous vs batched.
+
+Measures prefill and decode tokens/s of the auto-regressive hot loop in three
+regimes and writes ``BENCH_decode.json``:
+
+* ``legacy_list`` — the pre-contiguous baseline: a full KV cache backed by a
+  Python list of per-token arrays, re-stacked with ``np.stack`` on every
+  fetch (re-implemented here so the regression is measurable forever);
+* ``sequential`` — the contiguous-buffer caches, one sequence at a time;
+* ``batched`` — the contiguous caches driven by
+  :meth:`DecoderLM.prefill_batch` / :meth:`DecoderLM.decode_step_batch`
+  with ``--batch`` sequences per forward pass.
+
+It also measures eval throughput (teacher-forced forced-decode scoring, the
+regime :func:`repro.eval.harness.evaluate_dataset` runs in) for the legacy
+sequential harness vs the batched path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_decode.py            # full run
+    PYTHONPATH=src python benchmarks/bench_decode.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.cache import LayerKVCache
+from repro.llm.config import tiny_config
+from repro.llm.functional import log_softmax
+from repro.llm.model import DecoderLM
+from repro.registry import resolve
+
+
+class _LegacyListKVCache(LayerKVCache):
+    """The seed repo's list-backed full cache (pre-PR reference for speedups)."""
+
+    def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
+        super().__init__(n_heads, head_dim, d_model)
+        self._keys: list[np.ndarray] = []
+        self._values: list[np.ndarray] = []
+
+    def prefill(self, keys, values, inputs, attn_probs):
+        del inputs, attn_probs
+        for n in range(keys.shape[1]):
+            self._keys.append(np.array(keys[:, n, :], dtype=np.float32))
+            self._values.append(np.array(values[:, n, :], dtype=np.float32))
+
+    def append(self, key, value, x, position):
+        del x, position
+        self._keys.append(np.array(key, dtype=np.float32))
+        self._values.append(np.array(value, dtype=np.float32))
+
+    def fetch(self):
+        keys = np.stack(self._keys, axis=1)
+        values = np.stack(self._values, axis=1)
+        valid = np.ones((self.n_heads, keys.shape[1]), dtype=bool)
+        return keys, values, valid
+
+    def observe_attention(self, probs):
+        del probs
+
+    @property
+    def num_tokens(self):
+        return len(self._keys)
+
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        elements = 2 * len(self._keys) * self.n_heads * self.head_dim
+        return elements * bits_per_element // 8
+
+
+def _legacy_factory(layer_index, n_heads, head_dim, d_model, recompute_fn):
+    del layer_index, recompute_fn
+    return _LegacyListKVCache(n_heads, head_dim, d_model)
+
+
+def _bench_model(prompt_len: int, decode_len: int) -> DecoderLM:
+    config = tiny_config("bench-decode", n_layers=4, d_model=64, n_heads=4, d_ff=128,
+                         vocab_size=128, max_seq_len=prompt_len + decode_len + 8)
+    return DecoderLM(config, seed=0)
+
+
+def _run_sequential(model, prompts, decode_len, factory,
+                    continuations=None) -> tuple[float, float]:
+    """(prefill_s, decode_s) for one pass over ``prompts``, one sequence at a time.
+
+    With ``continuations`` the decode phase scores those tokens (teacher
+    forcing, the eval-harness regime); otherwise it feeds back greedy picks.
+    """
+    prefill_s = decode_s = 0.0
+    for index, prompt in enumerate(prompts):
+        caches = model.make_caches(factory)
+        start = time.perf_counter()
+        logits = model.prefill(prompt, caches)
+        prefill_s += time.perf_counter() - start
+        position = len(prompt)
+        start = time.perf_counter()
+        for step in range(decode_len):
+            if continuations is not None:
+                token = continuations[index][step]
+            else:
+                token = int(np.argmax(log_softmax(logits)))
+            if step == decode_len - 1:
+                break
+            logits = model.decode_step(token, position, caches)
+            position += 1
+        decode_s += time.perf_counter() - start
+    return prefill_s, decode_s
+
+
+def _run_batched(model, prompts, decode_len, factory,
+                 continuations=None) -> tuple[float, float]:
+    """(prefill_s, decode_s) for one pass over ``prompts`` as a single batch."""
+    caches_batch = [model.make_caches(factory) for _ in prompts]
+    start = time.perf_counter()
+    logits = model.prefill_batch(prompts, caches_batch)
+    prefill_s = time.perf_counter() - start
+    positions = [len(prompt) for prompt in prompts]
+    start = time.perf_counter()
+    for step in range(decode_len):
+        if continuations is not None:
+            tokens = [cont[step] for cont in continuations]
+        else:
+            tokens = np.argmax(log_softmax(logits, axis=-1), axis=-1).tolist()
+        if step == decode_len - 1:
+            break
+        logits = model.decode_step_batch(tokens, positions, caches_batch)
+        positions = [position + 1 for position in positions]
+    return prefill_s, time.perf_counter() - start
+
+
+def _best_rates(runner, repeats, n_prefill_tokens, n_decode_tokens):
+    """Best-of-``repeats`` (prefill tok/s, decode tok/s, end-to-end tok/s)."""
+    best = (0.0, 0.0, 0.0)
+    for _ in range(repeats):
+        prefill_s, decode_s = runner()
+        rates = (n_prefill_tokens / prefill_s, n_decode_tokens / decode_s,
+                 n_decode_tokens / (prefill_s + decode_s))
+        if rates[2] > best[2]:
+            best = rates
+    return {"prefill_tokens_per_s": best[0], "decode_tokens_per_s": best[1],
+            "end_to_end_decode_tokens_per_s": best[2]}
+
+
+def run_benchmark(prompt_len: int, decode_len: int, batch: int, policies: list[str],
+                  repeats: int) -> dict:
+    model = _bench_model(prompt_len, decode_len)
+    rng = np.random.default_rng(0)
+    vocab = model.config.vocab_size
+    prompts = [rng.integers(0, vocab, size=prompt_len).tolist() for _ in range(batch)]
+    continuations = [rng.integers(0, vocab, size=decode_len).tolist() for _ in range(batch)]
+    n_prefill = batch * prompt_len
+    n_decode = batch * decode_len
+
+    results: dict = {
+        "config": {
+            "model": model.config.name,
+            "n_layers": model.config.n_layers,
+            "d_model": model.config.d_model,
+            "prompt_len": prompt_len,
+            "decode_len": decode_len,
+            "batch": batch,
+            "repeats": repeats,
+        },
+        "policies": {},
+    }
+
+    def show(label, rates):
+        print(f"{label:42s}: prefill {rates['prefill_tokens_per_s']:9.0f} tok/s | "
+              f"decode {rates['decode_tokens_per_s']:9.0f} tok/s | "
+              f"e2e {rates['end_to_end_decode_tokens_per_s']:9.0f} tok/s")
+
+    legacy = _best_rates(lambda: _run_sequential(model, prompts, decode_len, _legacy_factory),
+                         repeats, n_prefill, n_decode)
+    results["legacy_list_full"] = legacy
+    show("legacy list-backed full cache (seq)", legacy)
+
+    for spec in policies:
+        factory = resolve("cache", spec)
+        sequential = _best_rates(
+            lambda: _run_sequential(model, prompts, decode_len, factory),
+            repeats, n_prefill, n_decode)
+        batched = _best_rates(
+            lambda: _run_batched(model, prompts, decode_len, factory),
+            repeats, n_prefill, n_decode)
+        entry = {"sequential": sequential, "batched": batched}
+        if spec == "full":
+            entry["decode_speedup_sequential_vs_legacy"] = (
+                sequential["decode_tokens_per_s"] / legacy["decode_tokens_per_s"])
+            entry["decode_speedup_batched_vs_legacy"] = (
+                batched["decode_tokens_per_s"] / legacy["decode_tokens_per_s"])
+        results["policies"][spec] = entry
+        show(f"{spec} (seq)", sequential)
+        show(f"{spec} (batched B={batch})", batched)
+
+    # Eval-harness regime: teacher-forced scoring, legacy sequential harness
+    # vs the batched path (what evaluate_dataset(batch_size=B) now runs).
+    eval_legacy = _best_rates(
+        lambda: _run_sequential(model, prompts, decode_len, _legacy_factory,
+                                continuations=continuations),
+        repeats, n_prefill, n_decode)
+    eval_batched = _best_rates(
+        lambda: _run_batched(model, prompts, decode_len, resolve("cache", "full"),
+                             continuations=continuations),
+        repeats, n_prefill, n_decode)
+    results["eval"] = {
+        "legacy_sequential_harness": eval_legacy,
+        "batched": eval_batched,
+        "scored_speedup_batched_vs_legacy_harness": (
+            eval_batched["end_to_end_decode_tokens_per_s"]
+            / eval_legacy["end_to_end_decode_tokens_per_s"]),
+    }
+    show("eval forced-decode legacy harness (seq)", eval_legacy)
+    show(f"eval forced-decode (batched B={batch})", eval_batched)
+
+    full = results["policies"].get("full")
+    if full is not None:
+        print(f"decode speedup vs pre-PR list-backed path: "
+              f"{full['decode_speedup_batched_vs_legacy']:.1f}x batched, "
+              f"{full['decode_speedup_sequential_vs_legacy']:.1f}x sequential")
+    print(f"eval speedup vs sequential legacy harness: "
+          f"{results['eval']['scored_speedup_batched_vs_legacy_harness']:.1f}x")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--prompt-len", type=int, default=512)
+    parser.add_argument("--decode-len", type=int, default=128)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per measurement (best is kept)")
+    parser.add_argument("--policies", nargs="*", default=[
+        "full",
+        "streaming_llm:budget=128,sink_tokens=8",
+        "h2o:budget=128,sink_tokens=8,recent_window=32",
+        "kelle:budget=128,sink_tokens=8,recent_window=32,refresh=none",
+    ])
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_decode.json"))
+    args = parser.parse_args()
+
+    if args.quick:
+        args.prompt_len, args.decode_len, args.batch, args.repeats = 64, 16, 4, 1
+        args.policies = ["full", "h2o:budget=32,sink_tokens=4,recent_window=8"]
+
+    results = run_benchmark(args.prompt_len, args.decode_len, args.batch,
+                            args.policies, args.repeats)
+    args.out.write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.llm.cache import KVCacheFactory, LayerKVCache, RecomputeFn
+from repro.llm.cache import ContiguousKVStore, KVCacheFactory, LayerKVCache, RecomputeFn
 from repro.quant.hadamard import apply_hadamard, remove_hadamard
 from repro.quant.integer import fake_quantize
 from repro.registry import register
@@ -20,7 +20,12 @@ from repro.utils.deprecation import warn_deprecated
 
 
 class QuantizedKVCache(LayerKVCache):
-    """Full (non-evicting) KV cache with per-token fake-quantized storage."""
+    """Full (non-evicting) KV cache with per-token fake-quantized storage.
+
+    The dequantised vectors live in a :class:`ContiguousKVStore`, so prefill
+    quantizes the whole context block in one vectorised round trip and
+    ``fetch`` returns zero-copy views.
+    """
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int, bits: int,
                  use_hadamard: bool = False, symmetric: bool = True) -> None:
@@ -32,8 +37,7 @@ class QuantizedKVCache(LayerKVCache):
         self.bits = bits
         self.use_hadamard = use_hadamard
         self.symmetric = symmetric
-        self._keys: list[np.ndarray] = []
-        self._values: list[np.ndarray] = []
+        self._store = ContiguousKVStore(n_heads, head_dim)
 
     def _roundtrip(self, vector: np.ndarray) -> np.ndarray:
         """Quantize/dequantize one ``[H, d]`` per-head vector."""
@@ -45,34 +49,43 @@ class QuantizedKVCache(LayerKVCache):
             data = remove_hadamard(data, axis=-1)
         return data.astype(np.float32)
 
+    def _roundtrip_block(self, block: np.ndarray) -> np.ndarray:
+        """Quantize/dequantize an ``[H, n, d]`` block with per-token scales.
+
+        Keeping axes ``(1, 2)`` reduces over heads only, so each token's
+        ``[n, d]`` scales match what the per-token :meth:`_roundtrip` computes.
+        """
+        data = np.asarray(block, dtype=np.float32)
+        if self.use_hadamard:
+            data = apply_hadamard(data, axis=-1)
+        data = fake_quantize(data, bits=self.bits, axis=(1, 2), symmetric=self.symmetric)
+        if self.use_hadamard:
+            data = remove_hadamard(data, axis=-1)
+        return data.astype(np.float32)
+
     def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
                 attn_probs: np.ndarray) -> None:
         del inputs, attn_probs
-        for n in range(keys.shape[1]):
-            self._keys.append(self._roundtrip(keys[:, n, :]))
-            self._values.append(self._roundtrip(values[:, n, :]))
+        self._store.extend(self._roundtrip_block(keys), self._roundtrip_block(values))
 
     def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
         del x, position
-        self._keys.append(self._roundtrip(key))
-        self._values.append(self._roundtrip(value))
+        self._store.append(self._roundtrip(key), self._roundtrip(value))
 
     def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        keys = np.stack(self._keys, axis=1)
-        values = np.stack(self._values, axis=1)
-        valid = np.ones((self.n_heads, keys.shape[1]), dtype=bool)
-        return keys, values, valid
+        keys, values = self._store.view()
+        return keys, values, self._store.valid_view()
 
     def observe_attention(self, probs: np.ndarray) -> None:
         del probs
 
     @property
     def num_tokens(self) -> int:
-        return len(self._keys)
+        return len(self._store)
 
     def stored_bytes(self, bits_per_element: int = 16) -> int:
         del bits_per_element  # storage is at the cache's own quantized width
-        elements = 2 * len(self._keys) * self.n_heads * self.head_dim
+        elements = 2 * len(self._store) * self.n_heads * self.head_dim
         return elements * self.bits // 8
 
 

@@ -15,6 +15,14 @@ their K/V are recomputed on demand through the layer's projection weights.
 The same code path provides the storage accounting used by the accelerator
 energy model and keeps the functional effect of fault injection honest: 2DRP
 bit flips are applied to whatever representation is actually stored.
+
+Storage layout: all live entries' K/V and importance values live in
+preallocated contiguous pools (``[H, capacity, d]`` / ``[H, capacity]``,
+amortised-doubling growth, freed rows recycled).  Each :class:`TokenEntry`'s
+``keys``/``values``/``importance`` arrays are *views* into its pool row, so
+``fetch`` gathers a head's slots with one fancy-indexed copy instead of a
+per-slot Python loop, and ``observe_attention`` updates importance with one
+vectorised scatter-add per head.
 """
 
 from __future__ import annotations
@@ -35,14 +43,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 
 @dataclass
 class TokenEntry:
-    """Book-keeping for one token held by the cache (across heads)."""
+    """Book-keeping for one token held by the cache (across heads).
+
+    ``keys``/``values``/``importance`` are views into the cache's contiguous
+    pools; mutate them in place (``entry.keys[...] = ...``) rather than
+    rebinding the attributes.
+    """
 
     token_index: int
     position: int
     x: np.ndarray
-    keys: np.ndarray  # [H, head_dim]
-    values: np.ndarray  # [H, head_dim]
-    importance: np.ndarray  # [H]
+    keys: np.ndarray  # [H, head_dim] pool view
+    values: np.ndarray  # [H, head_dim] pool view
+    importance: np.ndarray  # [H] pool view
     retaining_heads: set[int]
     storage_format: str = "kv"  # "kv" or "x"
     is_sink: bool = False
@@ -84,9 +97,63 @@ class AERPCache(LayerKVCache):
         self._next_token_index = 0
         self._current_position = -1
         self._step = 0
+        # Fetch snapshot: the slot lists are shared by reference and only
+        # copied if the cache mutates between fetch and observe_attention
+        # (copy-on-write; never happens in the decode loop).
         self._last_fetch_slots: list[list[int]] | None = None
+        self._last_fetch_rows: list[np.ndarray] | None = None
+        self._fetch_stale = False
         self.eviction_count = 0
         self.recompute_count = 0
+        # Contiguous pools; rows are recycled through a free list.
+        capacity = max(16, config.budget + config.sink_tokens + 1)
+        self._pool_k = np.zeros((n_heads, capacity, head_dim), dtype=np.float32)
+        self._pool_v = np.zeros((n_heads, capacity, head_dim), dtype=np.float32)
+        self._pool_imp = np.zeros((n_heads, capacity), dtype=np.float64)
+        self._rows: dict[int, int] = {}  # token_index -> pool row
+        self._free_rows: list[int] = list(range(capacity - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _grow_pools(self, extra: int) -> None:
+        capacity = self._pool_k.shape[1]
+        needed = capacity - len(self._free_rows) + extra
+        if needed <= capacity:
+            return
+        new_capacity = capacity
+        while new_capacity < needed:
+            new_capacity *= 2
+        for name in ("_pool_k", "_pool_v", "_pool_imp"):
+            old = getattr(self, name)
+            grown = np.zeros(old.shape[:1] + (new_capacity,) + old.shape[2:], dtype=old.dtype)
+            grown[:, :capacity] = old
+            setattr(self, name, grown)
+        self._free_rows.extend(range(new_capacity - 1, capacity - 1, -1))
+        # Re-bind the per-entry views onto the reallocated pools.
+        for token_index, entry in self._entries.items():
+            row = self._rows[token_index]
+            entry.keys = self._pool_k[:, row, :]
+            entry.values = self._pool_v[:, row, :]
+            entry.importance = self._pool_imp[:, row]
+            if entry.recomputed is not None:
+                entry.recomputed = (entry.keys, entry.values)
+
+    def _alloc_row(self, token_index: int) -> int:
+        self._grow_pools(1)
+        row = self._free_rows.pop()
+        self._rows[token_index] = row
+        return row
+
+    def _snapshot_before_mutation(self) -> None:
+        """Detach a live fetch snapshot before the slot lists change."""
+        if self._last_fetch_slots is not None and not self._fetch_stale:
+            self._last_fetch_slots = [list(slots) for slots in self._slots]
+            self._fetch_stale = True
+
+    def _release_entry(self, token_index: int) -> None:
+        del self._entries[token_index]
+        self._free_rows.append(self._rows.pop(token_index))
 
     # ------------------------------------------------------------------
     # Introspection helpers used by tests and the experiments
@@ -150,8 +217,8 @@ class AERPCache(LayerKVCache):
             entry.x = self.injector.corrupt(entry.x, is_high_score, self._rng)
             entry.recomputed = None
         else:
-            entry.keys = self.injector.corrupt(entry.keys, is_high_score, self._rng)
-            entry.values = self.injector.corrupt(entry.values, is_high_score, self._rng)
+            entry.keys[...] = self.injector.corrupt(entry.keys, is_high_score, self._rng)
+            entry.values[...] = self.injector.corrupt(entry.values, is_high_score, self._rng)
         entry.corrupted = True
 
     def _choose_format(self, retained_heads: int) -> str:
@@ -179,13 +246,44 @@ class AERPCache(LayerKVCache):
         entry.retaining_heads.discard(head)
         self.eviction_count += 1
         if not entry.retaining_heads:
-            del self._entries[victim]
+            self._release_entry(victim)
 
     def _recomputed_kv(self, entry: TokenEntry) -> tuple[np.ndarray, np.ndarray]:
         if entry.recomputed is None:
-            entry.recomputed = self.recompute_fn(entry.x, entry.position)
+            keys, values = self.recompute_fn(entry.x, entry.position)
+            # Recomputed K/V are written back into the entry's pool row so the
+            # fetch gather serves both storage formats from the same buffers.
+            entry.keys[...] = keys
+            entry.values[...] = values
+            entry.recomputed = (entry.keys, entry.values)
             self.recompute_count += 1
         return entry.recomputed
+
+    def _make_entry(self, position: int, x: np.ndarray, keys: np.ndarray, values: np.ndarray,
+                    importance: np.ndarray, retaining_heads: set[int], *, is_sink: bool,
+                    observation_count: int = 0) -> TokenEntry:
+        """Allocate a pool row, write K/V/importance into it and build the entry."""
+        token_index = self._next_token_index
+        self._next_token_index += 1
+        row = self._alloc_row(token_index)
+        self._pool_k[:, row, :] = keys
+        self._pool_v[:, row, :] = values
+        self._pool_imp[:, row] = importance
+        entry = TokenEntry(
+            token_index=token_index,
+            position=position,
+            x=np.array(x, dtype=np.float32),
+            keys=self._pool_k[:, row, :],
+            values=self._pool_v[:, row, :],
+            importance=self._pool_imp[:, row],
+            retaining_heads=retaining_heads,
+            is_sink=is_sink,
+            created_step=self._step,
+            observation_count=observation_count,
+        )
+        entry.storage_format = self._choose_format(len(retaining_heads))
+        self._entries[token_index] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # LayerKVCache interface
@@ -195,49 +293,44 @@ class AERPCache(LayerKVCache):
         keys = np.asarray(keys, dtype=np.float32)
         values = np.asarray(values, dtype=np.float32)
         inputs = np.asarray(inputs, dtype=np.float32)
+        self._snapshot_before_mutation()
         n_ctx = keys.shape[1]
         self._current_position = n_ctx - 1
         importance = ImportanceTracker.prefill_importance(attn_probs)  # [H, N]
         budget = self.config.budget
 
-        retained_by_head: list[np.ndarray] = []
+        retained = np.zeros((self.n_heads, n_ctx), dtype=bool)  # head x token
+        forced = np.zeros(n_ctx, dtype=bool)
+        forced[:min(self.config.sink_tokens, n_ctx)] = True
+        forced[max(0, n_ctx - self.config.recent_window):] = True
         for head in range(self.n_heads):
-            forced = set(range(min(self.config.sink_tokens, n_ctx)))
-            forced |= set(range(max(0, n_ctx - self.config.recent_window), n_ctx))
             if n_ctx <= budget:
-                kept = np.arange(n_ctx)
-            else:
-                remaining_budget = max(0, budget - len(forced))
-                others = [n for n in range(n_ctx) if n not in forced]
-                others.sort(key=lambda n: importance[head, n], reverse=True)
-                kept = np.array(sorted(forced | set(others[:remaining_budget])), dtype=np.int64)
-            retained_by_head.append(kept)
-
-        retain_count = np.zeros(n_ctx, dtype=np.int64)
-        for kept in retained_by_head:
-            retain_count[kept] += 1
+                retained[head] = True
+                continue
+            remaining_budget = max(0, budget - int(forced.sum()))
+            others = np.nonzero(~forced)[0]
+            # Highest pre-fill importance first; stable sort keeps the original
+            # position order among ties, matching list.sort(reverse=True).
+            order = others[np.argsort(-importance[head, others], kind="stable")]
+            retained[head, forced] = True
+            retained[head, order[:remaining_budget]] = True
 
         for n in range(n_ctx):
-            if retain_count[n] == 0:
+            heads = np.nonzero(retained[:, n])[0]
+            if heads.size == 0:
                 continue
-            heads = {h for h in range(self.n_heads) if n in set(retained_by_head[h].tolist())}
-            entry = TokenEntry(
-                token_index=self._next_token_index,
+            entry = self._make_entry(
                 position=n,
-                x=np.array(inputs[n], dtype=np.float32),
-                keys=np.array(keys[:, n, :], dtype=np.float32),
-                values=np.array(values[:, n, :], dtype=np.float32),
-                importance=np.array(importance[:, n], dtype=np.float64),
-                retaining_heads=heads,
+                x=inputs[n],
+                keys=keys[:, n, :],
+                values=values[:, n, :],
+                importance=importance[:, n].astype(np.float64),
+                retaining_heads=set(int(h) for h in heads),
                 is_sink=n < self.config.sink_tokens,
-                created_step=self._step,
                 observation_count=max(1, n_ctx - n),
             )
-            entry.storage_format = self._choose_format(len(heads))
-            self._entries[entry.token_index] = entry
             for head in heads:
-                self._slots[head].append(entry.token_index)
-            self._next_token_index += 1
+                self._slots[int(head)].append(entry.token_index)
 
         # Fault injection for pre-filled entries: classification uses the
         # pre-filling importance ranking.
@@ -248,44 +341,46 @@ class AERPCache(LayerKVCache):
                 self._corrupt_entry(entry, entry.importance_rate() >= median)
 
     def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        self._snapshot_before_mutation()
         self._current_position = max(self._current_position, position)
         for head in range(self.n_heads):
             if len(self._slots[head]) >= self.config.budget:
                 self._evict_from_head(head)
-        entry = TokenEntry(
-            token_index=self._next_token_index,
+        entry = self._make_entry(
             position=position,
-            x=np.array(x, dtype=np.float32),
-            keys=np.array(key, dtype=np.float32),
-            values=np.array(value, dtype=np.float32),
+            x=x,
+            keys=key,
+            values=value,
             importance=np.zeros(self.n_heads, dtype=np.float64),
             retaining_heads=set(range(self.n_heads)),
             is_sink=position < self.config.sink_tokens,
-            created_step=self._step,
         )
-        entry.storage_format = self._choose_format(len(entry.retaining_heads))
-        self._entries[entry.token_index] = entry
         for head in range(self.n_heads):
             self._slots[head].append(entry.token_index)
-        self._next_token_index += 1
 
     def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # Materialise any recomputation-format entries into their pool rows
+        # first, so the per-head gather below covers both storage formats.
+        for entry in self._entries.values():
+            if entry.storage_format == "x" and entry.recomputed is None:
+                self._recomputed_kv(entry)
         n_max = self.num_tokens
         keys = np.zeros((self.n_heads, n_max, self.head_dim), dtype=np.float32)
         values = np.zeros((self.n_heads, n_max, self.head_dim), dtype=np.float32)
         valid = np.zeros((self.n_heads, n_max), dtype=bool)
+        rows_by_head: list[np.ndarray] = []
         for head in range(self.n_heads):
-            for slot, token_index in enumerate(self._slots[head]):
-                entry = self._entries[token_index]
-                if entry.storage_format == "x":
-                    k_all, v_all = self._recomputed_kv(entry)
-                    keys[head, slot] = k_all[head]
-                    values[head, slot] = v_all[head]
-                else:
-                    keys[head, slot] = entry.keys[head]
-                    values[head, slot] = entry.values[head]
-                valid[head, slot] = True
-        self._last_fetch_slots = [list(slots) for slots in self._slots]
+            slots = self._slots[head]
+            rows = np.fromiter((self._rows[tok] for tok in slots), dtype=np.int64,
+                               count=len(slots))
+            rows_by_head.append(rows)
+            if rows.size:
+                keys[head, :rows.size] = self._pool_k[head, rows]
+                values[head, :rows.size] = self._pool_v[head, rows]
+                valid[head, :rows.size] = True
+        self._last_fetch_slots = self._slots  # shared; copied on mutation
+        self._last_fetch_rows = rows_by_head
+        self._fetch_stale = False
         return keys, values, valid
 
     def observe_attention(self, probs: np.ndarray) -> None:
@@ -293,15 +388,33 @@ class AERPCache(LayerKVCache):
             raise RuntimeError("observe_attention called before fetch")
         probs = np.asarray(probs, dtype=np.float64)
         observed: set[int] = set()
+        # Fast path applies only when no append/eviction ran since the fetch
+        # (tracked copy-on-write): unchanged slot lists imply every
+        # (head, token) pair is still retained and every token still occupies
+        # its fetched pool row.
+        rows_valid = not self._fetch_stale
         for head in range(self.n_heads):
-            for slot, token_index in enumerate(self._last_fetch_slots[head]):
-                entry = self._entries.get(token_index)
-                if entry is not None and head in entry.retaining_heads:
-                    entry.importance[head] += probs[head, slot]
-                    observed.add(token_index)
+            slots = self._last_fetch_slots[head]
+            if not slots:
+                continue
+            if rows_valid:
+                rows = self._last_fetch_rows[head]
+                self._pool_imp[head, rows] += probs[head, :rows.size]
+                observed.update(slots)
+            else:
+                # Slow path: the cache mutated between fetch and observe.
+                for slot, token_index in enumerate(slots):
+                    entry = self._entries.get(token_index)
+                    if entry is not None and head in entry.retaining_heads:
+                        entry.importance[head] += probs[head, slot]
+                        observed.add(token_index)
         for token_index in observed:
-            self._entries[token_index].observation_count += 1
+            entry = self._entries.get(token_index)
+            if entry is not None:
+                entry.observation_count += 1
         self._last_fetch_slots = None
+        self._last_fetch_rows = None
+        self._fetch_stale = False
         # Lazy 2DRP fault injection: an entry is corrupted once, after it has
         # been resident for at least one step (so its HST/LST class reflects
         # observed importance rather than defaulting to "new token").

@@ -8,7 +8,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.llm.cache import KVCacheFactory
-from repro.llm.generation import forced_decode_logprobs, generate
+from repro.llm.generation import (
+    forced_decode_logprobs,
+    forced_decode_logprobs_batch,
+    generate,
+    generate_batch,
+)
 from repro.llm.model import DecoderLM
 from repro.workloads.tasks import MultipleChoiceItem
 
@@ -21,18 +26,44 @@ def choice_logprob(model: DecoderLM, prompt: Sequence[int], choice: Sequence[int
 
 
 def multiple_choice_accuracy(model: DecoderLM, items: Sequence[MultipleChoiceItem],
-                             cache_factory: KVCacheFactory | None) -> float:
-    """Fraction of items whose correct choice receives the highest log-probability."""
+                             cache_factory: KVCacheFactory | None,
+                             batch_size: int = 1) -> float:
+    """Fraction of items whose correct choice receives the highest log-probability.
+
+    With ``batch_size > 1`` the (item, choice) pairs are scored through the
+    batched forced-decode path, ``batch_size`` lanes per forward pass.
+    """
     if not items:
         raise ValueError("items must be non-empty")
-    correct = 0
-    for item in items:
-        scores = [
-            choice_logprob(model, item.prompt_tokens, choice, cache_factory)
-            for choice in item.choices
-        ]
-        if int(np.argmax(scores)) == item.correct_index:
-            correct += 1
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if batch_size == 1:
+        correct = 0
+        for item in items:
+            scores = [
+                choice_logprob(model, item.prompt_tokens, choice, cache_factory)
+                for choice in item.choices
+            ]
+            if int(np.argmax(scores)) == item.correct_index:
+                correct += 1
+        return correct / len(items)
+    pairs = [(item_index, choice)
+             for item_index, item in enumerate(items) for choice in item.choices]
+    scores_by_item: list[list[float]] = [[] for _ in items]
+    for start in range(0, len(pairs), batch_size):
+        chunk = pairs[start:start + batch_size]
+        logprobs = forced_decode_logprobs_batch(
+            model,
+            [items[item_index].prompt_tokens for item_index, _ in chunk],
+            [choice for _, choice in chunk],
+            cache_factory=cache_factory,
+        )
+        for (item_index, _), choice_logprobs in zip(chunk, logprobs):
+            scores_by_item[item_index].append(float(np.sum(choice_logprobs)))
+    correct = sum(
+        1 for item, scores in zip(items, scores_by_item)
+        if int(np.argmax(scores)) == item.correct_index
+    )
     return correct / len(items)
 
 
@@ -54,20 +85,31 @@ def unigram_overlap_f1(generated: Sequence[int], reference: Sequence[int]) -> fl
 
 def summarization_overlap(model: DecoderLM, documents: Sequence[tuple[np.ndarray, np.ndarray]],
                           cache_factory: KVCacheFactory | None, summary_len: int = 32,
-                          seed: int = 0) -> float:
+                          seed: int = 0, batch_size: int = 1) -> float:
     """Mean unigram-overlap score of generated continuations against references.
 
     Each document is paired with its salient reference tokens (see
     :func:`repro.workloads.tasks.make_summarization_items`); the model
     generates ``summary_len`` tokens after the document under the cache
     policy and the continuation is scored by unigram F1 against the
-    reference.
+    reference.  With ``batch_size > 1`` documents are generated
+    ``batch_size`` at a time through :func:`generate_batch`.
     """
     if not documents:
         raise ValueError("documents must be non-empty")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
     scores = []
-    for doc, reference in documents:
-        result = generate(model, doc, summary_len, cache_factory=cache_factory, temperature=0.0,
-                          seed=seed)
-        scores.append(unigram_overlap_f1(result.generated_tokens, reference))
+    if batch_size == 1:
+        for doc, reference in documents:
+            result = generate(model, doc, summary_len, cache_factory=cache_factory,
+                              temperature=0.0, seed=seed)
+            scores.append(unigram_overlap_f1(result.generated_tokens, reference))
+        return float(np.mean(scores))
+    for start in range(0, len(documents), batch_size):
+        chunk = documents[start:start + batch_size]
+        results = generate_batch(model, [doc for doc, _ in chunk], summary_len,
+                                 cache_factory=cache_factory, temperature=0.0, seed=seed)
+        for result, (_, reference) in zip(results, chunk):
+            scores.append(unigram_overlap_f1(result.generated_tokens, reference))
     return float(np.mean(scores))

@@ -97,13 +97,20 @@ def get_eval_model(name: str = "tiny-llama2-7b", seed: int = 0, steps: int = 350
 
 def evaluate_dataset(eval_model: EvalModel, spec: DatasetSpec,
                      cache_factory: KVCacheFactory | str | None = None, n_items: int = 8,
-                     seed: int = 0, *, cache: KVCacheFactory | str | None = None) -> float:
+                     seed: int = 0, *, cache: KVCacheFactory | str | None = None,
+                     batch_size: int = 8) -> float:
     """Evaluate one dataset regime under a cache policy, returning its metric.
 
     The cache policy may be passed as a built :data:`KVCacheFactory`, as a
     registry spec string (``cache="h2o:budget=64,sink_tokens=4"``) or as
     ``None`` for the unbounded full cache.  ``cache`` is the preferred keyword;
     the positional ``cache_factory`` form is kept for compatibility.
+
+    ``batch_size`` sets how many sequences are scored per forward pass through
+    the batched decode path.  ``1`` recovers the sequential harness; the
+    batched path matches it to floating-point precision (BLAS reductions are
+    reordered, so the last bits — and, for knife-edge ties, an argmax — can
+    differ).
 
     Dispatches on the dataset ``kind``: perplexity/generation regimes return
     perplexity (lower is better), multiple-choice regimes return accuracy and
@@ -118,11 +125,13 @@ def evaluate_dataset(eval_model: EvalModel, spec: DatasetSpec,
         total_len = spec.context_len + spec.decode_len
         documents = eval_model.sample_documents(max(2, n_items // 2), total_len, seed=seed)
         return perplexity_over_documents(eval_model.model, documents, cache_factory,
-                                         prefill_len=spec.context_len)
+                                         prefill_len=spec.context_len, batch_size=batch_size)
     if spec.kind == "multiple_choice":
         items = make_multiple_choice_task(language, n_items, spec.context_len, seed=seed)
-        return multiple_choice_accuracy(eval_model.model, items, cache_factory)
+        return multiple_choice_accuracy(eval_model.model, items, cache_factory,
+                                        batch_size=batch_size)
     if spec.kind == "summarization":
         items = make_summarization_items(language, max(2, n_items // 2), spec.context_len, seed=seed)
-        return summarization_overlap(eval_model.model, items, cache_factory)
+        return summarization_overlap(eval_model.model, items, cache_factory,
+                                     batch_size=batch_size)
     raise ValueError(f"unsupported dataset kind '{spec.kind}'")

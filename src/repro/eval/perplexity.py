@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.llm.cache import KVCacheFactory
 from repro.llm.functional import cross_entropy
-from repro.llm.generation import forced_decode_logprobs
+from repro.llm.generation import forced_decode_logprobs, forced_decode_logprobs_batch
 from repro.llm.model import DecoderLM
 
 
@@ -44,16 +44,42 @@ def perplexity_with_cache(model: DecoderLM, tokens: np.ndarray, cache_factory: K
 
 
 def perplexity_over_documents(model: DecoderLM, documents: list[np.ndarray],
-                              cache_factory: KVCacheFactory | None, prefill_len: int) -> float:
-    """Mean cache-aware perplexity over several documents (token-weighted)."""
+                              cache_factory: KVCacheFactory | None, prefill_len: int,
+                              batch_size: int = 1) -> float:
+    """Mean cache-aware perplexity over several documents (token-weighted).
+
+    With ``batch_size > 1`` documents are scored ``batch_size`` at a time
+    through the batched forced-decode path (one forward pass per token step
+    for the whole batch), matching the sequential loop to floating-point
+    precision.
+    """
     if not documents:
         raise ValueError("documents must be non-empty")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    docs = [np.asarray(doc, dtype=np.int64) for doc in documents]
+    for doc in docs:
+        if not 0 < prefill_len < doc.size:
+            raise ValueError(
+                "prefill_len must split every document into non-empty prompt and continuation")
     total_nll = 0.0
     total_tokens = 0
-    for doc in documents:
-        doc = np.asarray(doc, dtype=np.int64)
-        ppl = perplexity_with_cache(model, doc, cache_factory, prefill_len)
-        n = doc.size - prefill_len
-        total_nll += np.log(ppl) * n
-        total_tokens += n
+    if batch_size == 1:
+        for doc in docs:
+            ppl = perplexity_with_cache(model, doc, cache_factory, prefill_len)
+            n = doc.size - prefill_len
+            total_nll += np.log(ppl) * n
+            total_tokens += n
+        return float(np.exp(total_nll / total_tokens))
+    for start in range(0, len(docs), batch_size):
+        chunk = docs[start:start + batch_size]
+        logprobs = forced_decode_logprobs_batch(
+            model,
+            [doc[:prefill_len] for doc in chunk],
+            [doc[prefill_len:] for doc in chunk],
+            cache_factory=cache_factory,
+        )
+        for doc_logprobs in logprobs:
+            total_nll += -float(np.sum(doc_logprobs))
+            total_tokens += len(doc_logprobs)
     return float(np.exp(total_nll / total_tokens))

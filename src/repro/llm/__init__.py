@@ -27,9 +27,15 @@ from repro.llm.config import (
     get_config,
     tiny_config,
 )
-from repro.llm.cache import FullKVCache, KVCacheFactory, LayerKVCache
+from repro.llm.cache import ContiguousKVStore, FullKVCache, KVCacheFactory, LayerKVCache
 from repro.llm.model import DecoderLM
-from repro.llm.generation import GenerationResult, generate
+from repro.llm.generation import (
+    GenerationResult,
+    forced_decode_logprobs,
+    forced_decode_logprobs_batch,
+    generate,
+    generate_batch,
+)
 from repro.llm.tokenizer import ByteTokenizer, WordTokenizer
 from repro.llm.training import TrainingConfig, train_lm
 
@@ -41,10 +47,14 @@ __all__ = [
     "tiny_config",
     "DecoderLM",
     "LayerKVCache",
+    "ContiguousKVStore",
     "FullKVCache",
     "KVCacheFactory",
     "GenerationResult",
     "generate",
+    "generate_batch",
+    "forced_decode_logprobs",
+    "forced_decode_logprobs_batch",
     "ByteTokenizer",
     "WordTokenizer",
     "TrainingConfig",

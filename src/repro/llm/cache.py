@@ -1,4 +1,4 @@
-"""KV-cache interface and the full-cache reference implementation.
+"""KV-cache interface, contiguous storage substrate and the full cache.
 
 The attention layer of :class:`repro.llm.model.DecoderLM` talks to the cache
 through a narrow interface so that the paper's policies (AERP with eviction
@@ -9,6 +9,11 @@ All caches are **per-layer** objects with **per-head** slot state, because
 AERP evicts independently per attention head (Section 4.1 of the paper) and
 relies on the permutation invariance of Equations 1-2 to reuse the victim's
 slot for the incoming token.
+
+Storage-wise every cache builds on :class:`ContiguousKVStore`: preallocated
+``[H, capacity, head_dim]`` buffers grown by amortised doubling.  ``fetch``
+returns *views* into these buffers, so the per-step cost of reading the cache
+is O(1) instead of the O(n) re-stacking a list-of-arrays layout pays.
 """
 
 from __future__ import annotations
@@ -23,6 +28,93 @@ from repro.registry import register
 #: Recompute callback: maps (input vector ``x`` of size C, absolute position)
 #: to the per-head key and value vectors ``([H, d], [H, d])`` for this layer.
 RecomputeFn = Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]]
+
+
+class ContiguousKVStore:
+    """Preallocated contiguous per-head K/V slot storage.
+
+    Keys and values live in ``[n_heads, capacity, head_dim]`` float32 buffers;
+    ``capacity`` doubles whenever an insert would overflow, so the amortised
+    cost of ``append`` is O(head_dim) and ``view()`` is a zero-copy slice.
+    Slots are ordered; :meth:`delete_slot` compacts the tail left by one
+    position (a single vectorised memmove), preserving slot order for the
+    eviction policies that rely on it.
+    """
+
+    __slots__ = ("n_heads", "head_dim", "_keys", "_values", "_count", "_valid")
+
+    def __init__(self, n_heads: int, head_dim: int, initial_capacity: int = 64) -> None:
+        if n_heads <= 0 or head_dim <= 0 or initial_capacity <= 0:
+            raise ValueError("n_heads, head_dim and initial_capacity must be positive")
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self._keys = np.empty((n_heads, initial_capacity, head_dim), dtype=np.float32)
+        self._values = np.empty((n_heads, initial_capacity, head_dim), dtype=np.float32)
+        self._valid = np.ones((n_heads, initial_capacity), dtype=bool)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._keys.shape[1]
+
+    def reserve(self, extra: int) -> None:
+        """Grow (by doubling) until ``extra`` more slots fit."""
+        needed = self._count + extra
+        capacity = self.capacity
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_keys", "_values"):
+            old = getattr(self, name)
+            grown = np.empty((self.n_heads, capacity, self.head_dim), dtype=np.float32)
+            grown[:, :self._count] = old[:, :self._count]
+            setattr(self, name, grown)
+        self._valid = np.ones((self.n_heads, capacity), dtype=bool)
+
+    def append(self, key: np.ndarray, value: np.ndarray) -> int:
+        """Insert one ``[H, d]`` K/V pair, returning its slot index."""
+        self.reserve(1)
+        slot = self._count
+        self._keys[:, slot] = key
+        self._values[:, slot] = value
+        self._count += 1
+        return slot
+
+    def extend(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Bulk-insert ``[H, n, d]`` K/V blocks in one buffer write."""
+        n = keys.shape[1]
+        if n == 0:
+            return
+        self.reserve(n)
+        self._keys[:, self._count:self._count + n] = keys
+        self._values[:, self._count:self._count + n] = values
+        self._count += n
+
+    def delete_slot(self, slot: int) -> None:
+        """Remove one slot, shifting the tail left (slot order preserved)."""
+        if not 0 <= slot < self._count:
+            raise IndexError(f"slot {slot} out of range [0, {self._count})")
+        if slot < self._count - 1:
+            self._keys[:, slot:self._count - 1] = self._keys[:, slot + 1:self._count]
+            self._values[:, slot:self._count - 1] = self._values[:, slot + 1:self._count]
+        self._count -= 1
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``([H, n, d], [H, n, d])`` views of the live slots."""
+        return self._keys[:, :self._count], self._values[:, :self._count]
+
+    def valid_view(self) -> np.ndarray:
+        """All-true ``[H, n]`` validity view matching :meth:`view` (zero-copy).
+
+        Every store-backed slot is live by construction, so caches whose
+        policies never invalidate individual slots can return this directly
+        from ``fetch``.
+        """
+        return self._valid[:, :self._count]
 
 
 class LayerKVCache(abc.ABC):
@@ -66,7 +158,9 @@ class LayerKVCache(abc.ABC):
         """Return ``(K, V, valid)`` with shapes ``[H, n, d], [H, n, d], [H, n]``.
 
         ``valid`` is a boolean mask marking live slots; invalid slots must be
-        ignored by the attention computation.
+        ignored by the attention computation.  The returned arrays may be
+        *views* into the cache's internal buffers — callers must treat them as
+        read-only and must not hold them across a mutating call.
         """
 
     @abc.abstractmethod
@@ -99,41 +193,40 @@ class KVCacheFactory(Protocol):
 
 
 class FullKVCache(LayerKVCache):
-    """The unbounded baseline cache: every token's KV vectors are retained."""
+    """The unbounded baseline cache: every token's KV vectors are retained.
+
+    Storage is one :class:`ContiguousKVStore`; prefill is a single bulk buffer
+    write and ``fetch`` returns zero-copy views, so the decode hot loop does no
+    per-token Python work at all.
+    """
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
-        self._keys: list[np.ndarray] = []  # each [H, d]
-        self._values: list[np.ndarray] = []
+        self._store = ContiguousKVStore(n_heads, head_dim)
 
     def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
                 attn_probs: np.ndarray) -> None:
         del inputs, attn_probs
-        n_ctx = keys.shape[1]
-        for n in range(n_ctx):
-            self._keys.append(np.array(keys[:, n, :], dtype=np.float32))
-            self._values.append(np.array(values[:, n, :], dtype=np.float32))
+        self._store.extend(np.asarray(keys, dtype=np.float32),
+                           np.asarray(values, dtype=np.float32))
 
     def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
         del x, position
-        self._keys.append(np.array(key, dtype=np.float32))
-        self._values.append(np.array(value, dtype=np.float32))
+        self._store.append(key, value)
 
     def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        keys = np.stack(self._keys, axis=1)  # [H, n, d]
-        values = np.stack(self._values, axis=1)
-        valid = np.ones((self.n_heads, keys.shape[1]), dtype=bool)
-        return keys, values, valid
+        keys, values = self._store.view()
+        return keys, values, self._store.valid_view()
 
     def observe_attention(self, probs: np.ndarray) -> None:
         del probs  # the full cache does not track importance
 
     @property
     def num_tokens(self) -> int:
-        return len(self._keys)
+        return len(self._store)
 
     def stored_bytes(self, bits_per_element: int = 16) -> int:
-        elements = 2 * len(self._keys) * self.n_heads * self.head_dim
+        elements = 2 * len(self._store) * self.n_heads * self.head_dim
         return elements * bits_per_element // 8
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
@@ -66,13 +68,19 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, cos: np.ndarray, sin: np.nd
     """Apply rotary embeddings.
 
     ``x`` has shape ``[..., T, head_dim]`` (head dim last); ``positions`` has
-    shape ``[T]`` giving the absolute position of each of the T vectors.
+    shape ``[T]`` giving the absolute position of each of the T vectors, or is
+    an int ``T`` meaning positions ``0..T-1`` (served from a table *view*, so
+    repeated prefills of common lengths allocate nothing).
     """
     x = np.asarray(x, dtype=np.float32)
     head_dim = x.shape[-1]
     half = head_dim // 2
-    c = cos[positions]  # [T, half]
-    s = sin[positions]
+    if isinstance(positions, (int, np.integer)):
+        c = cos[:positions]  # [T, half] view, no copy
+        s = sin[:positions]
+    else:
+        c = cos[positions]  # [T, half]
+        s = sin[positions]
     x1 = x[..., :half]
     x2 = x[..., half:]
     rotated_first = x1 * c - x2 * s
@@ -93,8 +101,26 @@ def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
     return float(-np.mean(picked))
 
 
-def causal_mask(size: int) -> np.ndarray:
-    """Additive causal mask of shape ``[size, size]`` (0 on/below diag, -inf above)."""
-    mask = np.zeros((size, size), dtype=np.float32)
-    mask[np.triu_indices(size, k=1)] = -np.inf
+@lru_cache(maxsize=1)
+def _causal_mask_table(capacity: int) -> np.ndarray:
+    mask = np.zeros((capacity, capacity), dtype=np.float32)
+    mask[np.triu_indices(capacity, k=1)] = -np.inf
+    mask.flags.writeable = False
     return mask
+
+
+_mask_capacity = 256  # high-water mark so alternating sizes never rebuild the table
+
+
+def causal_mask(size: int) -> np.ndarray:
+    """Additive causal mask of shape ``[size, size]`` (0 on/below diag, -inf above).
+
+    All sizes are served as read-only views of one shared grow-only table
+    (doubled when outgrown), so repeated prefills stop re-allocating ``[T, T]``
+    arrays and at most one table is ever resident.
+    """
+    global _mask_capacity
+    size = int(size)
+    while _mask_capacity < size:
+        _mask_capacity *= 2
+    return _causal_mask_table(_mask_capacity)[:size, :size]

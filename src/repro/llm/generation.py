@@ -1,9 +1,13 @@
-"""Prefill + auto-regressive decode driver.
+"""Prefill + auto-regressive decode drivers (single-sequence and batched).
 
 This is the serving loop of Figure 1 (a) of the paper: the context is
 processed in parallel during pre-filling, then tokens are generated
 auto-regressively, each step reading the KV cache managed by the active
-policy.
+policy.  The batched drivers run ``B`` independent sequences through
+:meth:`DecoderLM.prefill_batch` / :meth:`DecoderLM.decode_step_batch`, each
+with its own per-layer caches, reproducing ``B`` single-sequence runs up to
+floating-point precision (batched BLAS reductions reorder float ops, so the
+last bits of a logit can differ; the equivalence suite pins the tokens).
 """
 
 from __future__ import annotations
@@ -33,11 +37,21 @@ class GenerationResult:
         return len(self.prompt_tokens) + len(self.generated_tokens)
 
 
-def _select_token(logits: np.ndarray, temperature: float, rng: np.random.Generator) -> int:
+def _select_from_logprobs(logp: np.ndarray, temperature: float,
+                          rng: np.random.Generator) -> tuple[int, float]:
+    """Pick the next token from a log-softmax row, returning (token, logprob).
+
+    A single ``log_softmax`` serves both selection and scoring: softmax is
+    shift-invariant, so ``softmax(logp / T) == softmax(logits / T)`` exactly,
+    and the sampled token's log-probability is just ``logp[token]`` — no
+    second full-vocabulary normalisation.
+    """
     if temperature <= 0:
-        return int(np.argmax(logits))
-    probs = softmax(logits / temperature)
-    return int(rng.choice(probs.size, p=probs))
+        token = int(np.argmax(logp))
+    else:
+        probs = softmax(logp / temperature)
+        token = int(rng.choice(probs.size, p=probs))
+    return token, float(logp[token])
 
 
 def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int,
@@ -58,16 +72,65 @@ def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int
     logits = model.prefill(prompt_tokens, caches)
     result = GenerationResult(prompt_tokens=prompt_tokens, generated_tokens=[], caches=caches)
     position = len(prompt_tokens)
-    for _ in range(max_new_tokens):
-        token = _select_token(logits, temperature, rng)
-        logp = float(log_softmax(logits)[token])
+    for step in range(max_new_tokens):
+        token, logp = _select_from_logprobs(log_softmax(logits), temperature, rng)
         result.generated_tokens.append(token)
         result.logprobs.append(logp)
-        if eos_id is not None and token == eos_id:
+        # No decode after the final token: its logits would be discarded (and
+        # generate_batch stops at the same point, keeping cache states aligned).
+        if step == max_new_tokens - 1 or (eos_id is not None and token == eos_id):
             break
         logits = model.decode_step(token, position, caches)
         position += 1
     return result
+
+
+def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_tokens: int,
+                   cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
+                   eos_id: int | None = None, seed: int = 0) -> list[GenerationResult]:
+    """Generate continuations for ``B`` prompts with batched forward passes.
+
+    Each sequence gets its own per-layer caches (one :meth:`make_caches` call
+    per prompt) and its own generation RNG derived exactly as
+    :func:`generate` derives it, so every sequence matches a separate
+    :func:`generate` call to floating-point precision.  Sequences that emit
+    ``eos_id`` drop out of the running batch; the rest continue.
+    """
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens must be non-negative")
+    prompt_lists = [list(int(t) for t in prompt) for prompt in prompts]
+    if not prompt_lists or any(not prompt for prompt in prompt_lists):
+        raise ValueError("prompts must be a non-empty list of non-empty sequences")
+    batch = len(prompt_lists)
+    rngs = [derive_rng(seed, "generate") for _ in range(batch)]
+    caches_batch = [model.make_caches(cache_factory) for _ in range(batch)]
+    results = [GenerationResult(prompt_tokens=prompt, generated_tokens=[], caches=caches)
+               for prompt, caches in zip(prompt_lists, caches_batch)]
+    if max_new_tokens == 0:
+        return results
+    logits = model.prefill_batch(prompt_lists, caches_batch)  # [B, vocab]
+    positions = [len(prompt) for prompt in prompt_lists]
+    active = list(range(batch))
+    for step in range(max_new_tokens):
+        logp = log_softmax(logits, axis=-1)
+        next_tokens: list[int] = []
+        still_active: list[int] = []
+        for row, b in enumerate(active):
+            token, token_logp = _select_from_logprobs(logp[row], temperature, rngs[b])
+            results[b].generated_tokens.append(token)
+            results[b].logprobs.append(token_logp)
+            if eos_id is not None and token == eos_id:
+                continue
+            next_tokens.append(token)
+            still_active.append(b)
+        active = still_active
+        if not active or step == max_new_tokens - 1:
+            break
+        logits = model.decode_step_batch(next_tokens, [positions[b] for b in active],
+                                         [caches_batch[b] for b in active])
+        for b in active:
+            positions[b] += 1
+    return results
 
 
 def forced_decode_logprobs(model: DecoderLM, prompt_tokens: Sequence[int],
@@ -95,4 +158,49 @@ def forced_decode_logprobs(model: DecoderLM, prompt_tokens: Sequence[int],
             position += 1
         logprobs.append(float(log_softmax(logits)[token]))
         previous = token
+    return logprobs
+
+
+def forced_decode_logprobs_batch(model: DecoderLM, prompts: Sequence[Sequence[int]],
+                                 continuations: Sequence[Sequence[int]],
+                                 cache_factory: KVCacheFactory | None = None,
+                                 ) -> list[list[float]]:
+    """Batched teacher-forced scoring: ``B`` (prompt, continuation) pairs.
+
+    Scores every continuation with batched prefill and decode passes, one
+    sequence per batch lane (ragged prompt and continuation lengths are fine).
+    Matches ``B`` :func:`forced_decode_logprobs` calls to floating-point
+    precision.
+    """
+    prompt_lists = [list(int(t) for t in prompt) for prompt in prompts]
+    cont_lists = [list(int(t) for t in cont) for cont in continuations]
+    if len(prompt_lists) != len(cont_lists):
+        raise ValueError("prompts and continuations must have equal length")
+    if not prompt_lists or any(not p for p in prompt_lists) or any(not c for c in cont_lists):
+        raise ValueError("prompts and continuations must be non-empty")
+    batch = len(prompt_lists)
+    caches_batch = [model.make_caches(cache_factory) for _ in range(batch)]
+    logits = model.prefill_batch(prompt_lists, caches_batch)  # [B, vocab]
+    positions = [len(prompt) for prompt in prompt_lists]
+    cursors = [0] * batch
+    logprobs: list[list[float]] = [[] for _ in range(batch)]
+    active = list(range(batch))
+    while active:
+        logp = log_softmax(logits, axis=-1)
+        feed_tokens: list[int] = []
+        still_active: list[int] = []
+        for row, b in enumerate(active):
+            token = cont_lists[b][cursors[b]]
+            logprobs[b].append(float(logp[row, token]))
+            cursors[b] += 1
+            if cursors[b] < len(cont_lists[b]):
+                feed_tokens.append(token)
+                still_active.append(b)
+        active = still_active
+        if not active:
+            break
+        logits = model.decode_step_batch(feed_tokens, [positions[b] for b in active],
+                                         [caches_batch[b] for b in active])
+        for b in active:
+            positions[b] += 1
     return logprobs

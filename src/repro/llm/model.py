@@ -124,8 +124,13 @@ class DecoderLM:
         new_shape = x.shape[:-1] + (self.config.n_heads, self.config.head_dim)
         return np.moveaxis(x.reshape(new_shape), -2, 0)
 
-    def _project_kv(self, x: np.ndarray, layer: int, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Compute per-head K/V (with RoPE on K) for block input ``x`` ``[T, C]``."""
+    def _project_kv(self, x: np.ndarray, layer: int,
+                    positions: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+        """Compute per-head K/V (with RoPE on K) for block input ``x`` ``[T, C]``.
+
+        ``positions`` is either an explicit position array or an int ``T``
+        meaning positions ``0..T-1`` (served from RoPE table views).
+        """
         prefix = f"layers.{layer}"
         keys = self._split_heads(x @ self.params[f"{prefix}.wk"])  # [H, T, d]
         values = self._split_heads(x @ self.params[f"{prefix}.wv"])
@@ -157,7 +162,7 @@ class DecoderLM:
             tokens = tokens[None, :]
         batch, seq_len = tokens.shape
         hidden = self._embed(tokens)  # [B, T, C]
-        positions = np.arange(seq_len)
+        positions = seq_len  # int form: RoPE tables are sliced, not gathered
         mask = causal_mask(seq_len)
         scale = 1.0 / np.sqrt(self.config.head_dim)
         for layer in range(self.config.n_layers):
@@ -169,9 +174,9 @@ class DecoderLM:
             if self.config.positional == "rope":
                 queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
                 keys = apply_rope(keys, positions, self._rope_cos, self._rope_sin)
-            scores = np.einsum("hbtd,hbsd->hbts", queries, keys) * scale + mask
+            scores = queries @ keys.swapaxes(-1, -2) * scale + mask  # [H, B, T, T]
             probs = softmax(scores, axis=-1)
-            context = np.einsum("hbts,hbsd->hbtd", probs, values)
+            context = probs @ values  # [H, B, T, d]
             context = np.moveaxis(context, 0, -2).reshape(batch, seq_len, self.config.d_model)
             hidden = hidden + context @ self.params[f"{prefix}.wo"]
             normed = self._norm(hidden, f"{prefix}.mlp_norm")
@@ -202,7 +207,7 @@ class DecoderLM:
             raise ValueError("prefill expects a non-empty 1-D token sequence")
         seq_len = tokens.shape[0]
         hidden = self._embed(tokens[None, :])[0]  # [T, C]
-        positions = np.arange(seq_len)
+        positions = seq_len  # int form: RoPE tables are sliced, not gathered
         mask = causal_mask(seq_len)
         scale = 1.0 / np.sqrt(self.config.head_dim)
         for layer in range(self.config.n_layers):
@@ -212,10 +217,10 @@ class DecoderLM:
             if self.config.positional == "rope":
                 queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
             keys, values = self._project_kv(normed, layer, positions)
-            scores = np.einsum("htd,hsd->hts", queries, keys) * scale + mask
+            scores = queries @ keys.swapaxes(-1, -2) * scale + mask  # [H, T, T]
             probs = softmax(scores, axis=-1)  # [H, T, T]
             caches[layer].prefill(keys, values, normed, probs)
-            context = np.einsum("hts,hsd->htd", probs, values)
+            context = probs @ values  # [H, T, d]
             context = np.moveaxis(context, 0, -2).reshape(seq_len, self.config.d_model)
             hidden = hidden + context @ self.params[f"{prefix}.wo"]
             normed = self._norm(hidden, f"{prefix}.mlp_norm")
@@ -243,16 +248,129 @@ class DecoderLM:
             keys_new, values_new = self._project_kv(normed[None, :], layer, position_arr)
             caches[layer].append(keys_new[:, 0, :], values_new[:, 0, :], normed, position)
             keys, values, valid = caches[layer].fetch()
-            scores = np.einsum("hd,hnd->hn", query, keys) * scale
-            scores = np.where(valid, scores, -np.inf)
+            scores = (keys @ query[:, :, None])[:, :, 0] * scale  # [H, n]
+            if not valid.all():
+                scores = np.where(valid, scores, -np.inf)
             probs = softmax(scores, axis=-1)
             caches[layer].observe_attention(probs)
-            context = np.einsum("hn,hnd->hd", probs, values).reshape(self.config.d_model)
+            context = (probs[:, None, :] @ values)[:, 0, :].reshape(self.config.d_model)
             hidden = hidden + context @ self.params[f"{prefix}.wo"]
             normed = self._norm(hidden, f"{prefix}.mlp_norm")
             hidden = hidden + self._mlp(normed, layer)
         for cache in caches:
             cache.end_step()
+        hidden = self._norm(hidden, "final_norm")
+        return self._lm_head(hidden)
+
+    # ------------------------------------------------------------------
+    # Batched prefill + decode (ragged sequences, per-sequence caches)
+    # ------------------------------------------------------------------
+    def prefill_batch(self, token_seqs: Sequence[Sequence[int]],
+                      caches_batch: Sequence[list[LayerKVCache]]) -> np.ndarray:
+        """Prefill ``B`` ragged sequences in one batched forward pass.
+
+        ``token_seqs`` holds per-sequence prompts (possibly different lengths);
+        ``caches_batch[b]`` is sequence ``b``'s per-layer cache list (as built
+        by :meth:`make_caches`, one call per sequence).  Sequences are
+        right-padded to the longest prompt for the dense projections; the
+        attention block runs per sequence on the unpadded ``[H, t_b, d]``
+        slices (ragged lengths cost no padded ``T x T`` score work), so every
+        sequence's logits and cache contents match what the single-sequence
+        :meth:`prefill` would produce.
+
+        Returns the last real position's logits for each sequence,
+        shape ``[B, vocab]``.
+        """
+        if len(token_seqs) == 0:
+            raise ValueError("prefill_batch expects at least one sequence")
+        if len(token_seqs) != len(caches_batch):
+            raise ValueError("token_seqs and caches_batch must have equal length")
+        seqs = [np.asarray(seq, dtype=np.int64) for seq in token_seqs]
+        for seq in seqs:
+            if seq.ndim != 1 or seq.size == 0:
+                raise ValueError("prefill_batch expects non-empty 1-D token sequences")
+        lengths = np.array([seq.size for seq in seqs])
+        batch, seq_len = len(seqs), int(lengths.max())
+        tokens = np.zeros((batch, seq_len), dtype=np.int64)
+        for b, seq in enumerate(seqs):
+            tokens[b, :seq.size] = seq
+        hidden = self._embed(tokens)  # [B, T, C]
+        positions = seq_len
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [B, T, C]
+            queries = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, B, T, d]
+            if self.config.positional == "rope":
+                queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
+            keys, values = self._project_kv(normed, layer, positions)  # [H, B, T, d]
+            context = np.zeros((batch, seq_len, self.config.d_model), dtype=np.float32)
+            for b, n in enumerate(lengths):
+                k_b = keys[:, b, :n, :]
+                v_b = values[:, b, :n, :]
+                scores = queries[:, b, :n, :] @ k_b.swapaxes(-1, -2) * scale  # [H, n, n]
+                scores = scores + causal_mask(int(n))
+                probs = softmax(scores, axis=-1)
+                caches_batch[b][layer].prefill(k_b, v_b, normed[b, :n], probs)
+                ctx = probs @ v_b  # [H, n, d]
+                context[b, :n] = np.moveaxis(ctx, 0, -2).reshape(int(n), self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        hidden = self._norm(hidden, "final_norm")
+        last = hidden[np.arange(batch), lengths - 1]  # [B, C]
+        return self._lm_head(last)
+
+    def decode_step_batch(self, tokens: Sequence[int], positions: Sequence[int],
+                          caches_batch: Sequence[list[LayerKVCache]]) -> np.ndarray:
+        """Decode one token for each of ``B`` sequences in one forward pass.
+
+        ``tokens[b]`` is sequence ``b``'s newest token at absolute position
+        ``positions[b]``; ``caches_batch[b]`` its per-layer caches.  The dense
+        projections (QKV, output, MLP, LM head) run batched over ``B``; the
+        attention reads run per sequence directly on each cache's zero-copy
+        ``fetch`` views, so ragged cache lengths cost no padding copies and
+        each sequence's logits match the single-sequence :meth:`decode_step`.
+
+        Returns logits of shape ``[B, vocab]``.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.size == 0 or tokens.shape != positions.shape:
+            raise ValueError("tokens and positions must be equal-length non-empty 1-D")
+        if len(caches_batch) != tokens.size:
+            raise ValueError("caches_batch must hold one cache list per sequence")
+        batch = tokens.size
+        hidden = self.params["embed.weight"][tokens].astype(np.float32)  # [B, C]
+        if self.config.positional == "learned":
+            hidden = hidden + self.params["pos_embed.weight"][positions]
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [B, C]
+            query = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, B, d]
+            if self.config.positional == "rope":
+                query = apply_rope(query, positions, self._rope_cos, self._rope_sin)
+            keys_new, values_new = self._project_kv(normed, layer, positions)  # [H, B, d]
+            context = np.empty((batch, self.config.d_model), dtype=np.float32)
+            for b in range(batch):
+                cache = caches_batch[b][layer]
+                cache.append(keys_new[:, b, :], values_new[:, b, :], normed[b],
+                             int(positions[b]))
+                keys, values, valid = cache.fetch()  # zero-copy views, ragged n_b
+                scores = (keys @ query[:, b, :, None])[:, :, 0] * scale  # [H, n_b]
+                if not valid.all():
+                    scores = np.where(valid, scores, -np.inf)
+                probs = softmax(scores, axis=-1)
+                cache.observe_attention(probs)
+                context[b] = ((probs[:, None, :] @ values)[:, 0, :]
+                              .reshape(self.config.d_model))
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        for caches in caches_batch:
+            for cache in caches:
+                cache.end_step()
         hidden = self._norm(hidden, "final_norm")
         return self._lm_head(hidden)
 

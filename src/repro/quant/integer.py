@@ -23,7 +23,7 @@ class QuantizedTensor:
     scale: np.ndarray
     zero_point: np.ndarray
     bits: int
-    axis: int | None
+    axis: int | tuple[int, ...] | None
 
     @property
     def storage_bits(self) -> int:
@@ -35,14 +35,14 @@ class QuantizedTensor:
         return dequantize(self)
 
 
-def _reduction_axes(ndim: int, axis: int | None) -> tuple[int, ...] | None:
+def _reduction_axes(ndim: int, axis: int | tuple[int, ...] | None) -> tuple[int, ...] | None:
     if axis is None:
         return None
-    axis = axis % ndim
-    return tuple(i for i in range(ndim) if i != axis)
+    kept = {axis % ndim} if isinstance(axis, int) else {a % ndim for a in axis}
+    return tuple(i for i in range(ndim) if i not in kept)
 
 
-def quantize_symmetric(values: np.ndarray, bits: int = 8, axis: int | None = None) -> QuantizedTensor:
+def quantize_symmetric(values: np.ndarray, bits: int = 8, axis: int | tuple[int, ...] | None = None) -> QuantizedTensor:
     """Symmetric (zero-point-free) quantization to ``bits`` bits.
 
     ``axis`` selects per-axis scales (e.g. per output channel for weights);
@@ -60,7 +60,7 @@ def quantize_symmetric(values: np.ndarray, bits: int = 8, axis: int | None = Non
     return QuantizedTensor(codes=codes, scale=scale, zero_point=zero_point, bits=bits, axis=axis)
 
 
-def quantize_asymmetric(values: np.ndarray, bits: int = 8, axis: int | None = None) -> QuantizedTensor:
+def quantize_asymmetric(values: np.ndarray, bits: int = 8, axis: int | tuple[int, ...] | None = None) -> QuantizedTensor:
     """Asymmetric (affine) quantization to ``bits`` bits.
 
     This is the KIVI-style scheme: per-channel min/max with a zero point,
@@ -93,7 +93,7 @@ def quantization_mse(values: np.ndarray, tensor: QuantizedTensor) -> float:
     return float(np.mean((values - reconstructed) ** 2))
 
 
-def fake_quantize(values: np.ndarray, bits: int = 8, axis: int | None = None,
+def fake_quantize(values: np.ndarray, bits: int = 8, axis: int | tuple[int, ...] | None = None,
                   symmetric: bool = True) -> np.ndarray:
     """Quantize and immediately dequantize, returning float32 values."""
     if symmetric:

@@ -4,10 +4,14 @@
   the spec-driven :func:`simulate` helper.  The engine simulates
   continuous-batching admission of a multi-request arrival trace onto one
   :class:`repro.accelerator.accelerator.EdgeSystem`, with per-request latency
-  and energy accounting.
+  and energy accounting; :meth:`ServingEngine.run_functional` drives the same
+  admission loop against a real :class:`repro.llm.model.DecoderLM` through
+  the batched decode path, measuring real tokens/s.
 """
 
 from repro.serve.engine import (
+    FunctionalRequestResult,
+    FunctionalServingReport,
     Request,
     RequestResult,
     ServingEngine,
@@ -17,6 +21,8 @@ from repro.serve.engine import (
 )
 
 __all__ = [
+    "FunctionalRequestResult",
+    "FunctionalServingReport",
     "Request",
     "RequestResult",
     "ServingEngine",

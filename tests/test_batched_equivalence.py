@@ -1,0 +1,221 @@
+"""Equivalence of the batched inference path with the sequential path.
+
+The batched prefill/decode methods must reproduce the single-sequence path
+token-for-token for **every** registered cache policy, including ragged
+batches (mixed prompt lengths), B=1 and early-EOS dropout — these tests pin
+that contract so future perf work on the hot loop cannot silently change
+model outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.accuracy import multiple_choice_accuracy, summarization_overlap
+from repro.eval.perplexity import perplexity_over_documents
+from repro.llm.cache import ContiguousKVStore
+from repro.llm.generation import (
+    forced_decode_logprobs,
+    forced_decode_logprobs_batch,
+    generate,
+    generate_batch,
+)
+from repro.registry import known, resolve
+from repro.workloads.synthetic import SyntheticLanguage
+from repro.workloads.tasks import make_multiple_choice_task, make_summarization_items
+
+#: One parameterisation per registered cache kind.  Budgets are sized to force
+#: evictions at the test sequence lengths; ``refresh=none`` keeps the kelle
+#: policy deterministic (fault injection draws would otherwise diverge on
+#: float-level differences between the two paths).
+ALL_CACHE_SPECS = [
+    "full",
+    "streaming_llm:budget=8,sink_tokens=2",
+    "h2o:budget=8,sink_tokens=2,recent_window=3",
+    "random:budget=8,sink_tokens=2,recent_window=3",
+    "kivi:bits=8",
+    "quarot:bits=8",
+    "kelle:budget=8,sink_tokens=2,recent_window=3,refresh=none",
+]
+
+
+def _prompts(vocab_size, lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, vocab_size, size=n).tolist() for n in lengths]
+
+
+def test_specs_cover_every_registered_cache():
+    covered = {spec.split(":", 1)[0] for spec in ALL_CACHE_SPECS}
+    assert covered == set(known("cache"))
+
+
+class TestBatchedGeneration:
+    @pytest.mark.parametrize("spec", ALL_CACHE_SPECS)
+    def test_ragged_batch_matches_sequential(self, small_model, spec):
+        factory = resolve("cache", spec)
+        prompts = _prompts(small_model.config.vocab_size, (7, 12, 9, 1), seed=3)
+        sequential = [generate(small_model, p, 6, cache_factory=factory, seed=0)
+                      for p in prompts]
+        batched = generate_batch(small_model, prompts, 6, cache_factory=factory, seed=0)
+        for seq, bat in zip(sequential, batched):
+            assert seq.generated_tokens == bat.generated_tokens
+            np.testing.assert_allclose(seq.logprobs, bat.logprobs, atol=1e-5)
+
+    @pytest.mark.parametrize("spec", ALL_CACHE_SPECS)
+    def test_batch_of_one_matches_sequential(self, small_model, spec):
+        factory = resolve("cache", spec)
+        (prompt,) = _prompts(small_model.config.vocab_size, (10,), seed=4)
+        seq = generate(small_model, prompt, 5, cache_factory=factory, seed=0)
+        (bat,) = generate_batch(small_model, [prompt], 5, cache_factory=factory, seed=0)
+        assert seq.generated_tokens == bat.generated_tokens
+
+    def test_early_eos_drops_sequence_from_batch(self, small_model):
+        prompts = _prompts(small_model.config.vocab_size, (8, 11, 6), seed=5)
+        reference = generate(small_model, prompts[0], 10)
+        eos = reference.generated_tokens[1]
+        sequential = [generate(small_model, p, 10, eos_id=eos, seed=0) for p in prompts]
+        batched = generate_batch(small_model, prompts, 10, eos_id=eos, seed=0)
+        for seq, bat in zip(sequential, batched):
+            assert seq.generated_tokens == bat.generated_tokens
+        # The batch really was ragged: some sequence stopped on EOS while
+        # another ran to the full token budget.
+        lengths = [len(bat.generated_tokens) for bat in batched]
+        assert min(lengths) < 10 and max(lengths) == 10
+        stopped = batched[int(np.argmin(lengths))]
+        assert stopped.generated_tokens[-1] == eos
+
+    def test_sampled_generation_matches_sequential_rng(self, small_model):
+        prompts = _prompts(small_model.config.vocab_size, (9, 9), seed=6)
+        sequential = [generate(small_model, p, 8, temperature=1.0, seed=11) for p in prompts]
+        batched = generate_batch(small_model, prompts, 8, temperature=1.0, seed=11)
+        for seq, bat in zip(sequential, batched):
+            assert seq.generated_tokens == bat.generated_tokens
+
+    def test_input_validation(self, small_model):
+        with pytest.raises(ValueError):
+            generate_batch(small_model, [], 4)
+        with pytest.raises(ValueError):
+            generate_batch(small_model, [[1, 2], []], 4)
+        with pytest.raises(ValueError):
+            generate_batch(small_model, [[1, 2]], -1)
+
+
+class TestBatchedForcedDecode:
+    @pytest.mark.parametrize("spec", ALL_CACHE_SPECS)
+    def test_ragged_scoring_matches_sequential(self, small_model, spec):
+        factory = resolve("cache", spec)
+        vocab = small_model.config.vocab_size
+        prompts = _prompts(vocab, (6, 13, 9), seed=7)
+        continuations = _prompts(vocab, (5, 2, 7), seed=8)
+        sequential = [forced_decode_logprobs(small_model, p, c, cache_factory=factory)
+                      for p, c in zip(prompts, continuations)]
+        batched = forced_decode_logprobs_batch(small_model, prompts, continuations,
+                                               cache_factory=factory)
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_allclose(seq, bat, atol=1e-5)
+
+    def test_input_validation(self, small_model):
+        with pytest.raises(ValueError):
+            forced_decode_logprobs_batch(small_model, [[1]], [[1], [2]])
+        with pytest.raises(ValueError):
+            forced_decode_logprobs_batch(small_model, [[1], [2]], [[1], []])
+
+
+class TestBatchedPrefill:
+    @pytest.mark.parametrize("spec", ALL_CACHE_SPECS)
+    def test_logits_and_cache_state_match(self, small_model, spec):
+        factory = resolve("cache", spec)
+        prompts = _prompts(small_model.config.vocab_size, (5, 12, 8), seed=9)
+        caches_batch = [small_model.make_caches(factory) for _ in prompts]
+        batched_logits = small_model.prefill_batch(prompts, caches_batch)
+        for b, prompt in enumerate(prompts):
+            caches = small_model.make_caches(factory)
+            logits = small_model.prefill(prompt, caches)
+            np.testing.assert_allclose(batched_logits[b], logits, atol=1e-4)
+            for layer, (seq_cache, bat_cache) in enumerate(zip(caches, caches_batch[b])):
+                seq_k, seq_v, seq_valid = seq_cache.fetch()
+                bat_k, bat_v, bat_valid = bat_cache.fetch()
+                np.testing.assert_array_equal(seq_valid, bat_valid, err_msg=f"layer {layer}")
+                np.testing.assert_allclose(seq_k, bat_k, atol=1e-5, err_msg=f"layer {layer}")
+                np.testing.assert_allclose(seq_v, bat_v, atol=1e-5, err_msg=f"layer {layer}")
+
+    def test_input_validation(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.prefill_batch([], [])
+        with pytest.raises(ValueError):
+            small_model.prefill_batch([[1, 2]], [])
+
+
+class TestBatchedEval:
+    def test_perplexity_batched_matches_sequential(self, small_model, rng):
+        docs = [rng.integers(0, small_model.config.vocab_size, size=24) for _ in range(5)]
+        sequential = perplexity_over_documents(small_model, docs, None, prefill_len=8,
+                                               batch_size=1)
+        batched = perplexity_over_documents(small_model, docs, None, prefill_len=8,
+                                            batch_size=3)
+        assert sequential == pytest.approx(batched, rel=1e-4)
+
+    def test_multiple_choice_batched_matches_sequential(self, small_model):
+        language = SyntheticLanguage(n_keys=4, n_values=4, n_content=19, n_topics=4,
+                                     topic_vocab_size=5, seed=0)
+        items = make_multiple_choice_task(language, 4, 24, seed=0)
+        sequential = multiple_choice_accuracy(small_model, items, None, batch_size=1)
+        batched = multiple_choice_accuracy(small_model, items, None, batch_size=8)
+        assert sequential == batched
+
+    def test_summarization_batched_matches_sequential(self, small_model):
+        language = SyntheticLanguage(n_keys=4, n_values=4, n_content=19, n_topics=4,
+                                     topic_vocab_size=5, seed=0)
+        items = make_summarization_items(language, 3, 24, seed=0)
+        sequential = summarization_overlap(small_model, items, None, summary_len=8,
+                                           batch_size=1)
+        batched = summarization_overlap(small_model, items, None, summary_len=8,
+                                        batch_size=2)
+        assert sequential == pytest.approx(batched, abs=1e-9)
+
+
+class TestContiguousKVStore:
+    def test_amortised_growth_preserves_contents(self, rng):
+        store = ContiguousKVStore(2, 4, initial_capacity=2)
+        written = []
+        for _ in range(37):
+            key = rng.standard_normal((2, 4)).astype(np.float32)
+            value = rng.standard_normal((2, 4)).astype(np.float32)
+            store.append(key, value)
+            written.append((key, value))
+        assert len(store) == 37
+        assert store.capacity >= 37
+        keys, values = store.view()
+        for slot, (key, value) in enumerate(written):
+            np.testing.assert_array_equal(keys[:, slot], key)
+            np.testing.assert_array_equal(values[:, slot], value)
+
+    def test_bulk_extend_matches_appends(self, rng):
+        block_k = rng.standard_normal((2, 9, 4)).astype(np.float32)
+        block_v = rng.standard_normal((2, 9, 4)).astype(np.float32)
+        bulk = ContiguousKVStore(2, 4, initial_capacity=2)
+        bulk.extend(block_k, block_v)
+        single = ContiguousKVStore(2, 4, initial_capacity=2)
+        for n in range(9):
+            single.append(block_k[:, n], block_v[:, n])
+        np.testing.assert_array_equal(bulk.view()[0], single.view()[0])
+        np.testing.assert_array_equal(bulk.view()[1], single.view()[1])
+
+    def test_delete_slot_shifts_tail(self, rng):
+        store = ContiguousKVStore(1, 2, initial_capacity=4)
+        for n in range(4):
+            store.append(np.full((1, 2), n, dtype=np.float32),
+                         np.full((1, 2), 10 + n, dtype=np.float32))
+        store.delete_slot(1)
+        keys, values = store.view()
+        np.testing.assert_array_equal(keys[0, :, 0], [0.0, 2.0, 3.0])
+        np.testing.assert_array_equal(values[0, :, 0], [10.0, 12.0, 13.0])
+        with pytest.raises(IndexError):
+            store.delete_slot(3)
+
+    def test_fetch_views_are_zero_copy(self):
+        store = ContiguousKVStore(2, 4)
+        store.append(np.zeros((2, 4), np.float32), np.zeros((2, 4), np.float32))
+        keys, values = store.view()
+        assert keys.base is not None and values.base is not None

@@ -147,3 +147,56 @@ class TestHelpers:
                                  resolve("trace", "lambada:batch=1"))
         assert spec_result.total_latency_s == pytest.approx(manual.total_latency_s)
         assert spec_result.total_energy_j == pytest.approx(manual.total_energy_j)
+
+
+class TestFunctionalServing:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        from repro.llm.config import tiny_config
+        from repro.llm.model import DecoderLM
+
+        return DecoderLM(tiny_config("serve-tiny", n_layers=2, d_model=32, n_heads=4,
+                                     d_ff=64, vocab_size=32, max_seq_len=256), seed=7)
+
+    def test_functional_run_decodes_every_request(self, lm):
+        engine = ServingEngine(max_concurrency=3)
+        requests = poisson_requests(7, rate_rps=2.0, prompt_len=20, decode_len=10,
+                                    length_jitter=0.4, seed=2)
+        report = engine.run_functional(lm, requests,
+                                       cache="h2o:budget=16,sink_tokens=2,recent_window=4")
+        assert report.n_requests == 7
+        for result in report.results:
+            assert len(result.prompt_tokens) == result.request.prompt_len
+            assert result.tokens_generated == result.request.decode_len
+            assert all(0 <= t < lm.config.vocab_size for t in result.generated_tokens)
+            assert result.admitted_step <= result.finished_step
+        assert report.peak_batch <= 3
+        assert report.total_decode_tokens == sum(r.decode_len for r in requests)
+        assert report.decode_tokens_per_s > 0
+        assert "requests" in report.summary()
+
+    def test_functional_run_is_deterministic(self, lm):
+        engine = ServingEngine(max_concurrency=2)
+        requests = poisson_requests(4, rate_rps=1.0, prompt_len=16, decode_len=6, seed=3)
+        first = engine.run_functional(lm, requests, seed=5)
+        second = engine.run_functional(lm, requests, seed=5)
+        assert [r.generated_tokens for r in first.results] == [
+            r.generated_tokens for r in second.results]
+
+    def test_functional_run_matches_unbatched_generation(self, lm):
+        """With concurrency 1 the engine reduces to plain greedy generation."""
+        from repro.llm.generation import generate
+
+        engine = ServingEngine(max_concurrency=1)
+        requests = poisson_requests(3, rate_rps=1.0, prompt_len=18, decode_len=8, seed=4)
+        report = engine.run_functional(lm, requests, seed=9)
+        for result in report.results:
+            reference = generate(lm, result.prompt_tokens, result.request.decode_len)
+            assert result.generated_tokens == reference.generated_tokens
+
+    def test_functional_run_validates_inputs(self, lm):
+        engine = ServingEngine(max_concurrency=2)
+        with pytest.raises(ValueError):
+            engine.run_functional(lm, [])
+        with pytest.raises(ValueError):
+            engine.run_functional(lm, [Request("big", 0.0, 400, 100)])
