@@ -1,0 +1,174 @@
+"""Serving-path benchmark: paged + prefix-shared engine vs the per-request path.
+
+Measures end-to-end functional serving throughput (all prompt tokens really
+prefilled, all decode tokens really decoded) in two traffic regimes and
+writes ``BENCH_serve.json``:
+
+* ``shared_prefix`` — groups of requests sharing a long system-prompt-style
+  prefix (plus a multi-turn chat trace), where the radix prefix cache lets
+  the engine fork already-computed KV pages and prefill only each request's
+  novel suffix;
+* ``disjoint`` — fully independent random prompts, where prefix sharing can
+  never trigger; this regime guards against the paged pool regressing the
+  plain path.
+
+Each regime compares three engine configurations:
+
+* ``baseline`` — the per-request-cache path (``full`` cache, no sharing,
+  whole-prompt prefill at admission);
+* ``paged_shared`` — the paged KV pool + radix prefix cache;
+* ``paged_shared_chunked`` — the same plus the chunked-prefill token
+  scheduler (whose win is step-latency/TTFT shape, not raw throughput).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+
+The committed ``benchmarks/BENCH_serve_baseline.json`` pins the *ratio*
+metrics (speedups, which are machine-portable); CI runs
+``check_bench_regression.py`` against it and fails on a >20% drop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.llm.config import tiny_config
+from repro.llm.model import DecoderLM
+from repro.serve import ServingEngine, poisson_requests
+from repro.workloads import multi_turn_requests, shared_prefix_requests
+
+
+def _bench_model(max_seq_len: int) -> DecoderLM:
+    config = tiny_config("bench-serve", n_layers=4, d_model=64, n_heads=4, d_ff=128,
+                         vocab_size=128, max_seq_len=max_seq_len)
+    return DecoderLM(config, seed=0)
+
+
+def _run(engine: ServingEngine, lm: DecoderLM, requests, repeats: int, **kwargs):
+    """Best-of-``repeats`` run: the report with the highest decode tok/s."""
+    best = None
+    for _ in range(repeats):
+        report = engine.run_functional(lm, requests, **kwargs)
+        if best is None or report.decode_tokens_per_s > best.decode_tokens_per_s:
+            best = report
+    assert best.n_requests == len(requests)
+    assert best.total_decode_tokens == sum(r.decode_len for r in requests)
+    return best
+
+
+def _metrics(report) -> dict:
+    return {
+        "decode_tokens_per_s": report.decode_tokens_per_s,
+        "wall_s": report.wall_s,
+        "n_steps": report.n_steps,
+        "reused_prefix_tokens": report.reused_prefix_tokens,
+        "total_prompt_tokens": report.total_prompt_tokens,
+        "mean_ttft_s": report.mean_ttft_s,
+        "p99_step_latency_s": report.step_latency_percentile_s(99),
+    }
+
+
+def _compare(engine: ServingEngine, lm: DecoderLM, requests, repeats: int,
+             page_tokens: int, token_budget: int) -> dict:
+    variants = {
+        "baseline": dict(cache="full"),
+        "paged_shared": dict(cache=f"paged:page_tokens={page_tokens}",
+                             prefix_cache=True),
+        "paged_shared_chunked": dict(cache=f"paged:page_tokens={page_tokens}",
+                                     prefix_cache=True, token_budget=token_budget),
+    }
+    reports = {name: _run(engine, lm, requests, repeats, **kwargs)
+               for name, kwargs in variants.items()}
+    # The engine is deterministic for fixed requests/seed, so the timed
+    # reports double as the output-identity evidence.
+    baseline_tokens = [r.generated_tokens for r in reports["baseline"].results]
+    for name in ("paged_shared", "paged_shared_chunked"):
+        assert [r.generated_tokens for r in reports[name].results] == \
+            baseline_tokens, f"{name} diverged from the baseline tokens"
+    results = {name: _metrics(report) for name, report in reports.items()}
+    base = results["baseline"]["decode_tokens_per_s"]
+    results["speedup_paged_shared_vs_baseline"] = (
+        results["paged_shared"]["decode_tokens_per_s"] / base)
+    results["speedup_paged_shared_chunked_vs_baseline"] = (
+        results["paged_shared_chunked"]["decode_tokens_per_s"] / base)
+    return results
+
+
+def run_benchmark(quick: bool, repeats: int) -> dict:
+    if quick:
+        prefix_len, suffix_len, decode_len = 96, 8, 12
+        n_groups, per_group = 2, 6
+        disjoint_n, disjoint_prompt, disjoint_decode = 8, 48, 12
+        turns, conversations = 3, 2
+        page_tokens, token_budget, concurrency = 16, 32, 4
+    else:
+        prefix_len, suffix_len, decode_len = 384, 24, 32
+        n_groups, per_group = 2, 12
+        disjoint_n, disjoint_prompt, disjoint_decode = 16, 256, 32
+        turns, conversations = 4, 3
+        page_tokens, token_budget, concurrency = 32, 64, 8
+
+    lm = _bench_model(max_seq_len=4 * (prefix_len + suffix_len + decode_len + 64))
+    engine = ServingEngine(max_concurrency=concurrency)
+    vocab = lm.config.vocab_size
+
+    shared = shared_prefix_requests(
+        n_groups=n_groups, requests_per_group=per_group, prefix_len=prefix_len,
+        suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=0)
+    multi_turn = multi_turn_requests(
+        n_conversations=conversations, n_turns=turns, system_len=prefix_len // 2,
+        user_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=0)
+    disjoint = poisson_requests(disjoint_n, rate_rps=100.0, prompt_len=disjoint_prompt,
+                                decode_len=disjoint_decode, length_jitter=0.3, seed=0)
+
+    results = {
+        "config": {
+            "model": lm.config.name, "n_layers": lm.config.n_layers,
+            "d_model": lm.config.d_model, "max_concurrency": concurrency,
+            "page_tokens": page_tokens, "token_budget": token_budget,
+            "repeats": repeats, "quick": quick,
+            "shared": {"n_groups": n_groups, "requests_per_group": per_group,
+                       "prefix_len": prefix_len, "suffix_len": suffix_len,
+                       "decode_len": decode_len},
+            "disjoint": {"n_requests": disjoint_n, "prompt_len": disjoint_prompt,
+                         "decode_len": disjoint_decode},
+        },
+        "shared_prefix": _compare(engine, lm, shared, repeats, page_tokens, token_budget),
+        "multi_turn": _compare(engine, lm, multi_turn, repeats, page_tokens, token_budget),
+        "disjoint": _compare(engine, lm, disjoint, repeats, page_tokens, token_budget),
+    }
+
+    for regime in ("shared_prefix", "multi_turn", "disjoint"):
+        entry = results[regime]
+        print(f"{regime:14s}: baseline {entry['baseline']['decode_tokens_per_s']:8.1f} tok/s | "
+              f"paged+shared {entry['paged_shared']['decode_tokens_per_s']:8.1f} tok/s "
+              f"({entry['speedup_paged_shared_vs_baseline']:.2f}x) | "
+              f"+chunked {entry['paged_shared_chunked']['decode_tokens_per_s']:8.1f} tok/s "
+              f"({entry['speedup_paged_shared_chunked_vs_baseline']:.2f}x) | "
+              f"reuse {entry['paged_shared']['reused_prefix_tokens']}"
+              f"/{entry['paged_shared']['total_prompt_tokens']} prompt tokens")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
+    args = parser.parse_args()
+    if args.quick and args.repeats > 2:
+        args.repeats = 2
+
+    results = run_benchmark(args.quick, args.repeats)
+    args.out.write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

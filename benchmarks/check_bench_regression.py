@@ -1,0 +1,73 @@
+"""Benchmark regression guard for the serving path (CI gate).
+
+Compares a freshly-produced ``BENCH_serve.json`` against the committed
+baseline and fails (exit 1) when a guarded metric drops more than
+``--tolerance`` (default 20%) below its baseline value.
+
+Only *ratio* metrics are guarded — speedups of the paged+prefix-shared
+engine over the per-request-cache baseline measured in the same process —
+because absolute tokens/s depend on the host machine while ratios are
+portable.  The chunked-prefill variant trades throughput for step-latency
+shape by design, so its ratios are reported but not gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --out BENCH_serve.json
+    python benchmarks/check_bench_regression.py BENCH_serve.json \
+        benchmarks/BENCH_serve_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (regime, metric) pairs guarded against regression.
+GUARDED = [
+    ("shared_prefix", "speedup_paged_shared_vs_baseline"),
+    ("multi_turn", "speedup_paged_shared_vs_baseline"),
+    ("disjoint", "speedup_paged_shared_vs_baseline"),
+]
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures = []
+    for regime, metric in GUARDED:
+        base = baseline[regime][metric]
+        now = current[regime][metric]
+        floor = base * (1.0 - tolerance)
+        status = "OK " if now >= floor else "FAIL"
+        print(f"{status} {regime}.{metric}: {now:.3f} "
+              f"(baseline {base:.3f}, floor {floor:.3f})")
+        if now < floor:
+            failures.append(
+                f"{regime}.{metric} dropped to {now:.3f}, more than "
+                f"{tolerance:.0%} below the committed baseline {base:.3f}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("current", type=Path, help="freshly produced BENCH_serve.json")
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline (benchmarks/BENCH_serve_baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="maximum tolerated fractional drop (default 0.20)")
+    args = parser.parse_args()
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, args.tolerance)
+    if failures:
+        print("\nBenchmark regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nAll guarded benchmark metrics are within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

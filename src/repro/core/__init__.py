@@ -8,6 +8,10 @@
 * :mod:`repro.core.refresh` -- the two-dimensional adaptive refresh policy
   (Section 4.2) expressed as refresh-interval groups and the bit-level fault
   injector they induce.
+* :mod:`repro.core.kv_pool` -- the paged KV memory pool: a block-based
+  arena with free-list allocation, refcounted pages and copy-on-write
+  forks, plus the ``"paged"`` cache built on it (used by the serving
+  engine's prefix-sharing path).
 * :mod:`repro.core.scheduler` -- the Kelle scheduler data-lifetime model
   (Section 6, Equations 7-8).
 * :mod:`repro.core.policy` -- bundled Kelle policy presets matching the
@@ -17,6 +21,7 @@
 from repro.core.aerp import AERPConfig, aerp_cache_factory, budget_for_dataset
 from repro.core.importance import ImportanceTracker
 from repro.core.kv_cache import AERPCache, TokenEntry
+from repro.core.kv_pool import KVPagePool, PagedCacheFactory, PagedKVCache, PoolExhausted
 from repro.core.refresh import (
     KVFaultInjector,
     RefreshPolicy,
@@ -34,6 +39,10 @@ __all__ = [
     "aerp_cache_factory",
     "budget_for_dataset",
     "ImportanceTracker",
+    "KVPagePool",
+    "PagedCacheFactory",
+    "PagedKVCache",
+    "PoolExhausted",
     "RefreshPolicy",
     "TwoDRefreshPolicy",
     "UniformRefreshPolicy",

@@ -1,0 +1,407 @@
+"""Paged KV memory pool: block-based arena, refcounted pages, CoW forks.
+
+The serving path of the reproduction originally gave every request an
+isolated, privately-grown KV cache, so two requests sharing a long system
+prompt stored — and, worse, *recomputed* — the shared prefix twice.  This
+module provides the vLLM/SGLang design point instead:
+
+* :class:`KVPagePool` — a fixed-page-size arena per decoder layer.  Keys and
+  values live in preallocated ``[n_pages, H, page_tokens, d]`` buffers;
+  pages are handed out from a free list, reference-counted, and recycled the
+  moment their refcount drops to zero.  The accounting invariant
+  ``allocated = referenced + free`` is checkable at any time via
+  :meth:`KVPagePool.check_accounting`.
+* :class:`PagedKVCache` — a :class:`~repro.llm.cache.LayerKVCache` whose
+  token storage is a list of pool pages.  Semantically it is the full
+  (no-eviction) cache, but it supports :meth:`~PagedKVCache.fork`: a
+  **zero-copy copy-on-write fork** that shares every page of a prefix with
+  the parent.  Appending into a shared tail page triggers CoW — the writer
+  copies the partial page into a fresh one and releases its reference — so
+  forks can never observe each other's writes.
+* :class:`PagedCacheFactory` — a :class:`~repro.llm.cache.KVCacheFactory`
+  that owns one pool per decoder layer and shares it across every
+  ``make_caches`` call, which is what lets *different requests* of a serving
+  run share prefix pages.  It is registered as the ``"paged"`` cache spec.
+
+The decode hot loop still needs contiguous ``[H, n, d]`` K/V views (the
+attention path is a dense matmul over the whole cache).  Each cache therefore
+keeps a per-sequence *mirror* — a :class:`~repro.llm.cache.ContiguousKVStore`
+lazily synchronised from the pages inside :meth:`fetch` — so steady-state
+fetches stay zero-copy and a freshly forked cache pays one bulk gather
+(O(prefix) memory traffic) instead of re-running prefill (O(prefix²)
+compute).  Pages remain the storage of record: all writes land in pages
+first, and the mirror is only ever filled from page contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.cache import ContiguousKVStore, KVCacheFactory, LayerKVCache, RecomputeFn
+from repro.registry import register
+
+
+class PoolExhausted(RuntimeError):
+    """Raised when a non-growing :class:`KVPagePool` runs out of free pages."""
+
+
+class KVPagePool:
+    """A fixed-page-size KV arena with free-list allocation and refcounts.
+
+    Storage is ``[n_pages, H, page_tokens, head_dim]`` float32 for keys and
+    values, so one page is a natively-shaped ``[H, page_tokens, d]`` block.
+    ``grow=True`` (the default) doubles the arena when the free list runs
+    dry; ``grow=False`` models a hard memory budget and raises
+    :class:`PoolExhausted` instead.
+    """
+
+    __slots__ = ("n_heads", "head_dim", "page_tokens", "grow",
+                 "_keys", "_values", "_refcounts", "_free")
+
+    def __init__(self, n_heads: int, head_dim: int, page_tokens: int = 16,
+                 initial_pages: int = 64, grow: bool = True) -> None:
+        if n_heads <= 0 or head_dim <= 0 or page_tokens <= 0 or initial_pages <= 0:
+            raise ValueError("n_heads, head_dim, page_tokens and initial_pages "
+                             "must be positive")
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.page_tokens = page_tokens
+        self.grow = grow
+        self._keys = np.empty((initial_pages, n_heads, page_tokens, head_dim),
+                              dtype=np.float32)
+        self._values = np.empty((initial_pages, n_heads, page_tokens, head_dim),
+                                dtype=np.float32)
+        # Plain-list refcounts: scalar bumps in the decode hot path are much
+        # cheaper than numpy element access.
+        self._refcounts: list[int] = [0] * initial_pages
+        # LIFO free list: recently-released pages are reused first (cache-warm).
+        self._free: list[int] = list(range(initial_pages - 1, -1, -1))
+
+    # -- capacity and accounting ----------------------------------------
+    @property
+    def n_pages(self) -> int:
+        """Total pages allocated in the arena (free + referenced)."""
+        return self._keys.shape[0]
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_referenced(self) -> int:
+        """Pages with a non-zero reference count."""
+        return sum(1 for count in self._refcounts if count > 0)
+
+    @property
+    def bytes_per_page(self) -> int:
+        return 2 * self.n_heads * self.page_tokens * self.head_dim * 4
+
+    def refcount(self, page: int) -> int:
+        return self._refcounts[page]
+
+    def check_accounting(self) -> None:
+        """Assert the pool invariant ``allocated = referenced + free``."""
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AssertionError("free list contains duplicate pages")
+        if self.n_pages != self.n_referenced + self.n_free:
+            raise AssertionError(
+                f"page accounting broken: {self.n_pages} allocated != "
+                f"{self.n_referenced} referenced + {self.n_free} free")
+        held = {page for page, count in enumerate(self._refcounts) if count > 0}
+        if free & held:
+            raise AssertionError("free list contains referenced pages")
+        if any(count < 0 for count in self._refcounts):
+            raise AssertionError("negative refcount")
+
+    # -- allocation -----------------------------------------------------
+    def _grow(self) -> None:
+        old = self.n_pages
+        new = old * 2
+        for name in ("_keys", "_values"):
+            buf = getattr(self, name)
+            grown = np.empty((new,) + buf.shape[1:], dtype=np.float32)
+            grown[:old] = buf
+            setattr(self, name, grown)
+        self._refcounts.extend([0] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def alloc(self) -> int:
+        """Pop a free page (refcount 1), growing the arena if allowed."""
+        if not self._free:
+            if not self.grow:
+                raise PoolExhausted(
+                    f"pool exhausted: all {self.n_pages} pages "
+                    f"({self.n_pages * self.page_tokens} tokens) are referenced")
+            self._grow()
+        page = self._free.pop()
+        self._refcounts[page] = 1
+        return page
+
+    def retain(self, page: int) -> None:
+        """Add one reference to a live page."""
+        if self._refcounts[page] <= 0:
+            raise ValueError(f"cannot retain free page {page}")
+        self._refcounts[page] += 1
+
+    def release(self, page: int) -> None:
+        """Drop one reference; a page at refcount zero returns to the free list."""
+        if self._refcounts[page] <= 0:
+            raise ValueError(f"cannot release free page {page}")
+        self._refcounts[page] -= 1
+        if self._refcounts[page] == 0:
+            self._free.append(page)
+
+    # -- page views -----------------------------------------------------
+    def key_page(self, page: int) -> np.ndarray:
+        """Writable ``[H, page_tokens, d]`` view of one page's keys."""
+        return self._keys[page]
+
+    def value_page(self, page: int) -> np.ndarray:
+        return self._values[page]
+
+
+class PagedKVCache(LayerKVCache):
+    """Full-cache semantics on pool pages, with zero-copy copy-on-write forks.
+
+    Pages are the *sharing substrate*: :meth:`fork` retains the pages
+    covering a prefix (refcount bump, no data copied) and a shared partial
+    tail page is CoW-copied by whichever side writes it next.  The *working
+    storage* of a live sequence is its private contiguous mirror (a
+    :class:`ContiguousKVStore`), which keeps the decode hot path identical
+    to :class:`FullKVCache`: appends are single buffer writes and ``fetch``
+    returns zero-copy views.  Tokens move between the two lazily:
+
+    * **flush** (mirror → pages) happens only when :meth:`fork` needs to
+      share tokens that are not yet paged — one bulk CoW-aware write;
+    * **gather** (pages → mirror) happens on a fork's first read — one bulk
+      copy, O(prefix) memory traffic instead of the O(prefix²) compute of
+      re-prefilling it.
+    """
+
+    supports_chunked_prefill = True
+
+    def __init__(self, pool: KVPagePool, n_heads: int, head_dim: int, d_model: int) -> None:
+        super().__init__(n_heads, head_dim, d_model)
+        if pool.n_heads != n_heads or pool.head_dim != head_dim:
+            raise ValueError("pool geometry does not match the cache geometry")
+        self.pool = pool
+        self._pages: list[int] = []
+        self._count = 0
+        self._flushed = 0  # tokens persisted to pages; the rest live in the mirror
+        self._mirror: ContiguousKVStore | None = None
+        # Fast-path flag: True guarantees the tail page has refcount 1, so a
+        # flush can skip the refcount lookup.  Cleared on fork (on whichever
+        # sides share the tail), restored by CoW or fresh-page allocation.
+        self._tail_owned = False
+
+    # -- page bookkeeping -----------------------------------------------
+    @property
+    def pages(self) -> tuple[int, ...]:
+        """The (read-only) page list backing this cache, in token order."""
+        return tuple(self._pages)
+
+    @property
+    def flushed_tokens(self) -> int:
+        """Tokens currently persisted to pool pages (≤ ``num_tokens``)."""
+        return self._flushed
+
+    def _writable_tail(self) -> int:
+        """The tail page, CoW-copied first if it is shared with a fork."""
+        tail = self._pages[-1]
+        if self.pool.refcount(tail) > 1:
+            used = self._flushed - (len(self._pages) - 1) * self.pool.page_tokens
+            fresh = self.pool.alloc()
+            self.pool.key_page(fresh)[:, :used] = self.pool.key_page(tail)[:, :used]
+            self.pool.value_page(fresh)[:, :used] = self.pool.value_page(tail)[:, :used]
+            self.pool.release(tail)
+            self._pages[-1] = fresh
+            tail = fresh
+        self._tail_owned = True
+        return tail
+
+    def _flush(self) -> None:
+        """Persist mirror tokens beyond the page watermark (CoW-aware)."""
+        if self._flushed == self._count:
+            return
+        mirror = self._sync_mirror()
+        keys, values = mirror.view()
+        pool = self.pool
+        page_tokens = pool.page_tokens
+        while self._flushed < self._count:
+            offset = self._flushed % page_tokens
+            if offset == 0:
+                self._pages.append(pool.alloc())
+                self._tail_owned = True
+                page = self._pages[-1]
+            elif self._tail_owned:
+                page = self._pages[-1]
+            else:
+                page = self._writable_tail()
+            take = min(page_tokens - offset, self._count - self._flushed)
+            pool._keys[page, :, offset:offset + take] = \
+                keys[:, self._flushed:self._flushed + take]
+            pool._values[page, :, offset:offset + take] = \
+                values[:, self._flushed:self._flushed + take]
+            self._flushed += take
+
+    def _sync_mirror(self) -> ContiguousKVStore:
+        """Gather any paged tokens the mirror is missing (bulk, per page)."""
+        if self._mirror is None:
+            self._mirror = ContiguousKVStore(
+                self.n_heads, self.head_dim,
+                initial_capacity=max(64, self._count + self.pool.page_tokens))
+        mirror = self._mirror
+        page_tokens = self.pool.page_tokens
+        done = len(mirror)
+        # Invariant: tokens in [len(mirror), _flushed) are on pages; tokens
+        # in [_flushed, _count) are already in the mirror by construction.
+        while done < self._flushed:
+            page = self._pages[done // page_tokens]
+            offset = done % page_tokens
+            take = min(page_tokens - offset, self._flushed - done)
+            mirror.extend(self.pool.key_page(page)[:, offset:offset + take],
+                          self.pool.value_page(page)[:, offset:offset + take])
+            done += take
+        return mirror
+
+    # -- LayerKVCache interface -----------------------------------------
+    def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                attn_probs: np.ndarray) -> None:
+        del inputs, attn_probs
+        mirror = self._mirror
+        if mirror is None or len(mirror) != self._count:
+            mirror = self._sync_mirror()
+        mirror.extend(np.asarray(keys, dtype=np.float32),
+                      np.asarray(values, dtype=np.float32))
+        self._count = len(mirror)
+
+    def extend_chunk(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                     positions: np.ndarray) -> None:
+        del inputs, positions
+        self.prefill(keys, values, None, None)
+
+    def append(self, key: np.ndarray, value: np.ndarray, x: np.ndarray, position: int) -> None:
+        del x, position
+        mirror = self._mirror
+        if mirror is None or len(mirror) != self._count:
+            mirror = self._sync_mirror()
+        mirror.append(key, value)
+        self._count += 1
+
+    def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        mirror = self._mirror
+        if mirror is None or len(mirror) != self._count:
+            mirror = self._sync_mirror()
+        keys, values = mirror.view()
+        return keys, values, mirror.valid_view()
+
+    def observe_attention(self, probs: np.ndarray) -> None:
+        del probs  # paged cache keeps everything; no importance tracking
+
+    @property
+    def num_tokens(self) -> int:
+        return self._count
+
+    def stored_bytes(self, bits_per_element: int = 16) -> int:
+        """Bytes at *page* granularity: partially-filled pages count in full."""
+        page_tokens = self.pool.page_tokens
+        n_pages = -(-self._count // page_tokens)  # ceil: as if fully paged
+        elements = 2 * n_pages * page_tokens * self.n_heads * self.head_dim
+        return elements * bits_per_element // 8
+
+    # -- forking and release --------------------------------------------
+    def fork(self, upto: int | None = None) -> "PagedKVCache":
+        """Zero-copy copy-on-write fork sharing the first ``upto`` tokens.
+
+        Unpaged mirror tokens are flushed to pages first (one bulk CoW-aware
+        write); then every page covering the prefix is retained — no K/V
+        data is copied.  A partially-covered shared tail page is CoW-copied
+        by whichever side flushes into it next.  The fork's own mirror is
+        built lazily on first read, so forks that are never decoded from
+        (e.g. radix-tree snapshots) cost O(pages) bookkeeping only.
+        """
+        upto = self._count if upto is None else int(upto)
+        if not 0 <= upto <= self._count:
+            raise ValueError(f"fork upto={upto} out of range [0, {self._count}]")
+        self._flush()
+        child = PagedKVCache(self.pool, self.n_heads, self.head_dim, self.d_model)
+        n_pages = -(-upto // self.pool.page_tokens)  # ceil division
+        child._pages = self._pages[:n_pages]
+        for page in child._pages:
+            self.pool.retain(page)
+        child._count = child._flushed = upto
+        if n_pages == len(self._pages) and n_pages > 0:
+            self._tail_owned = False  # our tail page is now shared with the fork
+        return child
+
+    def release(self) -> None:
+        """Drop every page reference and reset; idempotent."""
+        for page in self._pages:
+            self.pool.release(page)
+        self._pages = []
+        self._count = 0
+        self._flushed = 0
+        self._mirror = None
+        self._tail_owned = False
+
+
+class PagedCacheFactory:
+    """A :class:`KVCacheFactory` whose caches draw from shared per-layer pools.
+
+    One :class:`KVPagePool` is created per ``(layer, n_heads, head_dim)`` the
+    first time a cache is requested for it, then shared by every subsequent
+    ``make_caches`` call — so all sequences of a serving run allocate from
+    (and can share prefix pages inside) the same arena.
+    """
+
+    def __init__(self, page_tokens: int = 16, initial_pages: int = 64,
+                 grow: bool = True) -> None:
+        if page_tokens <= 0 or initial_pages <= 0:
+            raise ValueError("page_tokens and initial_pages must be positive")
+        self.page_tokens = page_tokens
+        self.initial_pages = initial_pages
+        self.grow = grow
+        self._pools: dict[tuple[int, int, int], KVPagePool] = {}
+
+    def __call__(self, layer_index: int, n_heads: int, head_dim: int, d_model: int,
+                 recompute_fn: RecomputeFn) -> PagedKVCache:
+        del recompute_fn
+        key = (layer_index, n_heads, head_dim)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = KVPagePool(n_heads, head_dim, page_tokens=self.page_tokens,
+                              initial_pages=self.initial_pages, grow=self.grow)
+            self._pools[key] = pool
+        return PagedKVCache(pool, n_heads, head_dim, d_model)
+
+    @property
+    def pools(self) -> list[KVPagePool]:
+        return list(self._pools.values())
+
+    @property
+    def total_pages(self) -> int:
+        return sum(pool.n_pages for pool in self.pools)
+
+    @property
+    def free_pages(self) -> int:
+        return sum(pool.n_free for pool in self.pools)
+
+    @property
+    def referenced_pages(self) -> int:
+        return sum(pool.n_referenced for pool in self.pools)
+
+    def check_accounting(self) -> None:
+        """Assert ``allocated = referenced + free`` for every layer pool."""
+        for pool in self.pools:
+            pool.check_accounting()
+
+
+@register("cache", "paged",
+          description="paged KV pool (block allocation, refcounted CoW pages, "
+                      "prefix sharing)")
+def _build_paged(page_tokens: int = 16, initial_pages: int = 64,
+                 grow: bool = True) -> KVCacheFactory:
+    """Registry builder: ``resolve("cache", "paged:page_tokens=32")``."""
+    return PagedCacheFactory(page_tokens=page_tokens, initial_pages=initial_pages,
+                             grow=grow)

@@ -120,6 +120,13 @@ class ContiguousKVStore:
 class LayerKVCache(abc.ABC):
     """Abstract per-layer KV cache with per-head slots."""
 
+    #: Whether this cache supports *incremental* prefill and prefix forking
+    #: with exact full-cache semantics (see :meth:`extend_chunk` and
+    #: :meth:`fork`).  Eviction/quantization policies whose prefill decisions
+    #: depend on seeing the whole prompt at once leave this False, and the
+    #: serving engine's prefix-sharing/chunked-prefill paths skip them.
+    supports_chunked_prefill: bool = False
+
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         if n_heads <= 0 or head_dim <= 0 or d_model <= 0:
             raise ValueError("n_heads, head_dim and d_model must be positive")
@@ -183,6 +190,34 @@ class LayerKVCache(abc.ABC):
     def end_step(self) -> None:
         """Hook called once per decode step after attention; default no-op."""
 
+    # -- chunked prefill and prefix forking (optional capabilities) -----
+    def extend_chunk(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                     positions: np.ndarray) -> None:
+        """Append a prefill *chunk* of ``[H, c, d]`` K/V pairs at ``positions``.
+
+        Only caches with ``supports_chunked_prefill`` implement this; it must
+        leave the cache in exactly the state a whole-prompt :meth:`prefill`
+        of the concatenated chunks would.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support chunked prefill")
+
+    def fork(self, upto: int | None = None) -> "LayerKVCache":
+        """Return an independent cache sharing the first ``upto`` tokens.
+
+        Writes to either side must never be visible to the other.  Only
+        caches with ``supports_chunked_prefill`` implement this; it is what
+        the serving engine's radix prefix index snapshots and reuses.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support forking")
+
+    def release(self) -> None:
+        """Return backing storage to its owner (no-op for private storage).
+
+        The serving engine calls this when a sequence retires; pool-backed
+        caches drop their page references here.
+        """
+
 
 class KVCacheFactory(Protocol):
     """Factory building one :class:`LayerKVCache` per decoder layer."""
@@ -199,6 +234,8 @@ class FullKVCache(LayerKVCache):
     write and ``fetch`` returns zero-copy views, so the decode hot loop does no
     per-token Python work at all.
     """
+
+    supports_chunked_prefill = True
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -220,6 +257,22 @@ class FullKVCache(LayerKVCache):
 
     def observe_attention(self, probs: np.ndarray) -> None:
         del probs  # the full cache does not track importance
+
+    def extend_chunk(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
+                     positions: np.ndarray) -> None:
+        del inputs, positions
+        self._store.extend(np.asarray(keys, dtype=np.float32),
+                           np.asarray(values, dtype=np.float32))
+
+    def fork(self, upto: int | None = None) -> "FullKVCache":
+        """Fork by copying the prefix (the full cache has no shareable pages)."""
+        upto = len(self._store) if upto is None else int(upto)
+        if not 0 <= upto <= len(self._store):
+            raise ValueError(f"fork upto={upto} out of range [0, {len(self._store)}]")
+        child = FullKVCache(self.n_heads, self.head_dim, self.d_model)
+        keys, values = self._store.view()
+        child._store.extend(keys[:, :upto], values[:, :upto])
+        return child
 
     @property
     def num_tokens(self) -> int:

@@ -228,6 +228,64 @@ class DecoderLM:
         hidden = self._norm(hidden, "final_norm")
         return self._lm_head(hidden[-1])
 
+    def prefill_chunk(self, tokens: Sequence[int], position: int,
+                      caches: list[LayerKVCache]) -> np.ndarray:
+        """Prefill a *chunk* of context starting at absolute ``position``.
+
+        The chunk's queries attend causally to everything already in the
+        caches (positions ``0..position-1``) plus the chunk itself, exactly
+        as the corresponding rows of a whole-prompt :meth:`prefill` would —
+        this is what lets the serving engine split a long prompt into
+        token-budgeted pieces (chunked prefill) or resume after a shared
+        prefix restored from the radix cache.  Requires caches that hold
+        exactly ``position`` tokens and support chunked prefill
+        (``full``/``paged``).
+
+        Returns the logits of the chunk's last position (shape ``[vocab]``).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1 or tokens.size == 0:
+            raise ValueError("prefill_chunk expects a non-empty 1-D token sequence")
+        if not all(cache.supports_chunked_prefill for cache in caches):
+            raise ValueError("prefill_chunk requires caches with chunked-prefill "
+                             "support (e.g. 'full' or 'paged')")
+        if caches and caches[0].num_tokens != position:
+            raise ValueError(
+                f"caches hold {caches[0].num_tokens} tokens but the chunk starts "
+                f"at position {position}")
+        chunk = tokens.shape[0]
+        positions = np.arange(position, position + chunk)
+        hidden = self.params["embed.weight"][tokens].astype(np.float32)  # [c, C]
+        if self.config.positional == "learned":
+            hidden = hidden + self.params["pos_embed.weight"][positions]
+        mask = causal_mask(chunk)
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [c, C]
+            queries = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, c, d]
+            if self.config.positional == "rope":
+                queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
+            keys_new, values_new = self._project_kv(normed, layer, positions)
+            keys_old, values_old, valid = caches[layer].fetch()  # [H, n, d] views
+            n_old = keys_old.shape[1]
+            scores_new = queries @ keys_new.swapaxes(-1, -2) * scale + mask  # [H, c, c]
+            if n_old:
+                scores_old = queries @ keys_old.swapaxes(-1, -2) * scale  # [H, c, n]
+                if not valid.all():
+                    scores_old = np.where(valid[:, None, :], scores_old, -np.inf)
+                probs = softmax(np.concatenate([scores_old, scores_new], axis=-1))
+                context = probs[:, :, :n_old] @ values_old + probs[:, :, n_old:] @ values_new
+            else:
+                context = softmax(scores_new, axis=-1) @ values_new  # [H, c, d]
+            caches[layer].extend_chunk(keys_new, values_new, normed, positions)
+            context = np.moveaxis(context, 0, -2).reshape(chunk, self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        hidden = self._norm(hidden, "final_norm")
+        return self._lm_head(hidden[-1])
+
     def decode_step(self, token: int, position: int, caches: list[LayerKVCache]) -> np.ndarray:
         """Decode one token at absolute ``position`` using the caches.
 

@@ -204,8 +204,8 @@ _REGISTRIES: dict[str, Registry] = {}
 #: Modules defining the built-in components of each kind, imported lazily so
 #: the registry module itself has no heavyweight dependencies.
 _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
-    "cache": ("repro.llm.cache", "repro.core.policy", "repro.baselines.eviction",
-              "repro.baselines.quant_kv"),
+    "cache": ("repro.llm.cache", "repro.core.policy", "repro.core.kv_pool",
+              "repro.baselines.eviction", "repro.baselines.quant_kv"),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),
     "accelerator": ("repro.baselines.accelerators",),

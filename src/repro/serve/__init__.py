@@ -6,7 +6,11 @@
   :class:`repro.accelerator.accelerator.EdgeSystem`, with per-request latency
   and energy accounting; :meth:`ServingEngine.run_functional` drives the same
   admission loop against a real :class:`repro.llm.model.DecoderLM` through
-  the batched decode path, measuring real tokens/s.
+  the batched decode path, measuring real tokens/s — optionally with a
+  radix prefix cache (``prefix_cache=True``) and a chunked-prefill token
+  scheduler (``token_budget=N``) on top of the paged KV pool.
+* :mod:`repro.serve.radix` -- :class:`RadixPrefixIndex`, the radix-trie
+  prompt-prefix index mapping shared prefixes to forked KV cache state.
 """
 
 from repro.serve.engine import (
@@ -19,10 +23,13 @@ from repro.serve.engine import (
     poisson_requests,
     simulate,
 )
+from repro.serve.radix import PrefixEntry, RadixPrefixIndex
 
 __all__ = [
     "FunctionalRequestResult",
     "FunctionalServingReport",
+    "PrefixEntry",
+    "RadixPrefixIndex",
     "Request",
     "RequestResult",
     "ServingEngine",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -37,35 +38,54 @@ from repro.accelerator.accelerator import EdgeSystem, SimulationResult
 from repro.accelerator.energy import EnergyBreakdown
 from repro.llm.config import ModelConfig
 from repro.registry import resolve
+from repro.serve.radix import RadixPrefixIndex
 from repro.utils.rng import derive_rng
-from repro.workloads.generator import WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.cache import KVCacheFactory
     from repro.llm.model import DecoderLM
+    from repro.workloads.generator import WorkloadTrace
 
 
 @dataclass(frozen=True)
 class Request:
-    """One serving request: arrival time plus prompt/decode geometry."""
+    """One serving request: arrival time plus prompt/decode geometry.
+
+    ``prompt_tokens`` optionally pins the actual prompt contents (the
+    shared-prefix and multi-turn workload generators use this so requests
+    really share token prefixes); when None the functional engine
+    synthesises a random prompt of ``prompt_len`` tokens.
+    """
 
     request_id: str
     arrival_time_s: float
     prompt_len: int
     decode_len: int
+    prompt_tokens: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
             raise ValueError("arrival_time_s must be non-negative")
         if self.prompt_len <= 0 or self.decode_len <= 0:
             raise ValueError("prompt_len and decode_len must be positive")
+        if self.prompt_tokens is not None:
+            object.__setattr__(self, "prompt_tokens",
+                               tuple(int(t) for t in self.prompt_tokens))
+            if len(self.prompt_tokens) != self.prompt_len:
+                raise ValueError(
+                    f"prompt_tokens has {len(self.prompt_tokens)} tokens but "
+                    f"prompt_len={self.prompt_len}")
 
     @property
     def tokens_generated(self) -> int:
         return self.decode_len
 
-    def trace(self) -> WorkloadTrace:
+    def trace(self) -> "WorkloadTrace":
         """The single-sequence hardware trace equivalent to this request."""
+        # Imported here (not at module level) to keep repro.serve and
+        # repro.workloads free of an import cycle.
+        from repro.workloads.generator import WorkloadTrace
+
         return WorkloadTrace(name=f"req-{self.request_id}", context_len=self.prompt_len,
                              decode_len=self.decode_len, batch_size=1)
 
@@ -242,6 +262,10 @@ class FunctionalRequestResult:
     generated_tokens: list[int]
     admitted_step: int
     finished_step: int
+    #: Wall-clock seconds from admission to this request's first token.
+    ttft_s: float = 0.0
+    #: Prompt tokens restored from the radix prefix cache instead of prefilled.
+    reused_prefix_tokens: int = 0
 
     @property
     def tokens_generated(self) -> int:
@@ -263,6 +287,8 @@ class FunctionalServingReport:
     wall_s: float = 0.0
     n_steps: int = 0
     peak_batch: int = 0
+    #: Wall-clock duration of every engine step (admission+prefill+decode).
+    step_latencies_s: list[float] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
@@ -273,18 +299,56 @@ class FunctionalServingReport:
         return sum(r.tokens_generated for r in self.results)
 
     @property
+    def total_prompt_tokens(self) -> int:
+        return sum(len(r.prompt_tokens) for r in self.results)
+
+    @property
+    def reused_prefix_tokens(self) -> int:
+        """Prompt tokens served from the radix prefix cache across all requests."""
+        return sum(r.reused_prefix_tokens for r in self.results)
+
+    @property
     def decode_tokens_per_s(self) -> float:
         if self.wall_s <= 0:
             return 0.0
         return self.total_decode_tokens / self.wall_s
 
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.ttft_s for r in self.results]))
+
+    def ttft_percentile_s(self, percentile: float) -> float:
+        """Time-to-first-token percentile across requests (e.g. 99 for p99)."""
+        if not self.results:
+            return 0.0
+        return float(np.percentile([r.ttft_s for r in self.results], percentile))
+
+    def step_latency_percentile_s(self, percentile: float) -> float:
+        """Engine-step wall-latency percentile (e.g. 50/99 for p50/p99)."""
+        if not self.step_latencies_s:
+            return 0.0
+        return float(np.percentile(self.step_latencies_s, percentile))
+
     def summary(self) -> str:
-        """Human-readable one-paragraph summary of the functional run."""
-        return (
+        """Human-readable multi-line summary of the functional run."""
+        reused = self.reused_prefix_tokens
+        prompt_tokens = self.total_prompt_tokens
+        lines = [
             f"FunctionalServingReport: {self.n_requests} requests on {self.model_name} "
             f"(<= {self.max_concurrency} concurrent, peak batch {self.peak_batch}): "
             f"{self.total_decode_tokens} tokens decoded in {self.wall_s:.2f} s "
-            f"({self.decode_tokens_per_s:.1f} tok/s, {self.n_steps} batched steps)")
+            f"({self.decode_tokens_per_s:.1f} tok/s, {self.n_steps} batched steps)",
+            f"  TTFT           mean {self.mean_ttft_s * 1e3:8.2f} ms | "
+            f"p50 {self.ttft_percentile_s(50) * 1e3:8.2f} ms | "
+            f"p99 {self.ttft_percentile_s(99) * 1e3:8.2f} ms",
+            f"  step latency   p50  {self.step_latency_percentile_s(50) * 1e3:8.2f} ms | "
+            f"p99 {self.step_latency_percentile_s(99) * 1e3:8.2f} ms",
+            f"  prefix reuse   {reused} / {prompt_tokens} prompt tokens "
+            f"({100.0 * reused / max(prompt_tokens, 1):.1f}%)",
+        ]
+        return "\n".join(lines)
 
 
 class ServingEngine:
@@ -348,9 +412,38 @@ class ServingEngine:
         return report
 
     # ------------------------------------------------------------------
+    #: Minimum shared-prefix length for which a fresh sequence is worth
+    #: deferring one step behind another sequence prefilling the same prefix.
+    _DEFER_MIN_SHARED = 16
+
+    @staticmethod
+    def _shared_prefix_len(a: list[int], b: list[int]) -> int:
+        n = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            n += 1
+        return n
+
+    @staticmethod
+    def _finish_prefill(state: dict, logits: np.ndarray, index: RadixPrefixIndex | None,
+                        now: float) -> None:
+        """Mark a sequence fully prefilled: first token, TTFT, radix insert."""
+        state["next_input"] = int(np.argmax(logits))
+        state["generated"].append(state["next_input"])
+        state["position"] = len(state["prompt"])
+        state["ttft_s"] = now - state["admitted_wall"]
+        if index is not None:
+            # Snapshot the prompt's KV state (zero-copy CoW forks for the
+            # paged cache) so later requests can reuse the shared prefix.
+            index.insert(state["prompt"],
+                         [cache.fork() for cache in state["caches"]])
+
     def run_functional(self, lm: "DecoderLM", requests: list[Request],
                        cache: "KVCacheFactory | str | None" = None,
-                       seed: int = 0) -> FunctionalServingReport:
+                       seed: int = 0, *, prefix_cache: bool = False,
+                       token_budget: int | None = None,
+                       radix_max_tokens: int | None = None) -> FunctionalServingReport:
         """Serve ``requests`` by *actually decoding tokens* with batched forwards.
 
         This drives the same continuous-batching admission discipline as
@@ -358,16 +451,34 @@ class ServingEngine:
         up to ``max_concurrency`` sequences run simultaneously through
         :meth:`DecoderLM.decode_step_batch`, each with its own per-layer KV
         caches built from ``cache`` (a factory, registry spec string or
-        ``None`` for the full cache); a queued request is admitted — and
-        batch-prefilled — the moment a running sequence finishes.  Prompts are
-        synthesised from the model's vocabulary (the engine's requests only
-        carry geometry).
+        ``None`` for the full cache).  Prompts come from
+        :attr:`Request.prompt_tokens` when set and are otherwise synthesised
+        from the model's vocabulary.
 
-        Returns a :class:`FunctionalServingReport` with the decoded tokens per
-        request and the measured wall-clock decode throughput.
+        Two optional mechanisms reshape the schedule (both default off, which
+        reproduces the plain per-request-cache path exactly):
+
+        * ``prefix_cache=True`` maintains a radix-trie prefix index: every
+          prefilled prompt is snapshotted (a zero-copy copy-on-write fork for
+          the ``"paged"`` cache), and a new request whose prompt shares a
+          prefix with a cached one forks that state and prefills only its
+          novel suffix.  Requires a cache with chunked-prefill support
+          (``"full"`` or ``"paged"``); other specs silently run unshared.
+          ``radix_max_tokens`` bounds the index with LRU eviction.
+        * ``token_budget=N`` enables the chunked-prefill scheduler: each
+          engine step first decodes every running sequence, then spends the
+          remaining budget on prompt *chunks* of admitted sequences, so a
+          long prompt no longer stalls the running batch for a whole-prompt
+          prefill.  Caches without chunked-prefill support fall back to
+          whole-prompt prefill at admission.
+
+        Returns a :class:`FunctionalServingReport` with the decoded tokens,
+        measured throughput, per-request TTFT and per-step latencies.
         """
         if not requests:
             raise ValueError("requests must be non-empty")
+        if token_budget is not None and token_budget <= 0:
+            raise ValueError("token_budget must be positive (or None to disable)")
         cache_factory = resolve("cache", cache) if isinstance(cache, str) else cache
         max_len = lm.config.max_seq_len
         for request in requests:
@@ -376,37 +487,118 @@ class ServingEngine:
                     f"request '{request.request_id}' needs {request.prompt_len + request.decode_len} "
                     f"positions but the model supports max_seq_len={max_len}")
         rng = derive_rng(seed, "serve-functional")
-        queue = sorted(requests, key=lambda r: (r.arrival_time_s, r.request_id))
+        queue = deque(sorted(requests, key=lambda r: (r.arrival_time_s, r.request_id)))
+        # Chunked prefill and prefix sharing need fork/extend_chunk support;
+        # probe the factory once (building a cache is cheap and side-effect
+        # free — the paged cache allocates no pages until written).
+        from repro.llm.cache import full_cache_factory
+
+        probe = (cache_factory or full_cache_factory)(
+            0, lm.config.n_heads, lm.config.head_dim, lm.config.d_model,
+            lm.recompute_fn(0))
+        chunkable = probe.supports_chunked_prefill
+        probe.release()
+        index = (RadixPrefixIndex(max_tokens=radix_max_tokens)
+                 if prefix_cache and chunkable else None)
         running: list[dict] = []
         report = FunctionalServingReport(model_name=lm.config.name,
                                          max_concurrency=self.max_concurrency)
         start = time.perf_counter()
         step = 0
         while queue or running:
-            # Continuous-batching admission: fill freed slots, then batch-prefill
-            # all newly admitted sequences in one forward pass.
-            admitted: list[dict] = []
-            while queue and len(running) + len(admitted) < self.max_concurrency:
-                request = queue.pop(0)
-                prompt = rng.integers(0, lm.config.vocab_size,
-                                      size=request.prompt_len).tolist()
-                admitted.append({
+            step_start = time.perf_counter()
+            # -- admission: fill freed continuous-batching slots ----------
+            while queue and len(running) < self.max_concurrency:
+                request = queue.popleft()
+                if request.prompt_tokens is not None:
+                    prompt = list(request.prompt_tokens)
+                else:
+                    prompt = rng.integers(0, lm.config.vocab_size,
+                                          size=request.prompt_len).tolist()
+                running.append({
                     "request": request,
                     "prompt": prompt,
-                    "caches": lm.make_caches(cache_factory),
+                    "caches": None,  # resolved in the per-step phase below
                     "generated": [],
+                    "prefilled": 0,
+                    "reused": 0,
                     "position": request.prompt_len,
+                    "next_input": None,
+                    "ttft_s": 0.0,
                     "admitted_step": step,
+                    "admitted_wall": time.perf_counter(),
                 })
-            if admitted:
-                logits = lm.prefill_batch([state["prompt"] for state in admitted],
-                                          [state["caches"] for state in admitted])
-                for row, state in enumerate(admitted):
-                    state["next_input"] = int(np.argmax(logits[row]))
-                    state["generated"].append(state["next_input"])
-                running.extend(admitted)
-            # One batched decode step for every running sequence.
+            # -- cache resolution: radix reuse and intra-wave dedup -------
+            # Matching happens per step (not at admission) so a request can
+            # reuse a prefix that an *earlier member of its own admission
+            # wave* is prefilling right now: a fresh miss that shares a
+            # prefix with a prompt being prefilled — resolved this step or
+            # still in flight under the chunked scheduler — is deferred,
+            # and matches the index once that prefill is inserted.
+            if index is not None:
+                prefilling_prompts = [s["prompt"] for s in running
+                                      if s["caches"] is not None
+                                      and s["prefilled"] < len(s["prompt"])]
+            for state in running:
+                if state["caches"] is not None:
+                    continue
+                prompt = state["prompt"]
+                if index is not None:
+                    # Reuse at most prompt_len-1 tokens so the suffix chunk
+                    # always produces the first-token logits.
+                    use_len, entry = index.match(prompt)
+                    use_len = min(use_len, len(prompt) - 1)
+                    if entry is not None and use_len > 0:
+                        state["caches"] = [c.fork(use_len) for c in entry.caches]
+                        state["prefilled"] = state["reused"] = use_len
+                        continue
+                    if any(self._shared_prefix_len(prompt, other) >=
+                           self._DEFER_MIN_SHARED for other in prefilling_prompts):
+                        continue  # defer: a later step's match will hit
+                    prefilling_prompts.append(prompt)
+                state["caches"] = lm.make_caches(cache_factory)
+            # -- prefill work --------------------------------------------
+            # Whole-prompt batched prefill: fresh sequences that either have
+            # no chunk support or are running without a token budget.
+            batch_states = [s for s in running if s["caches"] is not None and
+                            s["prefilled"] == 0 and s["next_input"] is None and
+                            (not chunkable or token_budget is None)]
+            if batch_states:
+                logits = lm.prefill_batch([s["prompt"] for s in batch_states],
+                                          [s["caches"] for s in batch_states])
+                now = time.perf_counter()
+                for row, state in enumerate(batch_states):
+                    state["prefilled"] = len(state["prompt"])
+                    self._finish_prefill(state, logits[row], index, now)
+            # Chunked prefill: decode keeps strict priority — the budget
+            # left after this step's decode tokens goes to prompt chunks.
+            pending = [s for s in running if s["caches"] is not None and
+                       s["prefilled"] < len(s["prompt"])]
+            if pending:
+                if token_budget is None:
+                    prefill_budget = None  # unbudgeted: whole suffix at once
+                else:
+                    n_active = sum(1 for s in running
+                                   if s["prefilled"] == len(s["prompt"])
+                                   and len(s["generated"]) < s["request"].decode_len)
+                    prefill_budget = max(0, token_budget - n_active)
+                for state in pending:
+                    remaining = len(state["prompt"]) - state["prefilled"]
+                    chunk = remaining if prefill_budget is None else min(
+                        prefill_budget, remaining)
+                    if chunk <= 0:
+                        break
+                    logits = lm.prefill_chunk(
+                        state["prompt"][state["prefilled"]:state["prefilled"] + chunk],
+                        state["prefilled"], state["caches"])
+                    state["prefilled"] += chunk
+                    if prefill_budget is not None:
+                        prefill_budget -= chunk
+                    if state["prefilled"] == len(state["prompt"]):
+                        self._finish_prefill(state, logits, index, time.perf_counter())
+            # -- one batched decode step for every running sequence ------
             active = [state for state in running if
+                      state["prefilled"] == len(state["prompt"]) and
                       len(state["generated"]) < state["request"].decode_len]
             if active:
                 logits = lm.decode_step_batch(
@@ -420,18 +612,26 @@ class ServingEngine:
                 step += 1
                 report.n_steps += 1
                 report.peak_batch = max(report.peak_batch, len(active))
-            # Retire finished sequences (freeing slots for the next admission).
+            # -- retire finished sequences (freeing slots) ---------------
             finished = [state for state in running if
+                        state["prefilled"] == len(state["prompt"]) and
                         len(state["generated"]) >= state["request"].decode_len]
             for state in finished:
                 running.remove(state)
+                for cache in state["caches"]:
+                    cache.release()
                 report.results.append(FunctionalRequestResult(
                     request=state["request"],
                     prompt_tokens=state["prompt"],
                     generated_tokens=state["generated"],
                     admitted_step=state["admitted_step"],
                     finished_step=step,
+                    ttft_s=state["ttft_s"],
+                    reused_prefix_tokens=state["reused"],
                 ))
+            report.step_latencies_s.append(time.perf_counter() - step_start)
+        if index is not None:
+            index.clear()  # return every snapshot's pages to the pool
         report.wall_s = time.perf_counter() - start
         report.results.sort(key=lambda r: (r.request.arrival_time_s, r.request.request_id))
         return report

@@ -20,6 +20,7 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task, make_recall_task
 from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
+from repro.workloads.serving import multi_turn_requests, shared_prefix_requests
 
 __all__ = [
     "SyntheticLanguage",
@@ -35,4 +36,6 @@ __all__ = [
     "WorkloadTrace",
     "PAPER_TRACES",
     "trace_for_dataset",
+    "multi_turn_requests",
+    "shared_prefix_requests",
 ]

@@ -1,0 +1,119 @@
+"""Serving request-trace generators with *real* prompt tokens.
+
+:func:`repro.serve.poisson_requests` describes traffic by geometry only; the
+prefix-sharing serving path needs traces whose requests actually share token
+prefixes.  Two generators cover the canonical scenarios:
+
+* :func:`shared_prefix_requests` — groups of requests sharing a long common
+  prefix (the "many users, one system prompt" pattern);
+* :func:`multi_turn_requests` — conversations whose every turn's prompt
+  extends the previous turn's prompt (the chat-history pattern), so each
+  turn's prefill can reuse the whole preceding conversation.
+
+Both return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
+deterministic in ``seed``, with Poisson-ish arrival spacing so admission
+order interleaves the groups/conversations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.serve.engine import Request
+
+
+def _request_cls() -> "type[Request]":
+    # Imported lazily: repro.serve pulls in the accelerator stack, which
+    # imports repro.workloads — a module-level import here would be circular.
+    from repro.serve.engine import Request
+
+    return Request
+
+
+def shared_prefix_requests(n_groups: int, requests_per_group: int, prefix_len: int,
+                           suffix_len: int, decode_len: int, vocab_size: int,
+                           rate_rps: float = 100.0, seed: int = 0) -> list[Request]:
+    """Requests in ``n_groups`` groups, each group sharing a random prefix.
+
+    Every request's prompt is its group's ``prefix_len``-token prefix followed
+    by a private ``suffix_len``-token suffix.  Arrivals are Poisson at
+    ``rate_rps`` and the groups are interleaved round-robin, so a serving
+    engine sees the prefixes recur while other traffic is in flight.
+    """
+    if n_groups <= 0 or requests_per_group <= 0:
+        raise ValueError("n_groups and requests_per_group must be positive")
+    if prefix_len <= 0 or suffix_len < 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prefix_len/decode_len must be positive, suffix_len "
+                         "non-negative and vocab_size > 1")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "shared-prefix-requests")
+    prefixes = [rng.integers(0, vocab_size, size=prefix_len).tolist()
+                for _ in range(n_groups)]
+    n_total = n_groups * requests_per_group
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=n_total))
+    requests = []
+    for index in range(n_total):
+        group = index % n_groups  # round-robin interleave
+        suffix = rng.integers(0, vocab_size, size=suffix_len).tolist()
+        prompt = prefixes[group] + suffix
+        requests.append(request_cls(
+            request_id=f"g{group}r{index // n_groups}",
+            arrival_time_s=float(arrivals[index]),
+            prompt_len=len(prompt),
+            decode_len=decode_len,
+            prompt_tokens=tuple(prompt),
+        ))
+    return requests
+
+
+def multi_turn_requests(n_conversations: int, n_turns: int, system_len: int,
+                        user_len: int, decode_len: int, vocab_size: int,
+                        turn_gap_s: float = 1.0, seed: int = 0) -> list[Request]:
+    """Multi-turn chat traces: each turn's prompt extends the previous one.
+
+    Turn ``k``'s prompt is the full conversation so far — system prompt,
+    every earlier user turn, and a ``decode_len``-token stand-in for each
+    earlier assistant reply — plus the new ``user_len``-token user message.
+    A prefix-sharing engine therefore re-prefills only
+    ``decode_len + user_len`` novel tokens per turn instead of the whole
+    history.  Conversations start staggered and turns arrive ``turn_gap_s``
+    apart, so turns from different conversations interleave.
+    """
+    if n_conversations <= 0 or n_turns <= 0:
+        raise ValueError("n_conversations and n_turns must be positive")
+    if system_len <= 0 or user_len <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("system_len, user_len and decode_len must be positive "
+                         "and vocab_size > 1")
+    if turn_gap_s <= 0:
+        raise ValueError("turn_gap_s must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "multi-turn-requests")
+    requests = []
+    for conv in range(n_conversations):
+        history = rng.integers(0, vocab_size, size=system_len).tolist()
+        offset = rng.uniform(0.0, turn_gap_s)
+        for turn in range(n_turns):
+            user = rng.integers(0, vocab_size, size=user_len).tolist()
+            prompt = history + user
+            requests.append(request_cls(
+                request_id=f"c{conv}t{turn}",
+                arrival_time_s=float(offset + turn * turn_gap_s),
+                prompt_len=len(prompt),
+                decode_len=decode_len,
+                prompt_tokens=tuple(prompt),
+            ))
+            # The next turn's history: this prompt plus a synthetic
+            # assistant reply (the real generated tokens are not known at
+            # trace-construction time; any fixed filler preserves the
+            # prefix-extension structure).
+            reply = rng.integers(0, vocab_size, size=decode_len).tolist()
+            history = prompt + reply
+    requests.sort(key=lambda r: (r.arrival_time_s, r.request_id))
+    return requests

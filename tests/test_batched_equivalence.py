@@ -31,6 +31,7 @@ from repro.workloads.tasks import make_multiple_choice_task, make_summarization_
 #: float-level differences between the two paths).
 ALL_CACHE_SPECS = [
     "full",
+    "paged:page_tokens=4",
     "streaming_llm:budget=8,sink_tokens=2",
     "h2o:budget=8,sink_tokens=2,recent_window=3",
     "random:budget=8,sink_tokens=2,recent_window=3",

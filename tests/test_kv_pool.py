@@ -1,0 +1,212 @@
+"""Paged KV pool tests: page accounting, CoW forks, full-cache equivalence.
+
+The headline acceptance criterion: pool page accounting satisfies
+``allocated = referenced + free`` at every point of a serve-like lifecycle
+(alloc, fork, CoW, release), and the paged cache is bit-identical to the
+full cache under any interleaving of prefill / append / fork / fetch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kv_pool import KVPagePool, PagedCacheFactory, PagedKVCache, PoolExhausted
+from repro.llm.cache import FullKVCache
+from repro.registry import resolve
+
+H, D, C = 2, 4, 8  # heads, head_dim, d_model
+
+
+def _kv(rng, n):
+    return (rng.standard_normal((H, n, D)).astype(np.float32),
+            rng.standard_normal((H, n, D)).astype(np.float32))
+
+
+@pytest.fixture
+def pool() -> KVPagePool:
+    return KVPagePool(H, D, page_tokens=4, initial_pages=8)
+
+
+class TestKVPagePool:
+    def test_alloc_release_accounting(self, pool):
+        pool.check_accounting()
+        pages = [pool.alloc() for _ in range(5)]
+        assert pool.n_free == 3 and pool.n_referenced == 5
+        pool.check_accounting()
+        for page in pages[:2]:
+            pool.release(page)
+        assert pool.n_free == 5 and pool.n_referenced == 3
+        pool.check_accounting()
+        assert pool.n_pages == pool.n_referenced + pool.n_free
+
+    def test_refcounts_and_recycling(self, pool):
+        page = pool.alloc()
+        pool.retain(page)
+        assert pool.refcount(page) == 2
+        pool.release(page)
+        assert pool.refcount(page) == 1 and pool.n_referenced == 1
+        pool.release(page)
+        assert pool.refcount(page) == 0
+        assert page == pool.alloc()  # LIFO free list reuses it immediately
+        pool.check_accounting()
+
+    def test_growth_preserves_contents_and_accounting(self, pool):
+        rng = np.random.default_rng(0)
+        page = pool.alloc()
+        keys, values = _kv(rng, 4)
+        pool.key_page(page)[:] = keys
+        pool.value_page(page)[:] = values
+        for _ in range(20):  # forces at least one doubling past 8 pages
+            pool.alloc()
+        assert pool.n_pages >= 21
+        np.testing.assert_array_equal(pool.key_page(page), keys)
+        np.testing.assert_array_equal(pool.value_page(page), values)
+        pool.check_accounting()
+
+    def test_exhaustion_raises_when_growth_disabled(self):
+        fixed = KVPagePool(H, D, page_tokens=4, initial_pages=2, grow=False)
+        fixed.alloc(), fixed.alloc()
+        with pytest.raises(PoolExhausted):
+            fixed.alloc()
+
+    def test_bad_retain_release_raise(self, pool):
+        with pytest.raises(ValueError):
+            pool.retain(0)  # free page
+        with pytest.raises(ValueError):
+            pool.release(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVPagePool(0, D)
+        with pytest.raises(ValueError):
+            KVPagePool(H, D, page_tokens=0)
+
+
+class TestPagedKVCache:
+    def test_matches_full_cache_under_mixed_writes(self, pool):
+        rng = np.random.default_rng(1)
+        paged = PagedKVCache(pool, H, D, C)
+        full = FullKVCache(H, D, C)
+        keys, values = _kv(rng, 10)
+        paged.prefill(keys, values, None, None)
+        full.prefill(keys, values, np.zeros((10, C)), np.zeros((H, 10, 10)))
+        for position in range(10, 17):
+            key, value = _kv(rng, 1)
+            paged.append(key[:, 0], value[:, 0], None, position)
+            full.append(key[:, 0], value[:, 0], np.zeros(C), position)
+        for a, b in zip(paged.fetch(), full.fetch()):
+            np.testing.assert_array_equal(a, b)
+        assert paged.num_tokens == full.num_tokens == 17
+
+    def test_fork_is_zero_copy_and_isolated(self, pool):
+        rng = np.random.default_rng(2)
+        parent = PagedKVCache(pool, H, D, C)
+        keys, values = _kv(rng, 10)  # 3 pages at page_tokens=4 after flush
+        parent.prefill(keys, values, None, None)
+        child = parent.fork(10)
+        assert child.pages == parent.pages  # pages shared, not copied
+        assert all(pool.refcount(p) == 2 for p in parent.pages)
+        pool.check_accounting()
+        # Divergent appends must not be visible across the fork.
+        key_p, value_p = _kv(rng, 1)
+        key_c, value_c = _kv(rng, 1)
+        parent.append(key_p[:, 0], value_p[:, 0], None, 10)
+        child.append(key_c[:, 0], value_c[:, 0], None, 10)
+        np.testing.assert_array_equal(parent.fetch()[0][:, 10], key_p[:, 0])
+        np.testing.assert_array_equal(child.fetch()[0][:, 10], key_c[:, 0])
+        np.testing.assert_array_equal(parent.fetch()[0][:, :10], keys)
+        np.testing.assert_array_equal(child.fetch()[0][:, :10], keys)
+        pool.check_accounting()
+
+    def test_fork_truncates_and_cow_protects_shared_tail(self, pool):
+        rng = np.random.default_rng(3)
+        parent = PagedKVCache(pool, H, D, C)
+        keys, values = _kv(rng, 10)
+        parent.prefill(keys, values, None, None)
+        child = parent.fork(6)  # mid-page boundary: tail page shared partially
+        assert child.num_tokens == 6
+        shared_tail = child.pages[-1]
+        assert pool.refcount(shared_tail) == 2
+        # The child extends past the fork point, then forks again: the flush
+        # must CoW-copy the shared tail page (parent tokens 6..9 live there)
+        # instead of overwriting it.
+        extra_k, extra_v = _kv(rng, 3)
+        child.extend_chunk(extra_k, extra_v, None, np.arange(6, 9))
+        grandchild = child.fork()  # forces child flush into the shared page
+        assert child.pages[-2] != shared_tail  # CoW replaced it
+        assert pool.refcount(shared_tail) == 1  # only the parent holds it now
+        np.testing.assert_array_equal(parent.fetch()[0], keys)
+        np.testing.assert_array_equal(grandchild.fetch()[0][:, 6:], extra_k)
+        np.testing.assert_array_equal(child.fetch()[0][:, 6:], extra_k)
+        np.testing.assert_array_equal(child.fetch()[0][:, :6], keys[:, :6])
+        pool.check_accounting()
+
+    def test_fork_bounds_validation(self, pool):
+        cache = PagedKVCache(pool, H, D, C)
+        rng = np.random.default_rng(4)
+        keys, values = _kv(rng, 5)
+        cache.prefill(keys, values, None, None)
+        with pytest.raises(ValueError):
+            cache.fork(6)
+        with pytest.raises(ValueError):
+            cache.fork(-1)
+
+    def test_release_returns_all_pages(self, pool):
+        rng = np.random.default_rng(5)
+        cache = PagedKVCache(pool, H, D, C)
+        keys, values = _kv(rng, 9)
+        cache.prefill(keys, values, None, None)
+        fork = cache.fork()
+        assert pool.n_referenced > 0
+        cache.release()
+        fork.release()
+        assert pool.n_referenced == 0 and pool.n_free == pool.n_pages
+        cache.release()  # idempotent
+        pool.check_accounting()
+
+    def test_stored_bytes_is_page_granular(self, pool):
+        cache = PagedKVCache(pool, H, D, C)
+        rng = np.random.default_rng(6)
+        keys, values = _kv(rng, 5)  # 5 tokens -> 2 pages of 4
+        cache.prefill(keys, values, None, None)
+        assert cache.stored_bytes(16) == 2 * 2 * 4 * H * D * 16 // 8
+
+    def test_geometry_mismatch_raises(self, pool):
+        with pytest.raises(ValueError):
+            PagedKVCache(pool, H + 1, D, C)
+
+
+class TestPagedCacheFactory:
+    def test_pools_shared_across_sequences_per_layer(self):
+        factory = PagedCacheFactory(page_tokens=4, initial_pages=4)
+        a0 = factory(0, H, D, C, None)
+        b0 = factory(0, H, D, C, None)
+        a1 = factory(1, H, D, C, None)
+        assert a0.pool is b0.pool  # same layer -> same arena
+        assert a0.pool is not a1.pool  # different layer -> different arena
+        assert len(factory.pools) == 2
+
+    def test_factory_accounting_spans_all_pools(self):
+        rng = np.random.default_rng(7)
+        factory = PagedCacheFactory(page_tokens=4, initial_pages=4)
+        caches = [factory(layer, H, D, C, None) for layer in range(3)]
+        for cache in caches:
+            keys, values = _kv(rng, 6)
+            cache.prefill(keys, values, None, None)
+            cache.fork()  # leaves referenced pages behind (flushes)
+        factory.check_accounting()
+        assert factory.total_pages == factory.referenced_pages + factory.free_pages
+        assert factory.referenced_pages == 3 * 2  # ceil(6/4) pages per layer
+
+    def test_registry_spec_round_trip(self):
+        factory = resolve("cache", "paged:page_tokens=8,initial_pages=2,grow=false")
+        assert isinstance(factory, PagedCacheFactory)
+        assert factory.page_tokens == 8 and factory.grow is False
+        cache = factory(0, H, D, C, None)
+        assert isinstance(cache, PagedKVCache)
+        assert cache.supports_chunked_prefill
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedCacheFactory(page_tokens=0)

@@ -19,9 +19,10 @@ from repro.llm.generation import generate
 from repro.registry import RegistryError, known, known_kinds, parse_spec, resolve
 from repro.workloads.generator import WorkloadTrace
 
-#: Small-budget spec for every cache policy (used to round-trip all seven).
+#: Small-budget spec for every cache policy (used to round-trip all eight).
 CACHE_SPECS = {
     "full": "full",
+    "paged": "paged:page_tokens=4",
     "kelle": "kelle:budget=16,sink_tokens=2,recent_window=4",
     "streaming_llm": "streaming_llm:budget=16,sink_tokens=2",
     "h2o": "h2o:budget=16,sink_tokens=2,recent_window=4",
@@ -58,7 +59,7 @@ class TestRegistryLookup:
     def test_known_kinds(self):
         assert {"cache", "refresh", "system", "accelerator", "model", "trace"} <= set(known_kinds())
 
-    def test_seven_cache_policies_registered(self):
+    def test_every_cache_policy_registered(self):
         assert set(known("cache")) == set(CACHE_SPECS)
 
     def test_four_refresh_policies_registered(self):

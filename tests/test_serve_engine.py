@@ -200,3 +200,187 @@ class TestFunctionalServing:
             engine.run_functional(lm, [])
         with pytest.raises(ValueError):
             engine.run_functional(lm, [Request("big", 0.0, 400, 100)])
+        with pytest.raises(ValueError):
+            engine.run_functional(lm, [Request("x", 0.0, 8, 4)], token_budget=0)
+
+
+#: One spec per registered cache kind, sized for the tiny serving model.
+#: Prefix sharing must be output-transparent for every one of them: caches
+#: with chunked-prefill support (full, paged) actually reuse prefixes, the
+#: rest silently run unshared — either way the tokens must be identical to
+#: the isolated per-request-cache path.
+SERVE_CACHE_SPECS = [
+    "full",
+    "paged:page_tokens=8",
+    "streaming_llm:budget=16,sink_tokens=2",
+    "h2o:budget=16,sink_tokens=2,recent_window=4",
+    "random:budget=16,sink_tokens=2,recent_window=4",
+    "kivi:bits=8",
+    "quarot:bits=8",
+    "kelle:budget=16,sink_tokens=2,recent_window=4,refresh=none",
+]
+
+
+class TestPrefixSharingServing:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        from repro.llm.config import tiny_config
+        from repro.llm.model import DecoderLM
+
+        return DecoderLM(tiny_config("serve-prefix-tiny", n_layers=2, d_model=32,
+                                     n_heads=4, d_ff=64, vocab_size=48,
+                                     max_seq_len=512), seed=7)
+
+    @pytest.fixture(scope="class")
+    def shared_requests(self):
+        from repro.workloads import shared_prefix_requests
+
+        return shared_prefix_requests(n_groups=2, requests_per_group=4,
+                                      prefix_len=40, suffix_len=6, decode_len=8,
+                                      vocab_size=48, seed=1)
+
+    def test_specs_cover_every_registered_cache(self):
+        from repro.registry import known
+
+        covered = {spec.split(":", 1)[0] for spec in SERVE_CACHE_SPECS}
+        assert covered == set(known("cache"))
+
+    @pytest.mark.parametrize("spec", SERVE_CACHE_SPECS)
+    def test_shared_serving_token_identical_to_isolated(self, lm, shared_requests, spec):
+        engine = ServingEngine(max_concurrency=3)
+        isolated = engine.run_functional(lm, shared_requests, cache=spec)
+        shared = engine.run_functional(lm, shared_requests, cache=spec,
+                                       prefix_cache=True)
+        assert [r.generated_tokens for r in shared.results] == [
+            r.generated_tokens for r in isolated.results]
+
+    @pytest.mark.parametrize("spec", ["full", "paged:page_tokens=8"])
+    def test_chunk_capable_caches_actually_reuse(self, lm, shared_requests, spec):
+        engine = ServingEngine(max_concurrency=3)
+        report = engine.run_functional(lm, shared_requests, cache=spec,
+                                       prefix_cache=True)
+        assert report.reused_prefix_tokens > 0
+        reusers = [r for r in report.results if r.reused_prefix_tokens > 0]
+        assert len(reusers) >= len(shared_requests) - 2  # one cold miss per group
+        for result in reusers:
+            assert result.reused_prefix_tokens < result.request.prompt_len
+
+    def test_non_chunkable_caches_report_no_reuse(self, lm, shared_requests):
+        engine = ServingEngine(max_concurrency=3)
+        report = engine.run_functional(
+            lm, shared_requests, cache="h2o:budget=16,sink_tokens=2,recent_window=4",
+            prefix_cache=True)
+        assert report.reused_prefix_tokens == 0
+
+    def test_chunked_prefill_scheduler_token_identical(self, lm, shared_requests):
+        engine = ServingEngine(max_concurrency=3)
+        isolated = engine.run_functional(lm, shared_requests, cache="full")
+        for budget in (4, 16, 64):
+            chunked = engine.run_functional(lm, shared_requests,
+                                            cache="paged:page_tokens=8",
+                                            prefix_cache=True, token_budget=budget)
+            assert [r.generated_tokens for r in chunked.results] == [
+                r.generated_tokens for r in isolated.results], f"budget={budget}"
+
+    def test_chunked_prefill_bounds_prefill_work_per_step(self, lm):
+        # One long-prompt request arriving into a running batch: with a small
+        # token budget its prefill must be spread over many steps.
+        requests = [Request("a-short", 0.0, 8, 40),
+                    Request("b-long", 0.0, 200, 8)]
+        engine = ServingEngine(max_concurrency=2)
+        budgeted = engine.run_functional(lm, requests, cache="paged:page_tokens=8",
+                                         token_budget=16)
+        whole = engine.run_functional(lm, requests, cache="paged:page_tokens=8")
+        long_budgeted = next(r for r in budgeted.results
+                             if r.request.request_id == "b-long")
+        long_whole = next(r for r in whole.results if r.request.request_id == "b-long")
+        # Whole-prompt mode prefills the 200-token prompt in its admission
+        # step; the budgeted run spreads it over >= 200/16 steps while the
+        # short request keeps decoding, so the long request finishes later
+        # in *step* terms without stalling the batch.
+        assert long_budgeted.finished_step > long_whole.finished_step
+        assert [r.generated_tokens for r in budgeted.results] == [
+            r.generated_tokens for r in whole.results]
+
+    def test_multi_turn_requests_reuse_history(self, lm):
+        from repro.workloads import multi_turn_requests
+
+        requests = multi_turn_requests(n_conversations=2, n_turns=3, system_len=16,
+                                       user_len=6, decode_len=6, vocab_size=48,
+                                       seed=3)
+        engine = ServingEngine(max_concurrency=4)
+        isolated = engine.run_functional(lm, requests, cache="full")
+        shared = engine.run_functional(lm, requests, cache="paged:page_tokens=8",
+                                       prefix_cache=True)
+        assert [r.generated_tokens for r in shared.results] == [
+            r.generated_tokens for r in isolated.results]
+        assert shared.reused_prefix_tokens > 0
+
+    def test_pool_accounting_balances_through_a_run(self, lm, shared_requests):
+        factory = resolve("cache", "paged:page_tokens=8")
+        engine = ServingEngine(max_concurrency=3)
+        engine.run_functional(lm, shared_requests, cache=factory,
+                              prefix_cache=True, token_budget=24)
+        factory.check_accounting()
+        assert factory.total_pages == factory.referenced_pages + factory.free_pages
+        # The run released every sequence and cleared the radix index, so
+        # every page must be back on the free list.
+        assert factory.referenced_pages == 0
+        assert factory.free_pages == factory.total_pages
+
+    def test_radix_budget_limits_index_growth(self, lm, shared_requests, monkeypatch):
+        from repro.serve.radix import RadixPrefixIndex
+
+        # Observe the index budget as the engine drives it: stored tokens
+        # must never exceed the budget after any insert's eviction pass.
+        observed: list[int] = []
+        original_insert = RadixPrefixIndex.insert
+
+        def spying_insert(self, tokens, caches):
+            stored = original_insert(self, tokens, caches)
+            assert self.max_tokens == 50
+            observed.append(self.stored_tokens)
+            return stored
+
+        monkeypatch.setattr(RadixPrefixIndex, "insert", spying_insert)
+        factory = resolve("cache", "paged:page_tokens=8")
+        engine = ServingEngine(max_concurrency=3)
+        isolated = engine.run_functional(lm, shared_requests, cache="full")
+        report = engine.run_functional(lm, shared_requests, cache=factory,
+                                       prefix_cache=True, radix_max_tokens=50)
+        factory.check_accounting()
+        assert report.n_requests == len(shared_requests)
+        assert observed and all(stored <= 50 for stored in observed)
+        # Eviction under a tight budget must never corrupt outputs.
+        assert [r.generated_tokens for r in report.results] == [
+            r.generated_tokens for r in isolated.results]
+
+    def test_ttft_and_step_latency_metrics(self, lm, shared_requests):
+        engine = ServingEngine(max_concurrency=3)
+        report = engine.run_functional(lm, shared_requests,
+                                       cache="paged:page_tokens=8",
+                                       prefix_cache=True)
+        assert len(report.step_latencies_s) > 0
+        assert all(r.ttft_s > 0 for r in report.results)
+        assert report.mean_ttft_s > 0
+        assert report.ttft_percentile_s(50) <= report.ttft_percentile_s(99)
+        assert (report.step_latency_percentile_s(50)
+                <= report.step_latency_percentile_s(99))
+        text = report.summary()
+        assert "TTFT" in text
+        assert "p99" in text
+        assert "step latency" in text
+        assert "prefix reuse" in text
+
+    def test_request_prompt_tokens_validation(self):
+        with pytest.raises(ValueError):
+            Request("x", 0.0, 4, 2, prompt_tokens=(1, 2, 3))
+        request = Request("x", 0.0, 3, 2, prompt_tokens=[1, 2, 3])
+        assert request.prompt_tokens == (1, 2, 3)
+
+    def test_pinned_prompts_are_served_verbatim(self, lm):
+        prompt = tuple(range(1, 13))
+        request = Request("pinned", 0.0, 12, 4, prompt_tokens=prompt)
+        engine = ServingEngine(max_concurrency=1)
+        report = engine.run_functional(lm, [request])
+        assert tuple(report.results[0].prompt_tokens) == prompt

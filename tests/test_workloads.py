@@ -162,3 +162,62 @@ class TestTraces:
         assert len(traces) == 12
         contexts = {t.context_len for t in traces}
         assert contexts == {2048, 4096, 8192, 16384}
+
+
+class TestServingRequestGenerators:
+    def test_shared_prefix_requests_share_group_prefixes(self):
+        from repro.workloads import shared_prefix_requests
+
+        requests = shared_prefix_requests(n_groups=3, requests_per_group=4,
+                                          prefix_len=20, suffix_len=5, decode_len=8,
+                                          vocab_size=64, seed=0)
+        assert len(requests) == 12
+        groups: dict[str, list] = {}
+        for request in requests:
+            assert request.prompt_len == 25
+            assert len(request.prompt_tokens) == 25
+            groups.setdefault(request.request_id.split("r")[0], []).append(request)
+        assert len(groups) == 3
+        for members in groups.values():
+            prefixes = {member.prompt_tokens[:20] for member in members}
+            assert len(prefixes) == 1  # every member shares the group prefix
+            suffixes = {member.prompt_tokens[20:] for member in members}
+            assert len(suffixes) == len(members)  # suffixes are private
+        prefixes = {members[0].prompt_tokens[:20] for members in groups.values()}
+        assert len(prefixes) == 3  # groups are distinct
+
+    def test_shared_prefix_requests_deterministic_and_sorted(self):
+        from repro.workloads import shared_prefix_requests
+
+        first = shared_prefix_requests(2, 3, 10, 4, 6, 32, seed=5)
+        second = shared_prefix_requests(2, 3, 10, 4, 6, 32, seed=5)
+        assert first == second
+        arrivals = [r.arrival_time_s for r in first]
+        assert arrivals == sorted(arrivals)
+
+    def test_multi_turn_requests_extend_conversation_prefixes(self):
+        from repro.workloads import multi_turn_requests
+
+        requests = multi_turn_requests(n_conversations=2, n_turns=3, system_len=12,
+                                       user_len=4, decode_len=5, vocab_size=64, seed=1)
+        assert len(requests) == 6
+        by_conv: dict[str, list] = {}
+        for request in requests:
+            by_conv.setdefault(request.request_id.split("t")[0], []).append(request)
+        for turns in by_conv.values():
+            turns.sort(key=lambda r: r.request_id)
+            for earlier, later in zip(turns, turns[1:]):
+                assert later.prompt_tokens[:earlier.prompt_len] == earlier.prompt_tokens
+                assert later.prompt_len == earlier.prompt_len + 5 + 4
+
+    def test_generator_validation(self):
+        from repro.workloads import multi_turn_requests, shared_prefix_requests
+
+        with pytest.raises(ValueError):
+            shared_prefix_requests(0, 1, 10, 2, 4, 32)
+        with pytest.raises(ValueError):
+            shared_prefix_requests(1, 1, 10, 2, 4, 1)
+        with pytest.raises(ValueError):
+            multi_turn_requests(1, 0, 10, 2, 4, 32)
+        with pytest.raises(ValueError):
+            multi_turn_requests(1, 1, 10, 2, 4, 32, turn_gap_s=0)
