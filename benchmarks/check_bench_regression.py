@@ -1,20 +1,26 @@
-"""Benchmark regression guard for the serving path (CI gate).
+"""Benchmark regression guard (CI gate) for the serving-path benchmarks.
 
-Compares a freshly-produced ``BENCH_serve.json`` against the committed
-baseline and fails (exit 1) when a guarded metric drops more than
-``--tolerance`` (default 20%) below its baseline value.
+Compares a freshly-produced benchmark JSON (``BENCH_serve.json``,
+``BENCH_spec.json``, ...) against its committed baseline and fails (exit 1)
+when a guarded metric drops more than ``--tolerance`` (default 20%) below
+its baseline value.
 
-Only *ratio* metrics are guarded — speedups of the paged+prefix-shared
-engine over the per-request-cache baseline measured in the same process —
-because absolute tokens/s depend on the host machine while ratios are
-portable.  The chunked-prefill variant trades throughput for step-latency
-shape by design, so its ratios are reported but not gated.
+Only *ratio* metrics are guarded — speedups over a baseline configuration
+measured in the same process — because absolute tokens/s depend on the host
+machine while ratios are portable.  Which metrics are guarded is part of the
+baseline file itself: its ``guarded`` key lists ``[regime, metric]`` pairs
+(older baselines without the key fall back to the original serve-benchmark
+list), so one checker serves every benchmark.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --quick --out BENCH_serve.json
     python benchmarks/check_bench_regression.py BENCH_serve.json \
         benchmarks/BENCH_serve_baseline.json
+
+    PYTHONPATH=src python benchmarks/bench_spec.py --quick --out BENCH_spec.json
+    python benchmarks/check_bench_regression.py BENCH_spec.json \
+        benchmarks/BENCH_spec_baseline.json
 """
 
 from __future__ import annotations
@@ -24,17 +30,26 @@ import json
 import sys
 from pathlib import Path
 
-#: (regime, metric) pairs guarded against regression.
-GUARDED = [
+#: Fallback (regime, metric) pairs for baselines without a ``guarded`` key —
+#: the original serve-benchmark guard list.
+LEGACY_GUARDED = [
     ("shared_prefix", "speedup_paged_shared_vs_baseline"),
     ("multi_turn", "speedup_paged_shared_vs_baseline"),
     ("disjoint", "speedup_paged_shared_vs_baseline"),
 ]
 
 
+def guarded_metrics(baseline: dict) -> list[tuple[str, str]]:
+    """The (regime, metric) pairs this baseline guards."""
+    pairs = baseline.get("guarded")
+    if pairs is None:
+        return list(LEGACY_GUARDED)
+    return [(regime, metric) for regime, metric in pairs]
+
+
 def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     failures = []
-    for regime, metric in GUARDED:
+    for regime, metric in guarded_metrics(baseline):
         base = baseline[regime][metric]
         now = current[regime][metric]
         floor = base * (1.0 - tolerance)
@@ -50,9 +65,9 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("current", type=Path, help="freshly produced BENCH_serve.json")
+    parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
     parser.add_argument("baseline", type=Path,
-                        help="committed baseline (benchmarks/BENCH_serve_baseline.json)")
+                        help="committed baseline (benchmarks/BENCH_*_baseline.json)")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="maximum tolerated fractional drop (default 0.20)")
     args = parser.parse_args()

@@ -180,6 +180,7 @@ class PagedKVCache(LayerKVCache):
     """
 
     supports_chunked_prefill = True
+    supports_rollback = True
 
     def __init__(self, pool: KVPagePool, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -334,6 +335,31 @@ class PagedKVCache(LayerKVCache):
         if n_pages == len(self._pages) and n_pages > 0:
             self._tail_owned = False  # our tail page is now shared with the fork
         return child
+
+    def truncate(self, n: int) -> None:
+        """Native rollback: drop tokens beyond ``n``, freeing rolled-back pages.
+
+        Pages wholly beyond the new length return their reference to the
+        pool immediately (a page shared with a fork/radix snapshot just
+        drops this cache's refcount).  A partially-kept tail page stays, but
+        ownership is no longer assumed: the next flush into it re-checks the
+        refcount and CoW-copies if a snapshot still shares it, so rollback
+        can never corrupt forked prefixes.
+        """
+        if not 0 <= n <= self._count:
+            raise ValueError(f"truncate to {n} out of range [0, {self._count}]")
+        if n == self._count:
+            return
+        if self._flushed > n:
+            keep = -(-n // self.pool.page_tokens)  # ceil: pages covering n tokens
+            for page in self._pages[keep:]:
+                self.pool.release(page)
+            del self._pages[keep:]
+            self._flushed = n
+            self._tail_owned = False
+        self._count = n
+        if self._mirror is not None and len(self._mirror) > n:
+            self._mirror.truncate(n)
 
     def release(self) -> None:
         """Drop every page reference and reset; idempotent."""

@@ -16,6 +16,8 @@ replaces them with decoder-only transformers implemented directly on NumPy:
 * :mod:`repro.llm.cache` -- the KV-cache interface and the full-cache
   reference implementation.
 * :mod:`repro.llm.generation` -- prefill + decode driver.
+* :mod:`repro.llm.speculate` -- speculative-decoding drafters (prompt-lookup
+  n-gram, draft model) verified by :meth:`DecoderLM.verify_chunk`.
 * :mod:`repro.llm.tokenizer` -- byte-level and word-level tokenizers.
 * :mod:`repro.llm.training` -- Adam training loop for the tiny models.
 """
@@ -36,6 +38,13 @@ from repro.llm.generation import (
     generate,
     generate_batch,
 )
+from repro.llm.speculate import (
+    Drafter,
+    DrafterSession,
+    DraftModelDrafter,
+    NgramDrafter,
+    NoneDrafter,
+)
 from repro.llm.tokenizer import ByteTokenizer, WordTokenizer
 from repro.llm.training import TrainingConfig, train_lm
 
@@ -51,6 +60,11 @@ __all__ = [
     "FullKVCache",
     "KVCacheFactory",
     "GenerationResult",
+    "Drafter",
+    "DrafterSession",
+    "DraftModelDrafter",
+    "NgramDrafter",
+    "NoneDrafter",
     "generate",
     "generate_batch",
     "forced_decode_logprobs",

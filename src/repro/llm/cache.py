@@ -103,6 +103,12 @@ class ContiguousKVStore:
             self._values[:, slot:self._count - 1] = self._values[:, slot + 1:self._count]
         self._count -= 1
 
+    def truncate(self, n: int) -> None:
+        """Shrink to the first ``n`` slots (O(1): the view just gets shorter)."""
+        if not 0 <= n <= self._count:
+            raise ValueError(f"truncate to {n} out of range [0, {self._count}]")
+        self._count = n
+
     def view(self) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy ``([H, n, d], [H, n, d])`` views of the live slots."""
         return self._keys[:, :self._count], self._values[:, :self._count]
@@ -126,6 +132,13 @@ class LayerKVCache(abc.ABC):
     #: depend on seeing the whole prompt at once leave this False, and the
     #: serving engine's prefix-sharing/chunked-prefill paths skip them.
     supports_chunked_prefill: bool = False
+
+    #: Whether this cache supports :meth:`truncate` — rolling the cache back
+    #: to a shorter prefix with exact full-cache semantics.  Speculative
+    #: decoding needs it to discard the KV entries of rejected draft tokens;
+    #: drivers fall back to plain (non-speculative) decoding for caches that
+    #: leave this False.
+    supports_rollback: bool = False
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         if n_heads <= 0 or head_dim <= 0 or d_model <= 0:
@@ -211,6 +224,26 @@ class LayerKVCache(abc.ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} does not support forking")
 
+    def truncate(self, n: int) -> None:
+        """Roll the cache back to its first ``n`` tokens (KV rollback).
+
+        After ``truncate(n)`` the cache must be indistinguishable from one
+        that only ever saw the first ``n`` tokens — this is what discards the
+        KV entries of rejected speculative tokens.  Only caches with
+        ``supports_rollback`` implement it natively (``full`` shrinks its
+        contiguous view, ``paged`` returns rolled-back pages to the pool).
+
+        A cache that supports :meth:`fork` but not in-place truncation can
+        realise the same semantics with a *fork-based fallback* — replace the
+        cache with ``self.fork(upto=n)`` and :meth:`release` the original —
+        at the cost of the fork's bookkeeping.  The eviction/quantization
+        policies support neither (their slot state is not a pure token
+        prefix: evicted-slot order and accumulated importance cannot be
+        rewound), so speculative drivers simply fall back to plain decoding
+        for them.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support rollback")
+
     def release(self) -> None:
         """Return backing storage to its owner (no-op for private storage).
 
@@ -236,6 +269,7 @@ class FullKVCache(LayerKVCache):
     """
 
     supports_chunked_prefill = True
+    supports_rollback = True
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -273,6 +307,10 @@ class FullKVCache(LayerKVCache):
         keys, values = self._store.view()
         child._store.extend(keys[:, :upto], values[:, :upto])
         return child
+
+    def truncate(self, n: int) -> None:
+        """Native rollback: shrink the contiguous view to ``n`` tokens."""
+        self._store.truncate(n)
 
     @property
     def num_tokens(self) -> int:

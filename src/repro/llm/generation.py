@@ -8,6 +8,14 @@ policy.  The batched drivers run ``B`` independent sequences through
 with its own per-layer caches, reproducing ``B`` single-sequence runs up to
 floating-point precision (batched BLAS reductions reorder float ops, so the
 last bits of a logit can differ; the equivalence suite pins the tokens).
+
+Both drivers accept a ``drafter`` (a :class:`repro.llm.speculate.Drafter` or
+spec string such as ``"ngram:k=4"``): with greedy decoding and a
+rollback-capable cache (``full``/``paged``), each decode round verifies the
+drafter's proposed tokens in one :meth:`DecoderLM.verify_chunk` forward and
+emits the accepted prefix plus the first-mismatch token — token-identical to
+plain greedy decoding, but with up to ``k + 1`` tokens per forward pass.
+Caches without rollback support silently run non-speculatively.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import numpy as np
 from repro.llm.cache import KVCacheFactory, LayerKVCache
 from repro.llm.functional import log_softmax, softmax
 from repro.llm.model import DecoderLM
+from repro.llm.speculate import Drafter, accept_greedy, resolve_drafter
 from repro.utils.rng import derive_rng
 
 
@@ -31,10 +40,20 @@ class GenerationResult:
     generated_tokens: list[int]
     logprobs: list[float] = field(default_factory=list)
     caches: list[LayerKVCache] = field(default_factory=list)
+    #: Speculative-decoding counters (0/0 when no drafter was active).
+    spec_proposed: int = 0
+    spec_accepted: int = 0
 
     @property
     def total_tokens(self) -> int:
         return len(self.prompt_tokens) + len(self.generated_tokens)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafter-proposed tokens the target model accepted."""
+        if self.spec_proposed == 0:
+            return 0.0
+        return self.spec_accepted / self.spec_proposed
 
 
 def _select_from_logprobs(logp: np.ndarray, temperature: float,
@@ -54,23 +73,93 @@ def _select_from_logprobs(logp: np.ndarray, temperature: float,
     return token, float(logp[token])
 
 
+def _speculation_enabled(model: DecoderLM, drafter: Drafter | None,
+                         caches: list[LayerKVCache], temperature: float) -> bool:
+    """Whether the speculative path can run for this (drafter, cache) pair.
+
+    Speculation is greedy-only (acceptance compares argmax choices), so an
+    active drafter with ``temperature > 0`` is an error; caches without
+    rollback support silently disable it (the documented fallback).
+    """
+    if drafter is None or drafter.k <= 0:
+        return False
+    if temperature > 0:
+        raise ValueError("speculative decoding requires greedy decoding "
+                         "(temperature=0); drop the drafter to sample")
+    if not all(c.supports_chunked_prefill and c.supports_rollback for c in caches):
+        return False
+    drafter.check_compatible(model.config)
+    return True
+
+
+def _decode_speculative(model: DecoderLM, drafter: Drafter, caches: list[LayerKVCache],
+                        result: GenerationResult, logits: np.ndarray,
+                        max_new_tokens: int, eos_id: int | None) -> None:
+    """Greedy speculative decode loop for one sequence (mutates ``result``).
+
+    Each round verifies ``[next_input, *proposals]`` in one forward, emits
+    the accepted proposal prefix plus the first-mismatch/bonus token, and
+    rolls the caches back over rejected positions.
+    """
+    session = drafter.session()
+    prompt, generated = result.prompt_tokens, result.generated_tokens
+    logp = log_softmax(logits)
+    token = int(np.argmax(logp))
+    generated.append(token)
+    result.logprobs.append(float(logp[token]))
+    position = len(prompt)  # == caches' token count == position of generated[-1]
+    while len(generated) < max_new_tokens and (eos_id is None or generated[-1] != eos_id):
+        remaining = max_new_tokens - len(generated)
+        proposals = session.propose(prompt + generated, max_tokens=remaining - 1)
+        chunk = [generated[-1], *proposals]
+        chunk_logits = model.verify_chunk(chunk, position, caches)
+        accepted, emitted = accept_greedy(chunk_logits, proposals)
+        result.spec_proposed += len(proposals)
+        result.spec_accepted += accepted
+        for cache in caches:
+            cache.truncate(position + 1 + accepted)
+        position += 1 + accepted
+        logp_rows = log_softmax(chunk_logits[:len(emitted)], axis=-1)
+        for row, tok in enumerate(emitted):
+            generated.append(tok)
+            result.logprobs.append(float(logp_rows[row, tok]))
+            if eos_id is not None and tok == eos_id:
+                break
+    # Cache-state parity with the plain loop, which never feeds the final
+    # token: drop any verified-but-unemitted tail (e.g. after a mid-chunk EOS).
+    for cache in caches:
+        cache.truncate(len(prompt) + len(generated) - 1)
+
+
 def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int,
              cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
-             eos_id: int | None = None, seed: int = 0) -> GenerationResult:
+             eos_id: int | None = None, seed: int = 0,
+             drafter: Drafter | str | None = None) -> GenerationResult:
     """Generate ``max_new_tokens`` continuation tokens for ``prompt_tokens``.
 
     ``cache_factory`` selects the KV-cache policy (full cache by default);
-    ``temperature`` 0 means greedy decoding.
+    ``temperature`` 0 means greedy decoding.  ``drafter`` (a spec string such
+    as ``"ngram:k=4"`` or a built :class:`~repro.llm.speculate.Drafter`)
+    enables speculative decoding: token-identical to greedy decoding, but
+    emitting up to ``k + 1`` tokens per forward pass when proposals are
+    accepted.  Requires a rollback-capable cache (``full``/``paged``); other
+    caches run non-speculatively.
     """
     if max_new_tokens < 0:
         raise ValueError("max_new_tokens must be non-negative")
     prompt_tokens = list(int(t) for t in prompt_tokens)
     if not prompt_tokens:
         raise ValueError("prompt_tokens must be non-empty")
+    drafter = resolve_drafter(drafter)
     rng = derive_rng(seed, "generate")
     caches = model.make_caches(cache_factory)
+    speculative = _speculation_enabled(model, drafter, caches, temperature)
     logits = model.prefill(prompt_tokens, caches)
     result = GenerationResult(prompt_tokens=prompt_tokens, generated_tokens=[], caches=caches)
+    if speculative and max_new_tokens > 0:
+        _decode_speculative(model, drafter, caches, result, logits,
+                            max_new_tokens, eos_id)
+        return result
     position = len(prompt_tokens)
     for step in range(max_new_tokens):
         token, logp = _select_from_logprobs(log_softmax(logits), temperature, rng)
@@ -85,30 +174,98 @@ def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int
     return result
 
 
+def _decode_batch_speculative(model: DecoderLM, drafter: Drafter,
+                              caches_batch: Sequence[list[LayerKVCache]],
+                              results: list[GenerationResult], logits: np.ndarray,
+                              max_new_tokens: int, eos_id: int | None) -> None:
+    """Batched speculative decode: one verify forward per round for the batch.
+
+    Every active sequence contributes its chunk (``[next_input, *proposals]``,
+    possibly proposal-free) to one :meth:`DecoderLM.verify_chunk_batch` call;
+    acceptance, rollback and EOS dropout are handled per sequence, exactly as
+    ``B`` independent :func:`_decode_speculative` loops would.
+    """
+    batch = len(results)
+    sessions = [drafter.session() for _ in range(batch)]
+    positions = [len(r.prompt_tokens) for r in results]
+    logp = log_softmax(logits, axis=-1)
+    active: list[int] = []
+    for b, result in enumerate(results):
+        token = int(np.argmax(logp[b]))
+        result.generated_tokens.append(token)
+        result.logprobs.append(float(logp[b, token]))
+        if max_new_tokens > 1 and not (eos_id is not None and token == eos_id):
+            active.append(b)
+    while active:
+        chunks: list[list[int]] = []
+        for b in active:
+            result = results[b]
+            remaining = max_new_tokens - len(result.generated_tokens)
+            proposals = sessions[b].propose(
+                result.prompt_tokens + result.generated_tokens,
+                max_tokens=remaining - 1)
+            chunks.append([result.generated_tokens[-1], *proposals])
+        logits_list = model.verify_chunk_batch(
+            chunks, [positions[b] for b in active], [caches_batch[b] for b in active])
+        still_active: list[int] = []
+        for row, b in enumerate(active):
+            result = results[b]
+            proposals = chunks[row][1:]
+            accepted, emitted = accept_greedy(logits_list[row], proposals)
+            result.spec_proposed += len(proposals)
+            result.spec_accepted += accepted
+            for cache in caches_batch[b]:
+                cache.truncate(positions[b] + 1 + accepted)
+            positions[b] += 1 + accepted
+            logp_rows = log_softmax(logits_list[row][:len(emitted)], axis=-1)
+            stopped = False
+            for j, tok in enumerate(emitted):
+                result.generated_tokens.append(tok)
+                result.logprobs.append(float(logp_rows[j, tok]))
+                if eos_id is not None and tok == eos_id:
+                    stopped = True
+                    break
+            if not stopped and len(result.generated_tokens) < max_new_tokens:
+                still_active.append(b)
+        active = still_active
+    for result, caches in zip(results, caches_batch):
+        for cache in caches:
+            cache.truncate(len(result.prompt_tokens) + len(result.generated_tokens) - 1)
+
+
 def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_tokens: int,
                    cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
-                   eos_id: int | None = None, seed: int = 0) -> list[GenerationResult]:
+                   eos_id: int | None = None, seed: int = 0,
+                   drafter: Drafter | str | None = None) -> list[GenerationResult]:
     """Generate continuations for ``B`` prompts with batched forward passes.
 
     Each sequence gets its own per-layer caches (one :meth:`make_caches` call
     per prompt) and its own generation RNG derived exactly as
     :func:`generate` derives it, so every sequence matches a separate
     :func:`generate` call to floating-point precision.  Sequences that emit
-    ``eos_id`` drop out of the running batch; the rest continue.
+    ``eos_id`` drop out of the running batch; the rest continue.  ``drafter``
+    enables batched speculative decoding (see :func:`generate`): every
+    sequence's proposal chunk is verified in one batched forward per round.
     """
     if max_new_tokens < 0:
         raise ValueError("max_new_tokens must be non-negative")
     prompt_lists = [list(int(t) for t in prompt) for prompt in prompts]
     if not prompt_lists or any(not prompt for prompt in prompt_lists):
         raise ValueError("prompts must be a non-empty list of non-empty sequences")
+    drafter = resolve_drafter(drafter)
     batch = len(prompt_lists)
     rngs = [derive_rng(seed, "generate") for _ in range(batch)]
     caches_batch = [model.make_caches(cache_factory) for _ in range(batch)]
+    speculative = _speculation_enabled(model, drafter, caches_batch[0], temperature)
     results = [GenerationResult(prompt_tokens=prompt, generated_tokens=[], caches=caches)
                for prompt, caches in zip(prompt_lists, caches_batch)]
     if max_new_tokens == 0:
         return results
     logits = model.prefill_batch(prompt_lists, caches_batch)  # [B, vocab]
+    if speculative:
+        _decode_batch_speculative(model, drafter, caches_batch, results, logits,
+                                  max_new_tokens, eos_id)
+        return results
     positions = [len(prompt) for prompt in prompt_lists]
     active = list(range(batch))
     for step in range(max_new_tokens):

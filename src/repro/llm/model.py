@@ -228,6 +228,28 @@ class DecoderLM:
         hidden = self._norm(hidden, "final_norm")
         return self._lm_head(hidden[-1])
 
+    def _attend_chunk(self, cache: LayerKVCache, queries: np.ndarray,
+                      keys_new: np.ndarray, values_new: np.ndarray,
+                      mask: np.ndarray, scale: float) -> np.ndarray:
+        """Causal chunk attention over the cached prefix plus the chunk itself.
+
+        ``queries``/``keys_new``/``values_new`` are ``[H, c, d]`` blocks for a
+        chunk whose queries attend to everything in ``cache`` (positions
+        before the chunk) and causally within the chunk — exactly the rows a
+        whole-sequence forward would compute.  Returns the ``[H, c, d]``
+        context; the caller extends the cache with the chunk's K/V.
+        """
+        keys_old, values_old, valid = cache.fetch()  # [H, n, d] views
+        n_old = keys_old.shape[1]
+        scores_new = queries @ keys_new.swapaxes(-1, -2) * scale + mask  # [H, c, c]
+        if n_old:
+            scores_old = queries @ keys_old.swapaxes(-1, -2) * scale  # [H, c, n]
+            if not valid.all():
+                scores_old = np.where(valid[:, None, :], scores_old, -np.inf)
+            probs = softmax(np.concatenate([scores_old, scores_new], axis=-1))
+            return probs[:, :, :n_old] @ values_old + probs[:, :, n_old:] @ values_new
+        return softmax(scores_new, axis=-1) @ values_new  # [H, c, d]
+
     def prefill_chunk(self, tokens: Sequence[int], position: int,
                       caches: list[LayerKVCache]) -> np.ndarray:
         """Prefill a *chunk* of context starting at absolute ``position``.
@@ -267,17 +289,8 @@ class DecoderLM:
             if self.config.positional == "rope":
                 queries = apply_rope(queries, positions, self._rope_cos, self._rope_sin)
             keys_new, values_new = self._project_kv(normed, layer, positions)
-            keys_old, values_old, valid = caches[layer].fetch()  # [H, n, d] views
-            n_old = keys_old.shape[1]
-            scores_new = queries @ keys_new.swapaxes(-1, -2) * scale + mask  # [H, c, c]
-            if n_old:
-                scores_old = queries @ keys_old.swapaxes(-1, -2) * scale  # [H, c, n]
-                if not valid.all():
-                    scores_old = np.where(valid[:, None, :], scores_old, -np.inf)
-                probs = softmax(np.concatenate([scores_old, scores_new], axis=-1))
-                context = probs[:, :, :n_old] @ values_old + probs[:, :, n_old:] @ values_new
-            else:
-                context = softmax(scores_new, axis=-1) @ values_new  # [H, c, d]
+            context = self._attend_chunk(caches[layer], queries, keys_new, values_new,
+                                         mask, scale)
             caches[layer].extend_chunk(keys_new, values_new, normed, positions)
             context = np.moveaxis(context, 0, -2).reshape(chunk, self.config.d_model)
             hidden = hidden + context @ self.params[f"{prefix}.wo"]
@@ -285,6 +298,96 @@ class DecoderLM:
             hidden = hidden + self._mlp(normed, layer)
         hidden = self._norm(hidden, "final_norm")
         return self._lm_head(hidden[-1])
+
+    # ------------------------------------------------------------------
+    # Speculative verification (single-sequence and batched)
+    # ------------------------------------------------------------------
+    def verify_chunk(self, tokens: Sequence[int], position: int,
+                     caches: list[LayerKVCache]) -> np.ndarray:
+        """Score a chunk of proposed tokens in ONE forward pass.
+
+        ``tokens`` is the next input token followed by the drafter's proposed
+        continuation, starting at absolute ``position`` (which must equal the
+        caches' current token count).  Reuses the :meth:`prefill_chunk`
+        attention-over-cached-prefix machinery, but returns the logits of
+        **every** chunk position (shape ``[len(tokens), vocab]``): row ``i``
+        is what sequential :meth:`decode_step` calls feeding
+        ``tokens[: i + 1]`` would produce, so the caller can find the longest
+        accepted proposal prefix and the first-mismatch token.  The caches
+        are extended with the whole chunk; the caller rolls rejected
+        positions back via :meth:`LayerKVCache.truncate`.
+        """
+        return self.verify_chunk_batch([tokens], [position], [caches])[0]
+
+    def verify_chunk_batch(self, token_chunks: Sequence[Sequence[int]],
+                           positions: Sequence[int],
+                           caches_batch: Sequence[list[LayerKVCache]],
+                           ) -> list[np.ndarray]:
+        """Verify ``B`` ragged speculation chunks in one batched forward.
+
+        ``token_chunks[b]`` is sequence ``b``'s chunk (next input token +
+        proposed tokens) starting at absolute position ``positions[b]``;
+        ``caches_batch[b]`` its per-layer caches, which must hold exactly
+        ``positions[b]`` tokens and support chunked prefill.  As in
+        :meth:`decode_step_batch`, the dense projections (QKV, output, MLP,
+        LM head) run batched over the concatenated chunks while attention
+        reads each sequence's cache views, so ragged chunk lengths cost no
+        padding work.  Returns one ``[len(chunk_b), vocab]`` logits array per
+        sequence (see :meth:`verify_chunk` for row semantics); every cache is
+        extended with its full chunk.
+        """
+        if len(token_chunks) == 0:
+            raise ValueError("verify_chunk_batch expects at least one chunk")
+        if not len(token_chunks) == len(positions) == len(caches_batch):
+            raise ValueError("token_chunks, positions and caches_batch must have "
+                             "equal length")
+        chunks = [np.asarray(chunk, dtype=np.int64) for chunk in token_chunks]
+        for chunk in chunks:
+            if chunk.ndim != 1 or chunk.size == 0:
+                raise ValueError("verify_chunk_batch expects non-empty 1-D chunks")
+        for b, caches in enumerate(caches_batch):
+            if not all(cache.supports_chunked_prefill for cache in caches):
+                raise ValueError("verify_chunk requires caches with chunked-prefill "
+                                 "support (e.g. 'full' or 'paged')")
+            if caches and caches[0].num_tokens != positions[b]:
+                raise ValueError(
+                    f"sequence {b}: caches hold {caches[0].num_tokens} tokens but "
+                    f"the chunk starts at position {positions[b]}")
+        lengths = [chunk.size for chunk in chunks]
+        bounds = np.cumsum([0] + lengths)
+        slices = [slice(int(bounds[b]), int(bounds[b + 1])) for b in range(len(chunks))]
+        flat_tokens = np.concatenate(chunks)  # [N]
+        flat_pos = np.concatenate([np.arange(p, p + n, dtype=np.int64)
+                                   for p, n in zip(positions, lengths)])
+        pos_blocks = [flat_pos[sl] for sl in slices]
+        hidden = self.params["embed.weight"][flat_tokens].astype(np.float32)  # [N, C]
+        if self.config.positional == "learned":
+            hidden = hidden + self.params["pos_embed.weight"][flat_pos]
+        masks = [causal_mask(n) for n in lengths]
+        scale = 1.0 / np.sqrt(self.config.head_dim)
+        total = int(bounds[-1])
+        for layer in range(self.config.n_layers):
+            prefix = f"layers.{layer}"
+            normed = self._norm(hidden, f"{prefix}.attn_norm")  # [N, C]
+            queries = self._split_heads(normed @ self.params[f"{prefix}.wq"])  # [H, N, d]
+            if self.config.positional == "rope":
+                queries = apply_rope(queries, flat_pos, self._rope_cos, self._rope_sin)
+            keys_new, values_new = self._project_kv(normed, layer, flat_pos)
+            context = np.empty((total, self.config.d_model), dtype=np.float32)
+            for b, sl in enumerate(slices):
+                cache = caches_batch[b][layer]
+                ctx = self._attend_chunk(cache, queries[:, sl], keys_new[:, sl],
+                                         values_new[:, sl], masks[b], scale)
+                cache.extend_chunk(keys_new[:, sl], values_new[:, sl], normed[sl],
+                                   pos_blocks[b])
+                context[sl] = np.moveaxis(ctx, 0, -2).reshape(lengths[b],
+                                                              self.config.d_model)
+            hidden = hidden + context @ self.params[f"{prefix}.wo"]
+            normed = self._norm(hidden, f"{prefix}.mlp_norm")
+            hidden = hidden + self._mlp(normed, layer)
+        hidden = self._norm(hidden, "final_norm")
+        logits = self._lm_head(hidden)  # [N, vocab]
+        return [logits[sl] for sl in slices]
 
     def decode_step(self, token: int, position: int, caches: list[LayerKVCache]) -> np.ndarray:
         """Decode one token at absolute ``position`` using the caches.

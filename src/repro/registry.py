@@ -1,9 +1,10 @@
 """Cross-cutting component registry and spec-string resolution.
 
 Every pluggable component family of the reproduction -- KV-cache policies,
-eDRAM refresh policies, baseline hardware systems, rival accelerators, model
-shapes and workload traces -- registers itself in a named registry, making the
-whole design space addressable by short **spec strings**::
+speculative-decoding drafters, eDRAM refresh policies, baseline hardware
+systems, rival accelerators, model shapes and workload traces -- registers
+itself in a named registry, making the whole design space addressable by
+short **spec strings**::
 
     resolve("cache", "h2o:budget=512,sink_tokens=4")
     resolve("system", "kelle+edram:kv_budget=1024")
@@ -206,6 +207,7 @@ _REGISTRIES: dict[str, Registry] = {}
 _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
     "cache": ("repro.llm.cache", "repro.core.policy", "repro.core.kv_pool",
               "repro.baselines.eviction", "repro.baselines.quant_kv"),
+    "drafter": ("repro.llm.speculate",),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),
     "accelerator": ("repro.baselines.accelerators",),

@@ -7,8 +7,9 @@
   and energy accounting; :meth:`ServingEngine.run_functional` drives the same
   admission loop against a real :class:`repro.llm.model.DecoderLM` through
   the batched decode path, measuring real tokens/s — optionally with a
-  radix prefix cache (``prefix_cache=True``) and a chunked-prefill token
-  scheduler (``token_budget=N``) on top of the paged KV pool.
+  radix prefix cache (``prefix_cache=True``), a chunked-prefill token
+  scheduler (``token_budget=N``) on top of the paged KV pool, and batched
+  speculative decoding (``drafter="ngram:k=4"``) with KV rollback.
 * :mod:`repro.serve.radix` -- :class:`RadixPrefixIndex`, the radix-trie
   prompt-prefix index mapping shared prefixes to forked KV cache state.
 """

@@ -44,7 +44,25 @@ from repro.utils.rng import derive_rng
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.cache import KVCacheFactory
     from repro.llm.model import DecoderLM
+    from repro.llm.speculate import Drafter
     from repro.workloads.generator import WorkloadTrace
+
+
+def _percentiles_from_sorted(sorted_values: np.ndarray,
+                             percentiles: tuple[float, ...]) -> list[float]:
+    """Percentiles of an already-sorted array (linear interpolation).
+
+    Matches ``np.percentile``'s default method but sorts nothing, so one
+    ``np.sort`` can serve every percentile a report needs.
+    """
+    if sorted_values.size == 0:
+        return [0.0] * len(percentiles)
+    ranks = (sorted_values.size - 1) * np.asarray(percentiles, dtype=np.float64) / 100.0
+    low = np.floor(ranks).astype(np.intp)
+    high = np.ceil(ranks).astype(np.intp)
+    frac = ranks - low
+    values = sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+    return [float(v) for v in values]
 
 
 @dataclass(frozen=True)
@@ -238,13 +256,17 @@ class ServingReport:
 
     def summary(self) -> str:
         """Human-readable multi-line summary of the run."""
+        # One sort serves every latency statistic (mean and all percentiles).
+        latencies = np.sort([r.total_latency_s for r in self.results])
+        mean_latency = float(latencies.mean()) if latencies.size else 0.0
+        (p95,) = _percentiles_from_sorted(latencies, (95,))
         lines = [
             f"ServingEngine report: {self.n_requests} requests on {self.system_name} "
             f"serving {self.model_name} (<= {self.max_concurrency} concurrent)",
             f"  makespan           {self.makespan_s:12.2f} s",
             f"  throughput         {self.throughput_tokens_per_s:12.1f} tok/s",
-            f"  mean latency       {self.mean_total_latency_s:12.2f} s "
-            f"(p95 {self.latency_percentile_s(95):.2f} s)",
+            f"  mean latency       {mean_latency:12.2f} s "
+            f"(p95 {p95:.2f} s)",
             f"  mean queue delay   {self.mean_queue_delay_s:12.2f} s",
             f"  peak concurrency   {self.peak_concurrency:12d}",
             f"  total energy       {self.total_energy_j / 1e3:12.2f} kJ "
@@ -289,6 +311,11 @@ class FunctionalServingReport:
     peak_batch: int = 0
     #: Wall-clock duration of every engine step (admission+prefill+decode).
     step_latencies_s: list[float] = field(default_factory=list)
+    #: Drafter description when the run speculated (None otherwise).
+    drafter: str | None = None
+    #: Tokens the drafter proposed / the target model accepted across the run.
+    spec_proposed_tokens: int = 0
+    spec_accepted_tokens: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -331,23 +358,42 @@ class FunctionalServingReport:
             return 0.0
         return float(np.percentile(self.step_latencies_s, percentile))
 
+    @property
+    def spec_acceptance_rate(self) -> float:
+        """Fraction of drafter-proposed tokens the target model accepted."""
+        if self.spec_proposed_tokens == 0:
+            return 0.0
+        return self.spec_accepted_tokens / self.spec_proposed_tokens
+
     def summary(self) -> str:
         """Human-readable multi-line summary of the functional run."""
         reused = self.reused_prefix_tokens
         prompt_tokens = self.total_prompt_tokens
+        # Sort each latency series once; every percentile derives from the
+        # sorted array instead of re-sorting inside np.percentile per call.
+        ttft_sorted = np.sort([r.ttft_s for r in self.results])
+        ttft_p50, ttft_p99 = _percentiles_from_sorted(ttft_sorted, (50, 99))
+        step_sorted = np.sort(self.step_latencies_s)
+        step_p50, step_p99 = _percentiles_from_sorted(step_sorted, (50, 99))
         lines = [
             f"FunctionalServingReport: {self.n_requests} requests on {self.model_name} "
             f"(<= {self.max_concurrency} concurrent, peak batch {self.peak_batch}): "
             f"{self.total_decode_tokens} tokens decoded in {self.wall_s:.2f} s "
             f"({self.decode_tokens_per_s:.1f} tok/s, {self.n_steps} batched steps)",
             f"  TTFT           mean {self.mean_ttft_s * 1e3:8.2f} ms | "
-            f"p50 {self.ttft_percentile_s(50) * 1e3:8.2f} ms | "
-            f"p99 {self.ttft_percentile_s(99) * 1e3:8.2f} ms",
-            f"  step latency   p50  {self.step_latency_percentile_s(50) * 1e3:8.2f} ms | "
-            f"p99 {self.step_latency_percentile_s(99) * 1e3:8.2f} ms",
+            f"p50 {ttft_p50 * 1e3:8.2f} ms | "
+            f"p99 {ttft_p99 * 1e3:8.2f} ms",
+            f"  step latency   p50  {step_p50 * 1e3:8.2f} ms | "
+            f"p99 {step_p99 * 1e3:8.2f} ms",
             f"  prefix reuse   {reused} / {prompt_tokens} prompt tokens "
             f"({100.0 * reused / max(prompt_tokens, 1):.1f}%)",
         ]
+        if self.drafter is not None:
+            lines.append(
+                f"  speculation    drafter {self.drafter} | accept rate "
+                f"{100.0 * self.spec_acceptance_rate:.1f}% "
+                f"({self.spec_accepted_tokens}/{self.spec_proposed_tokens} "
+                f"proposed) | {self.decode_tokens_per_s:.1f} speculative tok/s")
         return "\n".join(lines)
 
 
@@ -443,7 +489,8 @@ class ServingEngine:
                        cache: "KVCacheFactory | str | None" = None,
                        seed: int = 0, *, prefix_cache: bool = False,
                        token_budget: int | None = None,
-                       radix_max_tokens: int | None = None) -> FunctionalServingReport:
+                       radix_max_tokens: int | None = None,
+                       drafter: "Drafter | str | None" = None) -> FunctionalServingReport:
         """Serve ``requests`` by *actually decoding tokens* with batched forwards.
 
         This drives the same continuous-batching admission discipline as
@@ -471,9 +518,21 @@ class ServingEngine:
           long prompt no longer stalls the running batch for a whole-prompt
           prefill.  Caches without chunked-prefill support fall back to
           whole-prompt prefill at admission.
+        * ``drafter`` (a spec string such as ``"ngram:k=4"`` or a built
+          :class:`~repro.llm.speculate.Drafter`) enables batch-wide
+          speculative decoding: each step, every running sequence's proposed
+          continuation is verified in one
+          :meth:`~repro.llm.model.DecoderLM.verify_chunk_batch` forward, the
+          accepted prefix plus first-mismatch token is emitted, and rejected
+          KV entries are rolled back via ``truncate`` — token-identical to
+          the non-speculative greedy path.  Verify tokens are charged
+          against ``token_budget`` (decode keeps priority over prefill
+          chunks).  Requires a rollback-capable cache (``full``/``paged``);
+          other specs silently run non-speculatively.
 
         Returns a :class:`FunctionalServingReport` with the decoded tokens,
-        measured throughput, per-request TTFT and per-step latencies.
+        measured throughput, per-request TTFT, per-step latencies and (when
+        a drafter is set) the proposal-acceptance counters.
         """
         if not requests:
             raise ValueError("requests must be non-empty")
@@ -492,17 +551,33 @@ class ServingEngine:
         # probe the factory once (building a cache is cheap and side-effect
         # free — the paged cache allocates no pages until written).
         from repro.llm.cache import full_cache_factory
+        from repro.llm.speculate import accept_greedy, resolve_drafter
 
         probe = (cache_factory or full_cache_factory)(
             0, lm.config.n_heads, lm.config.head_dim, lm.config.d_model,
             lm.recompute_fn(0))
         chunkable = probe.supports_chunked_prefill
+        rollbackable = probe.supports_rollback
         probe.release()
+        drafter_obj = resolve_drafter(drafter)
+        # Speculation needs verify_chunk (chunked prefill) and KV rollback;
+        # caches without them run the plain decode path, as generate() does.
+        spec_on = (drafter_obj is not None and drafter_obj.k > 0
+                   and chunkable and rollbackable)
+        if spec_on:
+            drafter_obj.check_compatible(lm.config)
         index = (RadixPrefixIndex(max_tokens=radix_max_tokens)
                  if prefix_cache and chunkable else None)
+        if drafter_obj is None or drafter_obj.k <= 0:
+            drafter_desc = None
+        elif spec_on:
+            drafter_desc = drafter_obj.describe()
+        else:  # keep the silent fallback observable in the report/summary
+            drafter_desc = drafter_obj.describe() + " (disabled: cache lacks rollback)"
         running: list[dict] = []
-        report = FunctionalServingReport(model_name=lm.config.name,
-                                         max_concurrency=self.max_concurrency)
+        report = FunctionalServingReport(
+            model_name=lm.config.name, max_concurrency=self.max_concurrency,
+            drafter=drafter_desc)
         start = time.perf_counter()
         step = 0
         while queue or running:
@@ -527,6 +602,8 @@ class ServingEngine:
                     "ttft_s": 0.0,
                     "admitted_step": step,
                     "admitted_wall": time.perf_counter(),
+                    "spec_session": drafter_obj.session() if spec_on else None,
+                    "proposals": [],
                 })
             # -- cache resolution: radix reuse and intra-wave dedup -------
             # Matching happens per step (not at admission) so a request can
@@ -557,6 +634,32 @@ class ServingEngine:
                         continue  # defer: a later step's match will hit
                     prefilling_prompts.append(prompt)
                 state["caches"] = lm.make_caches(cache_factory)
+            # -- speculation proposals (and decode budget charge) ---------
+            # Decode-ready sequences draft their proposals *before* the
+            # prefill phase so verify tokens are charged against the token
+            # budget with decode priority: each ready sequence costs one
+            # mandatory token (its next input) plus its proposal length, and
+            # only the leftover budget goes to prompt chunks below.  Their
+            # contexts cannot change during the prefill phase, so drafting
+            # early is safe.
+            decode_ready = [s for s in running if s["caches"] is not None and
+                            s["prefilled"] == len(s["prompt"]) and
+                            len(s["generated"]) < s["request"].decode_len]
+            decode_charge = len(decode_ready)
+            if spec_on:
+                budget_left = (None if token_budget is None
+                               else token_budget - len(decode_ready))
+                for state in decode_ready:
+                    cap = (state["request"].decode_len - len(state["generated"])) - 1
+                    if budget_left is not None:
+                        cap = min(cap, budget_left)
+                    proposals = state["spec_session"].propose(
+                        state["prompt"] + state["generated"],
+                        max_tokens=cap) if cap > 0 else []
+                    state["proposals"] = proposals
+                    decode_charge += len(proposals)
+                    if budget_left is not None:
+                        budget_left -= len(proposals)
             # -- prefill work --------------------------------------------
             # Whole-prompt batched prefill: fresh sequences that either have
             # no chunk support or are running without a token budget.
@@ -578,10 +681,7 @@ class ServingEngine:
                 if token_budget is None:
                     prefill_budget = None  # unbudgeted: whole suffix at once
                 else:
-                    n_active = sum(1 for s in running
-                                   if s["prefilled"] == len(s["prompt"])
-                                   and len(s["generated"]) < s["request"].decode_len)
-                    prefill_budget = max(0, token_budget - n_active)
+                    prefill_budget = max(0, token_budget - decode_charge)
                 for state in pending:
                     remaining = len(state["prompt"]) - state["prefilled"]
                     chunk = remaining if prefill_budget is None else min(
@@ -597,10 +697,32 @@ class ServingEngine:
                     if state["prefilled"] == len(state["prompt"]):
                         self._finish_prefill(state, logits, index, time.perf_counter())
             # -- one batched decode step for every running sequence ------
+            # (Sequences that finished prefilling *this* step join with an
+            # empty proposal list: their chunk is just the next input token.)
             active = [state for state in running if
                       state["prefilled"] == len(state["prompt"]) and
                       len(state["generated"]) < state["request"].decode_len]
-            if active:
+            if active and spec_on:
+                chunks = [[state["next_input"], *state["proposals"]]
+                          for state in active]
+                logits_list = lm.verify_chunk_batch(
+                    chunks, [state["position"] for state in active],
+                    [state["caches"] for state in active])
+                for state, chunk, chunk_logits in zip(active, chunks, logits_list):
+                    proposals = chunk[1:]
+                    accepted, emitted = accept_greedy(chunk_logits, proposals)
+                    report.spec_proposed_tokens += len(proposals)
+                    report.spec_accepted_tokens += accepted
+                    for cache in state["caches"]:
+                        cache.truncate(state["position"] + 1 + accepted)
+                    state["position"] += 1 + accepted
+                    state["generated"].extend(emitted)
+                    state["next_input"] = emitted[-1]
+                    state["proposals"] = []
+                step += 1
+                report.n_steps += 1
+                report.peak_batch = max(report.peak_batch, len(active))
+            elif active:
                 logits = lm.decode_step_batch(
                     [state["next_input"] for state in active],
                     [state["position"] for state in active],

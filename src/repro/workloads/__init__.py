@@ -20,7 +20,11 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task, make_recall_task
 from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
-from repro.workloads.serving import multi_turn_requests, shared_prefix_requests
+from repro.workloads.serving import (
+    multi_turn_requests,
+    repetitive_requests,
+    shared_prefix_requests,
+)
 
 __all__ = [
     "SyntheticLanguage",
@@ -37,5 +41,6 @@ __all__ = [
     "PAPER_TRACES",
     "trace_for_dataset",
     "multi_turn_requests",
+    "repetitive_requests",
     "shared_prefix_requests",
 ]

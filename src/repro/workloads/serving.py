@@ -8,9 +8,12 @@ prefixes.  Two generators cover the canonical scenarios:
   prefix (the "many users, one system prompt" pattern);
 * :func:`multi_turn_requests` — conversations whose every turn's prompt
   extends the previous turn's prompt (the chat-history pattern), so each
-  turn's prefill can reuse the whole preceding conversation.
+  turn's prefill can reuse the whole preceding conversation;
+* :func:`repetitive_requests` — templated/JSON-like token streams whose
+  recent context recurs verbatim earlier in the prompt, the high-acceptance
+  regime for prompt-lookup (n-gram) speculative decoding.
 
-Both return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
+All return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
 deterministic in ``seed``, with Poisson-ish arrival spacing so admission
 order interleaves the groups/conversations.
 """
@@ -69,6 +72,54 @@ def shared_prefix_requests(n_groups: int, requests_per_group: int, prefix_len: i
             prompt_len=len(prompt),
             decode_len=decode_len,
             prompt_tokens=tuple(prompt),
+        ))
+    return requests
+
+
+def repetitive_requests(n_requests: int, template_len: int, n_repeats: int,
+                        decode_len: int, vocab_size: int, n_templates: int = 4,
+                        noise: float = 0.0, rate_rps: float = 100.0,
+                        seed: int = 0) -> list[Request]:
+    """Highly n-gram-predictable traffic: templated/JSON-like token streams.
+
+    Each request's prompt cycles one of ``n_templates`` random
+    ``template_len``-token templates ``n_repeats`` times (think a JSON array
+    of identically-keyed records, or log lines sharing a format string), with
+    a ``noise`` fraction of positions resampled so the repetition is not
+    byte-exact.  The trailing context therefore recurs verbatim earlier in
+    the prompt, which is exactly what a prompt-lookup drafter exploits —
+    ``noise=0`` gives the high-acceptance regime, larger ``noise`` (or plain
+    :func:`repro.serve.poisson_requests` traffic) the low-acceptance one.
+    Templates are drawn per request round-robin; arrivals are Poisson at
+    ``rate_rps``.
+    """
+    if n_requests <= 0 or n_templates <= 0:
+        raise ValueError("n_requests and n_templates must be positive")
+    if template_len <= 0 or n_repeats <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("template_len, n_repeats and decode_len must be positive "
+                         "and vocab_size > 1")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise must lie in [0, 1]")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "repetitive-requests")
+    templates = [rng.integers(0, vocab_size, size=template_len)
+                 for _ in range(n_templates)]
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=n_requests))
+    requests = []
+    for index in range(n_requests):
+        prompt = np.tile(templates[index % n_templates], n_repeats)
+        if noise > 0:
+            flip = rng.random(prompt.size) < noise
+            prompt = np.where(flip, rng.integers(0, vocab_size, size=prompt.size),
+                              prompt)
+        requests.append(request_cls(
+            request_id=f"rep{index}",
+            arrival_time_s=float(arrivals[index]),
+            prompt_len=int(prompt.size),
+            decode_len=decode_len,
+            prompt_tokens=tuple(int(t) for t in prompt),
         ))
     return requests
 

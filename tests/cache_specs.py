@@ -1,0 +1,19 @@
+"""The canonical per-kind cache spec list shared across test suites.
+
+One parameterisation per registered cache kind, used by both the batched-
+equivalence and cache-conformance suites (each asserts it covers
+``known("cache")``, so a newly registered spec fails loudly until added
+here).  Budgets are sized to force evictions at the test sequence lengths;
+``refresh=none`` keeps the kelle policy deterministic across decode paths.
+"""
+
+ALL_CACHE_SPECS = [
+    "full",
+    "paged:page_tokens=4",
+    "streaming_llm:budget=8,sink_tokens=2",
+    "h2o:budget=8,sink_tokens=2,recent_window=3",
+    "random:budget=8,sink_tokens=2,recent_window=3",
+    "kivi:bits=8",
+    "quarot:bits=8",
+    "kelle:budget=8,sink_tokens=2,recent_window=3,refresh=none",
+]

@@ -25,20 +25,18 @@ from repro.registry import known, resolve
 from repro.workloads.synthetic import SyntheticLanguage
 from repro.workloads.tasks import make_multiple_choice_task, make_summarization_items
 
-#: One parameterisation per registered cache kind.  Budgets are sized to force
-#: evictions at the test sequence lengths; ``refresh=none`` keeps the kelle
-#: policy deterministic (fault injection draws would otherwise diverge on
-#: float-level differences between the two paths).
-ALL_CACHE_SPECS = [
-    "full",
-    "paged:page_tokens=4",
-    "streaming_llm:budget=8,sink_tokens=2",
-    "h2o:budget=8,sink_tokens=2,recent_window=3",
-    "random:budget=8,sink_tokens=2,recent_window=3",
-    "kivi:bits=8",
-    "quarot:bits=8",
-    "kelle:budget=8,sink_tokens=2,recent_window=3,refresh=none",
-]
+from cache_specs import ALL_CACHE_SPECS
+
+#: The cache specs whose rollback support lets the speculative path run;
+#: every other spec silently falls back to plain decoding.
+ROLLBACK_CACHE_SPECS = ["full", "paged:page_tokens=4"]
+
+
+def _repetitive_prompt(vocab_size, length, period=7, seed=0):
+    """A looping prompt, so the n-gram drafter actually gets proposals accepted."""
+    rng = np.random.default_rng(seed)
+    pattern = rng.integers(0, vocab_size, size=period).tolist()
+    return (pattern * (length // period + 1))[:length]
 
 
 def _prompts(vocab_size, lengths, seed=0):
@@ -100,6 +98,82 @@ class TestBatchedGeneration:
             generate_batch(small_model, [[1, 2], []], 4)
         with pytest.raises(ValueError):
             generate_batch(small_model, [[1, 2]], -1)
+
+
+class TestSpeculativeEquivalence:
+    """Speculative decoding must be token-identical to plain greedy decoding
+    for every rollback-capable cache spec, with real (accepted) speculation."""
+
+    @pytest.mark.parametrize("spec", ROLLBACK_CACHE_SPECS)
+    @pytest.mark.parametrize("drafter", ["ngram:k=4", "ngram:k=1", "none"])
+    def test_generate_token_identical(self, small_model, spec, drafter):
+        factory = resolve("cache", spec)
+        prompt = _repetitive_prompt(small_model.config.vocab_size, 30)
+        base = generate(small_model, prompt, 16, cache_factory=factory)
+        spec_result = generate(small_model, prompt, 16, cache_factory=factory,
+                               drafter=drafter)
+        assert base.generated_tokens == spec_result.generated_tokens
+        np.testing.assert_allclose(base.logprobs, spec_result.logprobs, atol=1e-4)
+        # Cache-state parity: the final token is never fed on either path.
+        assert spec_result.caches[0].num_tokens == base.caches[0].num_tokens
+
+    @pytest.mark.parametrize("spec", ROLLBACK_CACHE_SPECS)
+    def test_speculation_actually_engaged(self, small_model, spec):
+        """On repetitive prompts the n-gram drafter must accept proposals —
+        otherwise the equivalence above would only test the fallback path."""
+        factory = resolve("cache", spec)
+        prompt = _repetitive_prompt(small_model.config.vocab_size, 30)
+        result = generate(small_model, prompt, 16, cache_factory=factory,
+                          drafter="ngram:k=4")
+        assert result.spec_proposed > 0
+        assert result.spec_accepted > 0
+
+    @pytest.mark.parametrize("spec", ROLLBACK_CACHE_SPECS)
+    def test_generate_batch_token_identical(self, small_model, spec):
+        factory = resolve("cache", spec)
+        vocab = small_model.config.vocab_size
+        prompts = [_repetitive_prompt(vocab, 24, period=5, seed=1),
+                   _prompts(vocab, (13,), seed=3)[0],
+                   _repetitive_prompt(vocab, 18, period=3, seed=2)]
+        base = generate_batch(small_model, prompts, 10, cache_factory=factory)
+        spec_results = generate_batch(small_model, prompts, 10, cache_factory=factory,
+                                      drafter="ngram:k=4")
+        sequential = [generate(small_model, p, 10, cache_factory=factory,
+                               drafter="ngram:k=4") for p in prompts]
+        for bas, bat, seq in zip(base, spec_results, sequential):
+            assert bas.generated_tokens == bat.generated_tokens
+            assert seq.generated_tokens == bat.generated_tokens
+            np.testing.assert_allclose(bas.logprobs, bat.logprobs, atol=1e-4)
+            assert (seq.spec_proposed, seq.spec_accepted) == \
+                (bat.spec_proposed, bat.spec_accepted)
+
+    @pytest.mark.parametrize("spec", ROLLBACK_CACHE_SPECS)
+    def test_early_eos_with_drafter(self, small_model, spec):
+        factory = resolve("cache", spec)
+        prompt = _repetitive_prompt(small_model.config.vocab_size, 21)
+        reference = generate(small_model, prompt, 12, cache_factory=factory)
+        eos = reference.generated_tokens[3]
+        base = generate(small_model, prompt, 12, cache_factory=factory, eos_id=eos)
+        spec_result = generate(small_model, prompt, 12, cache_factory=factory,
+                               eos_id=eos, drafter="ngram:k=4")
+        assert base.generated_tokens == spec_result.generated_tokens
+        assert spec_result.generated_tokens[-1] == eos
+
+    def test_non_rollback_caches_fall_back_silently(self, small_model):
+        factory = resolve("cache", "h2o:budget=8,sink_tokens=2,recent_window=3")
+        prompt = _repetitive_prompt(small_model.config.vocab_size, 24)
+        base = generate(small_model, prompt, 10, cache_factory=factory)
+        spec_result = generate(small_model, prompt, 10, cache_factory=factory,
+                               drafter="ngram:k=4")
+        assert base.generated_tokens == spec_result.generated_tokens
+        assert spec_result.spec_proposed == 0
+
+    def test_sampling_with_drafter_raises(self, small_model):
+        with pytest.raises(ValueError):
+            generate(small_model, [1, 2, 3], 4, temperature=1.0, drafter="ngram:k=4")
+        with pytest.raises(ValueError):
+            generate_batch(small_model, [[1, 2, 3]], 4, temperature=0.7,
+                           drafter="ngram:k=4")
 
 
 class TestBatchedForcedDecode:

@@ -372,6 +372,15 @@ class TestPrefixSharingServing:
         assert "step latency" in text
         assert "prefix reuse" in text
 
+    def test_summary_percentiles_match_public_methods(self, lm, shared_requests):
+        engine = ServingEngine(max_concurrency=3)
+        report = engine.run_functional(lm, shared_requests, cache="full")
+        # summary() derives every percentile from one sorted array; the
+        # public per-percentile methods must agree with what it prints.
+        text = report.summary()
+        assert f"p99 {report.step_latency_percentile_s(99) * 1e3:8.2f} ms" in text
+        assert f"p50 {report.ttft_percentile_s(50) * 1e3:8.2f} ms" in text
+
     def test_request_prompt_tokens_validation(self):
         with pytest.raises(ValueError):
             Request("x", 0.0, 4, 2, prompt_tokens=(1, 2, 3))
@@ -384,3 +393,144 @@ class TestPrefixSharingServing:
         engine = ServingEngine(max_concurrency=1)
         report = engine.run_functional(lm, [request])
         assert tuple(report.results[0].prompt_tokens) == prompt
+
+
+class TestSpeculativeServing:
+    """Engine-level speculative decoding: token identity, budget integration,
+    acceptance metrics and pool accounting after rollback."""
+
+    @pytest.fixture(scope="class")
+    def lm(self):
+        from repro.llm.config import tiny_config
+        from repro.llm.model import DecoderLM
+
+        return DecoderLM(tiny_config("serve-spec-tiny", n_layers=2, d_model=32,
+                                     n_heads=4, d_ff=64, vocab_size=48,
+                                     max_seq_len=1024), seed=7)
+
+    @pytest.fixture(scope="class")
+    def repetitive(self):
+        from repro.workloads import repetitive_requests
+
+        return repetitive_requests(n_requests=6, template_len=12, n_repeats=4,
+                                   decode_len=10, vocab_size=48, seed=2)
+
+    @pytest.mark.parametrize("spec", ["full", "paged:page_tokens=8"])
+    @pytest.mark.parametrize("drafter", ["ngram:k=4", "draft-model:model=tiny-llama2-7b,k=2"])
+    def test_speculative_serving_token_identical(self, lm, repetitive, spec, drafter):
+        if drafter.startswith("draft-model"):
+            from repro.llm.speculate import DraftModelDrafter
+
+            drafter = DraftModelDrafter(lm, k=2)  # matching vocab: the target itself
+        engine = ServingEngine(max_concurrency=3)
+        baseline = engine.run_functional(lm, repetitive, cache=spec)
+        speculative = engine.run_functional(lm, repetitive, cache=spec, drafter=drafter)
+        assert [r.generated_tokens for r in speculative.results] == [
+            r.generated_tokens for r in baseline.results]
+        assert speculative.spec_proposed_tokens > 0
+        assert speculative.spec_accepted_tokens > 0
+
+    def test_speculation_composes_with_prefix_cache_and_budget(self, lm, repetitive):
+        engine = ServingEngine(max_concurrency=3)
+        baseline = engine.run_functional(lm, repetitive, cache="full")
+        for budget in (None, 8, 32):
+            report = engine.run_functional(lm, repetitive, cache="paged:page_tokens=8",
+                                           prefix_cache=True, token_budget=budget,
+                                           drafter="ngram:k=4")
+            assert [r.generated_tokens for r in report.results] == [
+                r.generated_tokens for r in baseline.results], f"budget={budget}"
+
+    def test_pool_accounting_after_speculative_rollback(self, lm, repetitive):
+        from repro.llm.speculate import Drafter, DrafterSession
+
+        class _WrongSession(DrafterSession):
+            def propose(self, context, max_tokens=None):
+                budget = 3 if max_tokens is None else min(3, max_tokens)
+                # Propose the context cycled forward by one: mostly wrong,
+                # guaranteeing rejections (and truncate rollbacks) every step.
+                return [(int(t) + 1) % 48 for t in context[-budget:]] if budget > 0 else []
+
+        class _WrongDrafter(Drafter):
+            k = 3
+
+            def session(self):
+                return _WrongSession()
+
+        factory = resolve("cache", "paged:page_tokens=8")
+        engine = ServingEngine(max_concurrency=3)
+        report = engine.run_functional(lm, repetitive, cache=factory,
+                                       prefix_cache=True, token_budget=16,
+                                       drafter=_WrongDrafter())
+        # Speculation really rejected proposals (forcing truncate rollbacks)...
+        assert report.spec_proposed_tokens > report.spec_accepted_tokens
+        # ...the output stream survived token-identical...
+        baseline = engine.run_functional(lm, repetitive, cache="full")
+        assert [r.generated_tokens for r in report.results] == [
+            r.generated_tokens for r in baseline.results]
+        # ...and the page pool invariant survived every rollback.
+        factory.check_accounting()
+        assert factory.total_pages == factory.referenced_pages + factory.free_pages
+        assert factory.referenced_pages == 0
+
+    def test_acceptance_metrics_and_summary(self, lm, repetitive):
+        engine = ServingEngine(max_concurrency=2)
+        report = engine.run_functional(lm, repetitive, cache="full", drafter="ngram:k=4")
+        assert report.drafter == "ngram:k=4"
+        assert 0.0 < report.spec_acceptance_rate <= 1.0
+        assert report.spec_accepted_tokens <= report.spec_proposed_tokens
+        text = report.summary()
+        assert "speculation" in text
+        assert "accept rate" in text
+        assert "speculative tok/s" in text
+
+    def test_no_drafter_reports_no_speculation(self, lm, repetitive):
+        engine = ServingEngine(max_concurrency=2)
+        report = engine.run_functional(lm, repetitive, cache="full")
+        assert report.drafter is None
+        assert report.spec_proposed_tokens == 0
+        assert "speculation" not in report.summary()
+
+    def test_non_rollback_cache_falls_back(self, lm, repetitive):
+        engine = ServingEngine(max_concurrency=2)
+        spec = "h2o:budget=16,sink_tokens=2,recent_window=4"
+        baseline = engine.run_functional(lm, repetitive, cache=spec)
+        report = engine.run_functional(lm, repetitive, cache=spec, drafter="ngram:k=4")
+        assert report.spec_proposed_tokens == 0
+        # The fallback is silent in behaviour but observable in the report.
+        assert report.drafter == "ngram:k=4 (disabled: cache lacks rollback)"
+        assert "disabled" in report.summary()
+        assert [r.generated_tokens for r in report.results] == [
+            r.generated_tokens for r in baseline.results]
+
+    def test_speculation_needs_fewer_steps(self, lm, repetitive):
+        """The whole point: accepted proposals collapse decode steps."""
+        engine = ServingEngine(max_concurrency=3)
+        baseline = engine.run_functional(lm, repetitive, cache="full")
+        speculative = engine.run_functional(lm, repetitive, cache="full",
+                                            drafter="ngram:k=4")
+        assert speculative.n_steps < baseline.n_steps
+
+    def test_repetitive_requests_generator(self):
+        from repro.workloads import repetitive_requests
+
+        first = repetitive_requests(n_requests=5, template_len=8, n_repeats=3,
+                                    decode_len=4, vocab_size=32, noise=0.1, seed=9)
+        second = repetitive_requests(n_requests=5, template_len=8, n_repeats=3,
+                                     decode_len=4, vocab_size=32, noise=0.1, seed=9)
+        assert first == second
+        for request in first:
+            assert request.prompt_len == 24
+            assert len(request.prompt_tokens) == 24
+        arrivals = [r.arrival_time_s for r in first]
+        assert arrivals == sorted(arrivals)
+        # noise=0 repeats the template exactly
+        clean = repetitive_requests(n_requests=2, template_len=6, n_repeats=4,
+                                    decode_len=4, vocab_size=32, seed=1)
+        tokens = clean[0].prompt_tokens
+        assert tokens[:6] * 4 == tokens
+        with pytest.raises(ValueError):
+            repetitive_requests(n_requests=0, template_len=6, n_repeats=2,
+                                decode_len=4, vocab_size=32)
+        with pytest.raises(ValueError):
+            repetitive_requests(n_requests=2, template_len=6, n_repeats=2,
+                                decode_len=4, vocab_size=32, noise=1.5)
