@@ -96,6 +96,18 @@ class KVPagePool:
     def bytes_per_page(self) -> int:
         return 2 * self.n_heads * self.page_tokens * self.head_dim * 4
 
+    @property
+    def capacity_tokens(self) -> int | None:
+        """Hard token capacity of a non-growing pool (``None`` when growable).
+
+        This is the bound the serving :class:`~repro.serve.kv_manager.
+        KVSpaceManager` enforces by preemption: a bounded pool never grows,
+        so exceeding it raises :class:`PoolExhausted` instead.
+        """
+        if self.grow:
+            return None
+        return self.n_pages * self.page_tokens
+
     def refcount(self, page: int) -> int:
         return self._refcounts[page]
 
@@ -412,6 +424,23 @@ class PagedCacheFactory:
     @property
     def free_pages(self) -> int:
         return sum(pool.n_free for pool in self.pools)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this factory's pools enforce a hard page budget."""
+        return not self.grow
+
+    @property
+    def capacity_tokens(self) -> int | None:
+        """Per-layer token capacity of a bounded factory (``None`` if growable).
+
+        Pools are created lazily per layer with identical geometry, so one
+        layer's capacity is *the* serving capacity a
+        :class:`~repro.serve.kv_manager.KVSpaceManager` budgets against.
+        """
+        if self.grow:
+            return None
+        return self.initial_pages * self.page_tokens
 
     @property
     def referenced_pages(self) -> int:

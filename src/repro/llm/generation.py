@@ -21,7 +21,7 @@ Caches without rollback support silently run non-speculatively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -30,6 +30,16 @@ from repro.llm.functional import log_softmax, softmax
 from repro.llm.model import DecoderLM
 from repro.llm.speculate import Drafter, accept_greedy, resolve_drafter
 from repro.utils.rng import derive_rng
+
+#: Streaming hook for :func:`generate`: called with ``(token, index)`` the
+#: moment each token is generated.  :func:`generate_batch` prepends the
+#: sequence index: ``(seq_index, token, index)``.
+OnGenToken = Callable[[int, int], None]
+OnBatchToken = Callable[[int, int, int], None]
+
+
+def _noop(*_args: int) -> None:
+    return None
 
 
 @dataclass
@@ -94,7 +104,8 @@ def _speculation_enabled(model: DecoderLM, drafter: Drafter | None,
 
 def _decode_speculative(model: DecoderLM, drafter: Drafter, caches: list[LayerKVCache],
                         result: GenerationResult, logits: np.ndarray,
-                        max_new_tokens: int, eos_id: int | None) -> None:
+                        max_new_tokens: int, eos_id: int | None,
+                        on_token: OnGenToken = _noop) -> None:
     """Greedy speculative decode loop for one sequence (mutates ``result``).
 
     Each round verifies ``[next_input, *proposals]`` in one forward, emits
@@ -107,6 +118,7 @@ def _decode_speculative(model: DecoderLM, drafter: Drafter, caches: list[LayerKV
     token = int(np.argmax(logp))
     generated.append(token)
     result.logprobs.append(float(logp[token]))
+    on_token(token, len(generated) - 1)
     position = len(prompt)  # == caches' token count == position of generated[-1]
     while len(generated) < max_new_tokens and (eos_id is None or generated[-1] != eos_id):
         remaining = max_new_tokens - len(generated)
@@ -123,6 +135,7 @@ def _decode_speculative(model: DecoderLM, drafter: Drafter, caches: list[LayerKV
         for row, tok in enumerate(emitted):
             generated.append(tok)
             result.logprobs.append(float(logp_rows[row, tok]))
+            on_token(tok, len(generated) - 1)
             if eos_id is not None and tok == eos_id:
                 break
     # Cache-state parity with the plain loop, which never feeds the final
@@ -134,7 +147,8 @@ def _decode_speculative(model: DecoderLM, drafter: Drafter, caches: list[LayerKV
 def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int,
              cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
              eos_id: int | None = None, seed: int = 0,
-             drafter: Drafter | str | None = None) -> GenerationResult:
+             drafter: Drafter | str | None = None,
+             on_token: OnGenToken | None = None) -> GenerationResult:
     """Generate ``max_new_tokens`` continuation tokens for ``prompt_tokens``.
 
     ``cache_factory`` selects the KV-cache policy (full cache by default);
@@ -143,7 +157,9 @@ def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int
     enables speculative decoding: token-identical to greedy decoding, but
     emitting up to ``k + 1`` tokens per forward pass when proposals are
     accepted.  Requires a rollback-capable cache (``full``/``paged``); other
-    caches run non-speculatively.
+    caches run non-speculatively.  ``on_token`` streams each generated token
+    as ``(token, index)`` the moment it is produced (the serving engine's
+    :class:`~repro.serve.executor.TokenEvent` hook reduced to one sequence).
     """
     if max_new_tokens < 0:
         raise ValueError("max_new_tokens must be non-negative")
@@ -156,15 +172,17 @@ def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int
     speculative = _speculation_enabled(model, drafter, caches, temperature)
     logits = model.prefill(prompt_tokens, caches)
     result = GenerationResult(prompt_tokens=prompt_tokens, generated_tokens=[], caches=caches)
+    emit = on_token or _noop
     if speculative and max_new_tokens > 0:
         _decode_speculative(model, drafter, caches, result, logits,
-                            max_new_tokens, eos_id)
+                            max_new_tokens, eos_id, on_token=emit)
         return result
     position = len(prompt_tokens)
     for step in range(max_new_tokens):
         token, logp = _select_from_logprobs(log_softmax(logits), temperature, rng)
         result.generated_tokens.append(token)
         result.logprobs.append(logp)
+        emit(token, len(result.generated_tokens) - 1)
         # No decode after the final token: its logits would be discarded (and
         # generate_batch stops at the same point, keeping cache states aligned).
         if step == max_new_tokens - 1 or (eos_id is not None and token == eos_id):
@@ -177,7 +195,8 @@ def generate(model: DecoderLM, prompt_tokens: Sequence[int], max_new_tokens: int
 def _decode_batch_speculative(model: DecoderLM, drafter: Drafter,
                               caches_batch: Sequence[list[LayerKVCache]],
                               results: list[GenerationResult], logits: np.ndarray,
-                              max_new_tokens: int, eos_id: int | None) -> None:
+                              max_new_tokens: int, eos_id: int | None,
+                              on_token: OnBatchToken = _noop) -> None:
     """Batched speculative decode: one verify forward per round for the batch.
 
     Every active sequence contributes its chunk (``[next_input, *proposals]``,
@@ -194,6 +213,7 @@ def _decode_batch_speculative(model: DecoderLM, drafter: Drafter,
         token = int(np.argmax(logp[b]))
         result.generated_tokens.append(token)
         result.logprobs.append(float(logp[b, token]))
+        on_token(b, token, len(result.generated_tokens) - 1)
         if max_new_tokens > 1 and not (eos_id is not None and token == eos_id):
             active.append(b)
     while active:
@@ -222,6 +242,7 @@ def _decode_batch_speculative(model: DecoderLM, drafter: Drafter,
             for j, tok in enumerate(emitted):
                 result.generated_tokens.append(tok)
                 result.logprobs.append(float(logp_rows[j, tok]))
+                on_token(b, tok, len(result.generated_tokens) - 1)
                 if eos_id is not None and tok == eos_id:
                     stopped = True
                     break
@@ -236,7 +257,8 @@ def _decode_batch_speculative(model: DecoderLM, drafter: Drafter,
 def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_tokens: int,
                    cache_factory: KVCacheFactory | None = None, temperature: float = 0.0,
                    eos_id: int | None = None, seed: int = 0,
-                   drafter: Drafter | str | None = None) -> list[GenerationResult]:
+                   drafter: Drafter | str | None = None,
+                   on_token: OnBatchToken | None = None) -> list[GenerationResult]:
     """Generate continuations for ``B`` prompts with batched forward passes.
 
     Each sequence gets its own per-layer caches (one :meth:`make_caches` call
@@ -246,6 +268,7 @@ def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_t
     ``eos_id`` drop out of the running batch; the rest continue.  ``drafter``
     enables batched speculative decoding (see :func:`generate`): every
     sequence's proposal chunk is verified in one batched forward per round.
+    ``on_token`` streams each generated token as ``(seq_index, token, index)``.
     """
     if max_new_tokens < 0:
         raise ValueError("max_new_tokens must be non-negative")
@@ -261,10 +284,11 @@ def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_t
                for prompt, caches in zip(prompt_lists, caches_batch)]
     if max_new_tokens == 0:
         return results
+    emit = on_token or _noop
     logits = model.prefill_batch(prompt_lists, caches_batch)  # [B, vocab]
     if speculative:
         _decode_batch_speculative(model, drafter, caches_batch, results, logits,
-                                  max_new_tokens, eos_id)
+                                  max_new_tokens, eos_id, on_token=emit)
         return results
     positions = [len(prompt) for prompt in prompt_lists]
     active = list(range(batch))
@@ -276,6 +300,7 @@ def generate_batch(model: DecoderLM, prompts: Sequence[Sequence[int]], max_new_t
             token, token_logp = _select_from_logprobs(logp[row], temperature, rngs[b])
             results[b].generated_tokens.append(token)
             results[b].logprobs.append(token_logp)
+            emit(b, token, len(results[b].generated_tokens) - 1)
             if eos_id is not None and token == eos_id:
                 continue
             next_tokens.append(token)

@@ -208,6 +208,7 @@ _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
     "cache": ("repro.llm.cache", "repro.core.policy", "repro.core.kv_pool",
               "repro.baselines.eviction", "repro.baselines.quant_kv"),
     "drafter": ("repro.llm.speculate",),
+    "policy": ("repro.serve.scheduler",),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),
     "accelerator": ("repro.baselines.accelerators",),

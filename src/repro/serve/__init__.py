@@ -1,17 +1,26 @@
 """Request-level serving on top of the accelerator model.
 
-* :mod:`repro.serve.engine` -- :class:`Request`, :class:`ServingEngine` and
-  the spec-driven :func:`simulate` helper.  The engine simulates
-  continuous-batching admission of a multi-request arrival trace onto one
-  :class:`repro.accelerator.accelerator.EdgeSystem`, with per-request latency
-  and energy accounting; :meth:`ServingEngine.run_functional` drives the same
-  admission loop against a real :class:`repro.llm.model.DecoderLM` through
-  the batched decode path, measuring real tokens/s — optionally with a
-  radix prefix cache (``prefix_cache=True``), a chunked-prefill token
-  scheduler (``token_budget=N``) on top of the paged KV pool, and batched
-  speculative decoding (``drafter="ngram:k=4"``) with KV rollback.
-* :mod:`repro.serve.radix` -- :class:`RadixPrefixIndex`, the radix-trie
-  prompt-prefix index mapping shared prefixes to forked KV cache state.
+The functional serving core is split into three explicit layers, wired
+together by a thin :meth:`ServingEngine.run_functional` loop:
+
+* :mod:`repro.serve.scheduler` -- :class:`Scheduler`, per-request
+  :class:`SequenceState` lifecycle (``WAITING → PREFILL → DECODE →
+  PREEMPTED → FINISHED/CANCELLED``) and the pluggable ``"policy"`` registry
+  kind (:class:`FCFSPolicy`, :class:`PriorityPolicy`, :class:`SJFPolicy`)
+  producing per-step :class:`ScheduleDecision` objects.
+* :mod:`repro.serve.kv_manager` -- :class:`KVSpaceManager`: KV-space
+  accounting over the paged pool, radix prefix reuse, and preemption by
+  eviction-and-recompute when a bounded pool oversubscribes.
+* :mod:`repro.serve.executor` -- :class:`ModelExecutor`: batched prefill /
+  decode / speculative-verify forwards emitting per-token
+  :class:`TokenEvent` streams (the ``on_token`` callback) consumed by
+  streaming clients and cancellation checks.
+
+:mod:`repro.serve.engine` additionally hosts :class:`Request`, the
+analytical :class:`ServingEngine.run` queueing model and the spec-driven
+:func:`simulate` helper; :mod:`repro.serve.radix` holds
+:class:`RadixPrefixIndex`, the radix-trie prompt-prefix index mapping shared
+prefixes to forked KV cache state.
 """
 
 from repro.serve.engine import (
@@ -24,17 +33,43 @@ from repro.serve.engine import (
     poisson_requests,
     simulate,
 )
+from repro.serve.executor import ModelExecutor, StepOutcome, TokenEvent
+from repro.serve.kv_manager import KVSpaceManager
 from repro.serve.radix import PrefixEntry, RadixPrefixIndex
+from repro.serve.scheduler import (
+    FCFSPolicy,
+    PriorityPolicy,
+    RequestPhase,
+    SJFPolicy,
+    ScheduleDecision,
+    SchedulingPolicy,
+    Scheduler,
+    SequenceState,
+    resolve_policy,
+)
 
 __all__ = [
+    "FCFSPolicy",
     "FunctionalRequestResult",
     "FunctionalServingReport",
+    "KVSpaceManager",
+    "ModelExecutor",
     "PrefixEntry",
+    "PriorityPolicy",
     "RadixPrefixIndex",
     "Request",
+    "RequestPhase",
     "RequestResult",
+    "SJFPolicy",
+    "ScheduleDecision",
+    "SchedulingPolicy",
+    "Scheduler",
+    "SequenceState",
     "ServingEngine",
     "ServingReport",
+    "StepOutcome",
+    "TokenEvent",
     "poisson_requests",
+    "resolve_policy",
     "simulate",
 ]

@@ -6,7 +6,7 @@ requests arriving over time -- a multi-tenant traffic scenario the paper's
 north star calls for.  :class:`ServingEngine` closes that gap:
 
 * a :class:`Request` describes one serving job (arrival time, prompt length,
-  decode length);
+  decode length, priority class);
 * the engine composes a model config, an :class:`EdgeSystem` (both resolvable
   from registry spec strings) and a *continuous-batching admission* model:
   the accelerator runs up to ``max_concurrency`` sequences at once (the
@@ -19,18 +19,30 @@ north star calls for.  :class:`ServingEngine` closes that gap:
   per-request accounting matches the dedicated-system simulation exactly
   while the queueing model adds the admission delays on top.
 
-The engine therefore answers questions the seed could not express: tail
-latency under bursty arrivals, sustained throughput at a given concurrency,
-and the energy bill of a mixed-length request trace.
+:meth:`ServingEngine.run_functional` drives the same admission discipline at
+token granularity against a real :class:`~repro.llm.model.DecoderLM`, wired
+through three explicit layers (the vLLM/SGLang-style split):
+
+* :class:`~repro.serve.scheduler.Scheduler` — request lifecycle
+  (``WAITING → PREFILL → DECODE → PREEMPTED → FINISHED/CANCELLED``) driven
+  by a pluggable ``"policy"`` registry component (``fcfs``, ``priority``,
+  ``sjf``);
+* :class:`~repro.serve.kv_manager.KVSpaceManager` — KV-space accounting over
+  the paged pool + radix prefix index, including preemption by
+  eviction-and-recompute when a bounded pool runs out of pages;
+* :class:`~repro.serve.executor.ModelExecutor` — batched prefill / decode /
+  speculative-verify forwards, emitting per-token streaming events.
+
+The engine loop itself is a thin wiring of those layers.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from collections import deque
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -38,7 +50,14 @@ from repro.accelerator.accelerator import EdgeSystem, SimulationResult
 from repro.accelerator.energy import EnergyBreakdown
 from repro.llm.config import ModelConfig
 from repro.registry import resolve
-from repro.serve.radix import RadixPrefixIndex
+from repro.serve.executor import ModelExecutor, OnToken
+from repro.serve.kv_manager import DEFER_MIN_SHARED, KVSpaceManager, shared_prefix_len
+from repro.serve.scheduler import (
+    Scheduler,
+    SchedulingPolicy,
+    SequenceState,
+    resolve_policy,
+)
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
@@ -72,7 +91,9 @@ class Request:
     ``prompt_tokens`` optionally pins the actual prompt contents (the
     shared-prefix and multi-turn workload generators use this so requests
     really share token prefixes); when None the functional engine
-    synthesises a random prompt of ``prompt_len`` tokens.
+    synthesises a random prompt of ``prompt_len`` tokens.  ``priority`` is
+    the traffic class consumed by the ``"priority"`` scheduling policy
+    (0 is the most important; FCFS ignores it).
     """
 
     request_id: str
@@ -80,12 +101,15 @@ class Request:
     prompt_len: int
     decode_len: int
     prompt_tokens: tuple[int, ...] | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
             raise ValueError("arrival_time_s must be non-negative")
         if self.prompt_len <= 0 or self.decode_len <= 0:
             raise ValueError("prompt_len and decode_len must be positive")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative (0 is most important)")
         if self.prompt_tokens is not None:
             object.__setattr__(self, "prompt_tokens",
                                tuple(int(t) for t in self.prompt_tokens))
@@ -93,6 +117,11 @@ class Request:
                 raise ValueError(
                     f"prompt_tokens has {len(self.prompt_tokens)} tokens but "
                     f"prompt_len={self.prompt_len}")
+
+    @property
+    def arrival_time(self) -> float:
+        """Alias for :attr:`arrival_time_s` (scheduler-policy naming)."""
+        return self.arrival_time_s
 
     @property
     def tokens_generated(self) -> int:
@@ -288,10 +317,20 @@ class FunctionalRequestResult:
     ttft_s: float = 0.0
     #: Prompt tokens restored from the radix prefix cache instead of prefilled.
     reused_prefix_tokens: int = 0
+    #: ``"finished"`` or ``"cancelled"``.
+    status: str = "finished"
+    #: Decode-step counter when the first token was produced (-1 if never).
+    first_token_step: int = -1
+    #: Times this request was evicted-and-recomputed under KV pressure.
+    n_preemptions: int = 0
 
     @property
     def tokens_generated(self) -> int:
         return len(self.generated_tokens)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.status == "cancelled"
 
 
 @dataclass
@@ -316,10 +355,18 @@ class FunctionalServingReport:
     #: Tokens the drafter proposed / the target model accepted across the run.
     spec_proposed_tokens: int = 0
     spec_accepted_tokens: int = 0
+    #: Scheduling policy the run used (``"fcfs"`` unless overridden).
+    policy: str = "fcfs"
+    #: Total eviction-and-recompute preemptions across the run.
+    n_preemptions: int = 0
 
     @property
     def n_requests(self) -> int:
         return len(self.results)
+
+    @property
+    def n_cancelled(self) -> int:
+        return sum(1 for r in self.results if r.cancelled)
 
     @property
     def total_decode_tokens(self) -> int:
@@ -340,17 +387,24 @@ class FunctionalServingReport:
             return 0.0
         return self.total_decode_tokens / self.wall_s
 
+    def _ttft_values(self) -> list[float]:
+        """TTFT samples of requests that actually produced a first token
+        (a request cancelled before its first token has no TTFT)."""
+        return [r.ttft_s for r in self.results if r.first_token_step >= 0]
+
     @property
     def mean_ttft_s(self) -> float:
-        if not self.results:
+        values = self._ttft_values()
+        if not values:
             return 0.0
-        return float(np.mean([r.ttft_s for r in self.results]))
+        return float(np.mean(values))
 
     def ttft_percentile_s(self, percentile: float) -> float:
         """Time-to-first-token percentile across requests (e.g. 99 for p99)."""
-        if not self.results:
+        values = self._ttft_values()
+        if not values:
             return 0.0
-        return float(np.percentile([r.ttft_s for r in self.results], percentile))
+        return float(np.percentile(values, percentile))
 
     def step_latency_percentile_s(self, percentile: float) -> float:
         """Engine-step wall-latency percentile (e.g. 50/99 for p50/p99)."""
@@ -371,7 +425,7 @@ class FunctionalServingReport:
         prompt_tokens = self.total_prompt_tokens
         # Sort each latency series once; every percentile derives from the
         # sorted array instead of re-sorting inside np.percentile per call.
-        ttft_sorted = np.sort([r.ttft_s for r in self.results])
+        ttft_sorted = np.sort(self._ttft_values())
         ttft_p50, ttft_p99 = _percentiles_from_sorted(ttft_sorted, (50, 99))
         step_sorted = np.sort(self.step_latencies_s)
         step_p50, step_p99 = _percentiles_from_sorted(step_sorted, (50, 99))
@@ -394,6 +448,11 @@ class FunctionalServingReport:
                 f"{100.0 * self.spec_acceptance_rate:.1f}% "
                 f"({self.spec_accepted_tokens}/{self.spec_proposed_tokens} "
                 f"proposed) | {self.decode_tokens_per_s:.1f} speculative tok/s")
+        if self.n_preemptions or self.n_cancelled:
+            lines.append(
+                f"  scheduling     policy {self.policy} | "
+                f"{self.n_preemptions} preemptions | "
+                f"{self.n_cancelled} cancelled")
         return "\n".join(lines)
 
 
@@ -416,6 +475,7 @@ class ServingEngine:
         self.model: ModelConfig = resolve("model", model)
         self.max_concurrency = max_concurrency
         self._service_cache: dict[tuple[int, int], SimulationResult] = {}
+        self._cancelled: set[str] = set()
 
     # ------------------------------------------------------------------
     def service_simulation(self, request: Request) -> SimulationResult:
@@ -458,52 +518,118 @@ class ServingEngine:
         return report
 
     # ------------------------------------------------------------------
-    #: Minimum shared-prefix length for which a fresh sequence is worth
-    #: deferring one step behind another sequence prefilling the same prefix.
-    _DEFER_MIN_SHARED = 16
+    # Deprecated internal hooks (the PR 1 shim convention): the serving loop
+    # now lives in repro.serve.{scheduler,kv_manager,executor}.
+    _DEFER_MIN_SHARED = DEFER_MIN_SHARED
 
     @staticmethod
     def _shared_prefix_len(a: list[int], b: list[int]) -> int:
-        n = 0
-        for x, y in zip(a, b):
-            if x != y:
-                break
-            n += 1
-        return n
+        warnings.warn(
+            "ServingEngine._shared_prefix_len is deprecated; use "
+            "repro.serve.kv_manager.shared_prefix_len", DeprecationWarning,
+            stacklevel=2)
+        return shared_prefix_len(a, b)
 
     @staticmethod
-    def _finish_prefill(state: dict, logits: np.ndarray, index: RadixPrefixIndex | None,
-                        now: float) -> None:
-        """Mark a sequence fully prefilled: first token, TTFT, radix insert."""
+    def _finish_prefill(state: dict, logits: np.ndarray, index, now: float) -> None:
+        warnings.warn(
+            "ServingEngine._finish_prefill is deprecated; prefill completion "
+            "lives in repro.serve.executor.ModelExecutor", DeprecationWarning,
+            stacklevel=2)
         state["next_input"] = int(np.argmax(logits))
         state["generated"].append(state["next_input"])
         state["position"] = len(state["prompt"])
         state["ttft_s"] = now - state["admitted_wall"]
         if index is not None:
-            # Snapshot the prompt's KV state (zero-copy CoW forks for the
-            # paged cache) so later requests can reuse the shared prefix.
             index.insert(state["prompt"],
                          [cache.fork() for cache in state["caches"]])
+
+    # ------------------------------------------------------------------
+    def cancel(self, request_id: str) -> None:
+        """Request cancellation of one in-flight request.
+
+        Takes effect at the next step boundary of a :meth:`run_functional`
+        call in progress (streaming ``on_token`` callbacks may call this to
+        abort mid-decode); the request's pages are released and its partial
+        output is reported with ``status="cancelled"``.
+        """
+        self._cancelled.add(request_id)
+
+    def _materialise(self, requests: list[Request], lm: "DecoderLM",
+                     rng: np.random.Generator) -> list[SequenceState]:
+        """Sequence states in arrival order, prompts synthesised up front.
+
+        Prompts draw from ``rng`` in arrival order — the same order the
+        former inline loop drew at admission time under FCFS — so outputs
+        stay identical while becoming policy-independent.
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival_time_s, r.request_id))
+        states = []
+        for request in ordered:
+            if request.prompt_tokens is not None:
+                prompt = list(request.prompt_tokens)
+            else:
+                prompt = rng.integers(0, lm.config.vocab_size,
+                                      size=request.prompt_len).tolist()
+            states.append(SequenceState(request=request, prompt=prompt))
+        return states
+
+    def _apply_cancellations(self, scheduler: Scheduler, kv: KVSpaceManager,
+                             should_cancel: Callable[[str], bool] | None,
+                             report: FunctionalServingReport, step: int) -> None:
+        """Cancel flagged requests between steps, releasing their KV space."""
+        if not self._cancelled and should_cancel is None:
+            return
+        for state in scheduler.live_states():
+            rid = state.request_id
+            if rid in self._cancelled or (should_cancel is not None
+                                          and should_cancel(rid)):
+                scheduler.cancel(state, kv)
+                self._cancelled.discard(rid)
+                report.results.append(self._result(state, step))
+
+    @staticmethod
+    def _result(state: SequenceState, step: int) -> FunctionalRequestResult:
+        return FunctionalRequestResult(
+            request=state.request,
+            prompt_tokens=state.prompt,
+            generated_tokens=state.generated,
+            admitted_step=state.admitted_step,
+            finished_step=step,
+            ttft_s=state.ttft_s,
+            reused_prefix_tokens=state.reused,
+            status="cancelled" if state.phase.value == "cancelled" else "finished",
+            first_token_step=state.first_token_step,
+            n_preemptions=state.n_preemptions,
+        )
 
     def run_functional(self, lm: "DecoderLM", requests: list[Request],
                        cache: "KVCacheFactory | str | None" = None,
                        seed: int = 0, *, prefix_cache: bool = False,
                        token_budget: int | None = None,
                        radix_max_tokens: int | None = None,
-                       drafter: "Drafter | str | None" = None) -> FunctionalServingReport:
+                       drafter: "Drafter | str | None" = None,
+                       policy: "SchedulingPolicy | str | None" = "fcfs",
+                       on_token: OnToken | None = None,
+                       should_cancel: Callable[[str], bool] | None = None,
+                       capacity_tokens: int | None = None,
+                       on_step: Callable[[int], None] | None = None,
+                       ) -> FunctionalServingReport:
         """Serve ``requests`` by *actually decoding tokens* with batched forwards.
 
-        This drives the same continuous-batching admission discipline as
-        :meth:`run`, but at token granularity against a real :class:`DecoderLM`:
-        up to ``max_concurrency`` sequences run simultaneously through
-        :meth:`DecoderLM.decode_step_batch`, each with its own per-layer KV
-        caches built from ``cache`` (a factory, registry spec string or
-        ``None`` for the full cache).  Prompts come from
-        :attr:`Request.prompt_tokens` when set and are otherwise synthesised
-        from the model's vocabulary.
+        The loop wires the three serving layers: a
+        :class:`~repro.serve.scheduler.Scheduler` (admission, lifecycle,
+        ``policy`` — a spec string such as ``"fcfs"``, ``"priority:levels=3"``
+        or ``"sjf"``), a :class:`~repro.serve.kv_manager.KVSpaceManager`
+        (radix prefix reuse, KV capacity, preemption) and a
+        :class:`~repro.serve.executor.ModelExecutor` (batched forwards,
+        streaming token events).  Up to ``max_concurrency`` sequences run
+        simultaneously through :meth:`DecoderLM.decode_step_batch`, each with
+        per-layer KV caches built from ``cache`` (a factory, registry spec
+        string or ``None`` for the full cache).
 
-        Two optional mechanisms reshape the schedule (both default off, which
-        reproduces the plain per-request-cache path exactly):
+        Optional mechanisms (all default off, which reproduces the plain
+        per-request-cache path exactly):
 
         * ``prefix_cache=True`` maintains a radix-trie prefix index: every
           prefilled prompt is snapshotted (a zero-copy copy-on-write fork for
@@ -520,19 +646,25 @@ class ServingEngine:
           whole-prompt prefill at admission.
         * ``drafter`` (a spec string such as ``"ngram:k=4"`` or a built
           :class:`~repro.llm.speculate.Drafter`) enables batch-wide
-          speculative decoding: each step, every running sequence's proposed
-          continuation is verified in one
-          :meth:`~repro.llm.model.DecoderLM.verify_chunk_batch` forward, the
-          accepted prefix plus first-mismatch token is emitted, and rejected
-          KV entries are rolled back via ``truncate`` — token-identical to
-          the non-speculative greedy path.  Verify tokens are charged
-          against ``token_budget`` (decode keeps priority over prefill
-          chunks).  Requires a rollback-capable cache (``full``/``paged``);
-          other specs silently run non-speculatively.
+          speculative decoding, token-identical to the non-speculative
+          greedy path; verify tokens are charged against ``token_budget``
+          (decode keeps priority).  Requires a rollback-capable cache
+          (``full``/``paged``); other specs silently run non-speculatively.
+        * a *bounded* paged cache (``"paged:...,grow=false"``, or an explicit
+          ``capacity_tokens``) enables preemption: when the pool cannot hold
+          every running sequence, the policy picks victims whose pages are
+          released and whose generated tokens are preserved for
+          eviction-and-recompute, so the engine survives oversubscription
+          instead of raising :class:`~repro.core.kv_pool.PoolExhausted`.
+        * ``on_token`` streams every generated token as a
+          :class:`~repro.serve.executor.TokenEvent`; ``should_cancel`` (or
+          :meth:`cancel`) aborts requests between steps, releasing their
+          pages and reporting partial output with ``status="cancelled"``.
 
         Returns a :class:`FunctionalServingReport` with the decoded tokens,
-        measured throughput, per-request TTFT, per-step latencies and (when
-        a drafter is set) the proposal-acceptance counters.
+        measured throughput, per-request TTFT, per-step latencies,
+        preemption/cancellation counts and (when a drafter is set) the
+        proposal-acceptance counters.
         """
         if not requests:
             raise ValueError("requests must be non-empty")
@@ -545,215 +677,80 @@ class ServingEngine:
                 raise ValueError(
                     f"request '{request.request_id}' needs {request.prompt_len + request.decode_len} "
                     f"positions but the model supports max_seq_len={max_len}")
-        rng = derive_rng(seed, "serve-functional")
-        queue = deque(sorted(requests, key=lambda r: (r.arrival_time_s, r.request_id)))
-        # Chunked prefill and prefix sharing need fork/extend_chunk support;
-        # probe the factory once (building a cache is cheap and side-effect
-        # free — the paged cache allocates no pages until written).
-        from repro.llm.cache import full_cache_factory
-        from repro.llm.speculate import accept_greedy, resolve_drafter
+        from repro.llm.speculate import resolve_drafter
 
-        probe = (cache_factory or full_cache_factory)(
-            0, lm.config.n_heads, lm.config.head_dim, lm.config.d_model,
-            lm.recompute_fn(0))
-        chunkable = probe.supports_chunked_prefill
-        rollbackable = probe.supports_rollback
-        probe.release()
+        kv = KVSpaceManager(lm, cache_factory, prefix_cache=prefix_cache,
+                            radix_max_tokens=radix_max_tokens,
+                            capacity_tokens=capacity_tokens)
         drafter_obj = resolve_drafter(drafter)
         # Speculation needs verify_chunk (chunked prefill) and KV rollback;
         # caches without them run the plain decode path, as generate() does.
         spec_on = (drafter_obj is not None and drafter_obj.k > 0
-                   and chunkable and rollbackable)
+                   and kv.chunkable and kv.rollbackable)
         if spec_on:
             drafter_obj.check_compatible(lm.config)
-        index = (RadixPrefixIndex(max_tokens=radix_max_tokens)
-                 if prefix_cache and chunkable else None)
         if drafter_obj is None or drafter_obj.k <= 0:
             drafter_desc = None
         elif spec_on:
             drafter_desc = drafter_obj.describe()
         else:  # keep the silent fallback observable in the report/summary
             drafter_desc = drafter_obj.describe() + " (disabled: cache lacks rollback)"
-        running: list[dict] = []
+        policy_obj = resolve_policy(policy)
+        scheduler = Scheduler(policy_obj, self.max_concurrency)
+        executor = ModelExecutor(lm, kv, on_token=on_token)
+        rng = derive_rng(seed, "serve-functional")
+        states = self._materialise(requests, lm, rng)
+        for state in states:
+            kv.validate_footprint(state)  # reject never-servable requests now
+        scheduler.submit(states)
+        self._cancelled = set()
+        whole_prefill = not kv.chunkable or token_budget is None
+
+        def on_admit(state: SequenceState, first: bool) -> None:
+            if spec_on:
+                state.spec_session = drafter_obj.session()
+
         report = FunctionalServingReport(
             model_name=lm.config.name, max_concurrency=self.max_concurrency,
-            drafter=drafter_desc)
+            drafter=drafter_desc, policy=policy_obj.describe())
         start = time.perf_counter()
         step = 0
-        while queue or running:
+        while scheduler.has_work():
             step_start = time.perf_counter()
-            # -- admission: fill freed continuous-batching slots ----------
-            while queue and len(running) < self.max_concurrency:
-                request = queue.popleft()
-                if request.prompt_tokens is not None:
-                    prompt = list(request.prompt_tokens)
-                else:
-                    prompt = rng.integers(0, lm.config.vocab_size,
-                                          size=request.prompt_len).tolist()
-                running.append({
-                    "request": request,
-                    "prompt": prompt,
-                    "caches": None,  # resolved in the per-step phase below
-                    "generated": [],
-                    "prefilled": 0,
-                    "reused": 0,
-                    "position": request.prompt_len,
-                    "next_input": None,
-                    "ttft_s": 0.0,
-                    "admitted_step": step,
-                    "admitted_wall": time.perf_counter(),
-                    "spec_session": drafter_obj.session() if spec_on else None,
-                    "proposals": [],
-                })
-            # -- cache resolution: radix reuse and intra-wave dedup -------
-            # Matching happens per step (not at admission) so a request can
-            # reuse a prefix that an *earlier member of its own admission
-            # wave* is prefilling right now: a fresh miss that shares a
-            # prefix with a prompt being prefilled — resolved this step or
-            # still in flight under the chunked scheduler — is deferred,
-            # and matches the index once that prefill is inserted.
-            if index is not None:
-                prefilling_prompts = [s["prompt"] for s in running
-                                      if s["caches"] is not None
-                                      and s["prefilled"] < len(s["prompt"])]
-            for state in running:
-                if state["caches"] is not None:
-                    continue
-                prompt = state["prompt"]
-                if index is not None:
-                    # Reuse at most prompt_len-1 tokens so the suffix chunk
-                    # always produces the first-token logits.
-                    use_len, entry = index.match(prompt)
-                    use_len = min(use_len, len(prompt) - 1)
-                    if entry is not None and use_len > 0:
-                        state["caches"] = [c.fork(use_len) for c in entry.caches]
-                        state["prefilled"] = state["reused"] = use_len
-                        continue
-                    if any(self._shared_prefix_len(prompt, other) >=
-                           self._DEFER_MIN_SHARED for other in prefilling_prompts):
-                        continue  # defer: a later step's match will hit
-                    prefilling_prompts.append(prompt)
-                state["caches"] = lm.make_caches(cache_factory)
-            # -- speculation proposals (and decode budget charge) ---------
-            # Decode-ready sequences draft their proposals *before* the
-            # prefill phase so verify tokens are charged against the token
-            # budget with decode priority: each ready sequence costs one
-            # mandatory token (its next input) plus its proposal length, and
-            # only the leftover budget goes to prompt chunks below.  Their
-            # contexts cannot change during the prefill phase, so drafting
-            # early is safe.
-            decode_ready = [s for s in running if s["caches"] is not None and
-                            s["prefilled"] == len(s["prompt"]) and
-                            len(s["generated"]) < s["request"].decode_len]
-            decode_charge = len(decode_ready)
-            if spec_on:
-                budget_left = (None if token_budget is None
-                               else token_budget - len(decode_ready))
-                for state in decode_ready:
-                    cap = (state["request"].decode_len - len(state["generated"])) - 1
-                    if budget_left is not None:
-                        cap = min(cap, budget_left)
-                    proposals = state["spec_session"].propose(
-                        state["prompt"] + state["generated"],
-                        max_tokens=cap) if cap > 0 else []
-                    state["proposals"] = proposals
-                    decode_charge += len(proposals)
-                    if budget_left is not None:
-                        budget_left -= len(proposals)
-            # -- prefill work --------------------------------------------
-            # Whole-prompt batched prefill: fresh sequences that either have
-            # no chunk support or are running without a token budget.
-            batch_states = [s for s in running if s["caches"] is not None and
-                            s["prefilled"] == 0 and s["next_input"] is None and
-                            (not chunkable or token_budget is None)]
-            if batch_states:
-                logits = lm.prefill_batch([s["prompt"] for s in batch_states],
-                                          [s["caches"] for s in batch_states])
-                now = time.perf_counter()
-                for row, state in enumerate(batch_states):
-                    state["prefilled"] = len(state["prompt"])
-                    self._finish_prefill(state, logits[row], index, now)
-            # Chunked prefill: decode keeps strict priority — the budget
-            # left after this step's decode tokens goes to prompt chunks.
-            pending = [s for s in running if s["caches"] is not None and
-                       s["prefilled"] < len(s["prompt"])]
-            if pending:
-                if token_budget is None:
-                    prefill_budget = None  # unbudgeted: whole suffix at once
-                else:
-                    prefill_budget = max(0, token_budget - decode_charge)
-                for state in pending:
-                    remaining = len(state["prompt"]) - state["prefilled"]
-                    chunk = remaining if prefill_budget is None else min(
-                        prefill_budget, remaining)
-                    if chunk <= 0:
-                        break
-                    logits = lm.prefill_chunk(
-                        state["prompt"][state["prefilled"]:state["prefilled"] + chunk],
-                        state["prefilled"], state["caches"])
-                    state["prefilled"] += chunk
-                    if prefill_budget is not None:
-                        prefill_budget -= chunk
-                    if state["prefilled"] == len(state["prompt"]):
-                        self._finish_prefill(state, logits, index, time.perf_counter())
-            # -- one batched decode step for every running sequence ------
-            # (Sequences that finished prefilling *this* step join with an
-            # empty proposal list: their chunk is just the next input token.)
-            active = [state for state in running if
-                      state["prefilled"] == len(state["prompt"]) and
-                      len(state["generated"]) < state["request"].decode_len]
-            if active and spec_on:
-                chunks = [[state["next_input"], *state["proposals"]]
-                          for state in active]
-                logits_list = lm.verify_chunk_batch(
-                    chunks, [state["position"] for state in active],
-                    [state["caches"] for state in active])
-                for state, chunk, chunk_logits in zip(active, chunks, logits_list):
-                    proposals = chunk[1:]
-                    accepted, emitted = accept_greedy(chunk_logits, proposals)
-                    report.spec_proposed_tokens += len(proposals)
-                    report.spec_accepted_tokens += accepted
-                    for cache in state["caches"]:
-                        cache.truncate(state["position"] + 1 + accepted)
-                    state["position"] += 1 + accepted
-                    state["generated"].extend(emitted)
-                    state["next_input"] = emitted[-1]
-                    state["proposals"] = []
+            self._apply_cancellations(scheduler, kv, should_cancel, report, step)
+            if not scheduler.has_work():
+                break
+            admitted = scheduler.admit(step, time.perf_counter(), kv,
+                                       whole_prefill=whole_prefill,
+                                       on_admit=on_admit)
+            kv.resolve_caches(list(scheduler.running.values()))
+            decision = scheduler.plan(step, kv, token_budget=token_budget,
+                                      spec_on=spec_on, chunkable=kv.chunkable)
+            executor.prefill_whole(decision.prefill_whole, step)
+            executor.prefill_chunks(decision.prefill_chunks, step)
+            outcome = executor.decode_step(scheduler.decode_ready(), step, spec_on)
+            if outcome.decoded:
                 step += 1
                 report.n_steps += 1
-                report.peak_batch = max(report.peak_batch, len(active))
-            elif active:
-                logits = lm.decode_step_batch(
-                    [state["next_input"] for state in active],
-                    [state["position"] for state in active],
-                    [state["caches"] for state in active])
-                for row, state in enumerate(active):
-                    state["next_input"] = int(np.argmax(logits[row]))
-                    state["generated"].append(state["next_input"])
-                    state["position"] += 1
-                step += 1
-                report.n_steps += 1
-                report.peak_batch = max(report.peak_batch, len(active))
-            # -- retire finished sequences (freeing slots) ---------------
-            finished = [state for state in running if
-                        state["prefilled"] == len(state["prompt"]) and
-                        len(state["generated"]) >= state["request"].decode_len]
-            for state in finished:
-                running.remove(state)
-                for cache in state["caches"]:
-                    cache.release()
-                report.results.append(FunctionalRequestResult(
-                    request=state["request"],
-                    prompt_tokens=state["prompt"],
-                    generated_tokens=state["generated"],
-                    admitted_step=state["admitted_step"],
-                    finished_step=step,
-                    ttft_s=state["ttft_s"],
-                    reused_prefix_tokens=state["reused"],
-                ))
+                report.peak_batch = max(report.peak_batch, outcome.batch)
+                report.spec_proposed_tokens += outcome.spec_proposed
+                report.spec_accepted_tokens += outcome.spec_accepted
+            retired = scheduler.retire_finished()
+            for state in retired:
+                kv.release(state)
+                report.results.append(self._result(state, step))
+            if kv.bounded:
+                kv.check_accounting()  # pool invariant holds after every step
             report.step_latencies_s.append(time.perf_counter() - step_start)
-        if index is not None:
-            index.clear()  # return every snapshot's pages to the pool
+            if on_step is not None:
+                on_step(step)
+            if not (admitted or decision.has_model_work or outcome.decoded
+                    or retired or decision.preempted):
+                raise RuntimeError(
+                    "serving stalled: no admission, prefill, decode, retirement "
+                    "or preemption was possible this step (KV pool too small?)")
+        kv.clear()  # return every radix snapshot's pages to the pool
+        report.n_preemptions = scheduler.n_preemptions
         report.wall_s = time.perf_counter() - start
         report.results.sort(key=lambda r: (r.request.arrival_time_s, r.request.request_id))
         return report

@@ -199,13 +199,27 @@ class RadixPrefixIndex:
             stack.extend(current.children.values())
 
     # -- eviction -------------------------------------------------------
+    def evict_lru(self) -> int:
+        """Evict the least-recently-used entry, releasing its cache forks.
+
+        Returns the evicted entry's depth in tokens (0 when the index is
+        empty).  The serving :class:`~repro.serve.kv_manager.KVSpaceManager`
+        calls this to reclaim snapshot pages under KV-pool pressure before
+        resorting to preempting running sequences.
+        """
+        if self._n_entries == 0:
+            return 0
+        victim_node = min(
+            (node for node in self._iter_nodes() if node.entry is not None),
+            key=lambda node: node.entry.last_used)
+        depth = victim_node.entry.depth
+        self._drop_entry(victim_node)
+        return depth
+
     def _evict_over_budget(self) -> None:
         while (self.max_tokens is not None and self._stored_tokens > self.max_tokens
                and self._n_entries > 0):
-            victim_node = min(
-                (node for node in self._iter_nodes() if node.entry is not None),
-                key=lambda node: node.entry.last_used)
-            self._drop_entry(victim_node)
+            self.evict_lru()
 
     def _iter_nodes(self) -> Iterator[_Node]:
         stack = [self._root]

@@ -1,0 +1,561 @@
+"""Request-lifecycle scheduler with pluggable, registry-resolvable policies.
+
+This is the *policy* layer of the serving core's three-layer split
+(:class:`Scheduler` / :class:`~repro.serve.kv_manager.KVSpaceManager` /
+:class:`~repro.serve.executor.ModelExecutor`).  The scheduler owns every
+request's lifecycle state::
+
+    WAITING -> PREFILL -> DECODE -> FINISHED
+        ^          |         |        (or CANCELLED from any live phase)
+        |          v         v
+        +------ PREEMPTED <--+
+
+and consults a :class:`SchedulingPolicy` — a first-class component registered
+under the ``"policy"`` registry kind (``"fcfs"``, ``"priority:levels=3"``,
+``"sjf"``) — to produce a per-step :class:`ScheduleDecision`: which waiting
+requests to admit, how to split the chunked-prefill token budget, which
+sequences decode this step, and which running victims to preempt when the
+:class:`~repro.serve.kv_manager.KVSpaceManager` reports KV-space pressure.
+
+Preemption is eviction-and-recompute: a victim's pages are released, its
+generated tokens are preserved on its :class:`SequenceState`, and it re-enters
+the waiting queue; on re-admission its *recompute target* (prompt plus all
+generated tokens but the last) is prefilled again and decoding resumes from
+the preserved last token — token-identical to an uninterrupted run for greedy
+decoding over pinned prompts.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry import register, resolve
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.llm.cache import LayerKVCache
+    from repro.llm.speculate import DrafterSession
+    from repro.serve.engine import Request
+    from repro.serve.kv_manager import KVSpaceManager
+
+
+class RequestPhase(Enum):
+    """Lifecycle phase of one serving request."""
+
+    WAITING = "waiting"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+    CANCELLED = "cancelled"
+
+
+@dataclass(eq=False)
+class SequenceState:
+    """Mutable per-request run state (the unit the three layers exchange).
+
+    ``prefill_target`` is the token sequence that must be in the KV cache
+    before decoding: the prompt on a fresh admission, or prompt + all
+    generated tokens but the last when resuming after preemption (the
+    recompute path).  ``resume_next_input`` carries the preserved last
+    generated token across that recompute.
+    """
+
+    request: "Request"
+    prompt: list[int]
+    phase: RequestPhase = RequestPhase.WAITING
+    caches: "list[LayerKVCache] | None" = None
+    generated: list[int] = field(default_factory=list)
+    prefill_target: list[int] = field(default_factory=list)
+    prefilled: int = 0
+    reused: int = 0
+    position: int = 0
+    next_input: int | None = None
+    resume_next_input: int | None = None
+    ttft_s: float = 0.0
+    first_token_step: int = -1
+    admitted_step: int = -1
+    admitted_wall: float = 0.0
+    spec_session: "DrafterSession | None" = None
+    proposals: list[int] = field(default_factory=list)
+    n_preemptions: int = 0
+    #: Logical KV tokens reserved for this sequence (KVSpaceManager-owned).
+    reserved_tokens: int = 0
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.caches is not None and self.prefilled == len(self.prefill_target)
+
+    @property
+    def decode_remaining(self) -> int:
+        return self.request.decode_len - len(self.generated)
+
+    @property
+    def is_live(self) -> bool:
+        return self.phase not in (RequestPhase.FINISHED, RequestPhase.CANCELLED)
+
+    @property
+    def is_running(self) -> bool:
+        return self.phase in (RequestPhase.PREFILL, RequestPhase.DECODE)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Tokens currently held in this sequence's KV caches."""
+        return self.position if self.prefill_done else self.prefilled
+
+
+@dataclass
+class ScheduleDecision:
+    """One step's scheduling outcome, consumed by the ModelExecutor."""
+
+    step: int
+    #: Sequences drafting/decoding this step (pre-prefill decode-ready set).
+    decode_ready: list[SequenceState] = field(default_factory=list)
+    #: Fresh sequences prefilling their whole target in one batched forward.
+    prefill_whole: list[SequenceState] = field(default_factory=list)
+    #: (sequence, chunk_len) pairs for the chunked-prefill scheduler.
+    prefill_chunks: list[tuple[SequenceState, int]] = field(default_factory=list)
+    #: Victims evicted this step to relieve KV-space pressure.
+    preempted: list[SequenceState] = field(default_factory=list)
+
+    @property
+    def has_model_work(self) -> bool:
+        return bool(self.decode_ready or self.prefill_whole or self.prefill_chunks)
+
+
+class SchedulingPolicy(abc.ABC):
+    """Ordering policy for admission, step priority and victim selection.
+
+    ``rank`` maps a sequence to a sortable key: *smaller ranks run first* —
+    they are admitted earlier, their KV growth is protected under memory
+    pressure, and preemption victims are chosen from the *largest* ranks.
+    """
+
+    name: str = "policy"
+
+    #: Whether a waiting request may preempt strictly worse-ranked running
+    #: sequences to claim KV space at admission time (priority traffic).
+    preempts_for_admission: bool = False
+
+    @abc.abstractmethod
+    def rank(self, state: SequenceState):
+        """Sort key; smaller means more entitled to run."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def victim(self, candidates: list[SequenceState]) -> SequenceState | None:
+        """The preemption victim among ``candidates`` (worst rank), if any."""
+        if not candidates:
+            return None
+        return max(candidates, key=self.rank)
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """First-come-first-served: arrival order, ties broken by request id."""
+
+    name = "fcfs"
+
+    def rank(self, state: SequenceState):
+        return (state.request.arrival_time_s, state.request.request_id)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priority classes: level 0 dominates 1 dominates 2 ...
+
+    ``levels`` buckets :attr:`Request.priority` into ``[0, levels)``; within
+    a level, FCFS order applies.  Waiting high-priority requests may preempt
+    strictly lower-priority running sequences to claim KV space.
+    """
+
+    name = "priority"
+    preempts_for_admission = True
+
+    def __init__(self, levels: int = 3) -> None:
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        self.levels = levels
+
+    def rank(self, state: SequenceState):
+        level = min(max(int(state.request.priority), 0), self.levels - 1)
+        return (level, state.request.arrival_time_s, state.request.request_id)
+
+    def describe(self) -> str:
+        return f"priority:levels={self.levels}"
+
+
+class SJFPolicy(SchedulingPolicy):
+    """Shortest predicted job first: smallest remaining work runs first.
+
+    The prediction is the request's declared geometry — remaining decode
+    tokens plus any prompt/recompute tokens still to prefill — with FCFS
+    tie-breaks, so equal-length jobs keep arrival order.
+    """
+
+    name = "sjf"
+
+    def rank(self, state: SequenceState):
+        predicted = state.decode_remaining + max(
+            len(state.prefill_target or state.prompt) - state.prefilled, 0)
+        return (predicted, state.request.arrival_time_s, state.request.request_id)
+
+
+@register("policy", "fcfs", description="first-come-first-served admission order")
+def _build_fcfs() -> SchedulingPolicy:
+    return FCFSPolicy()
+
+
+@register("policy", "priority", description="strict priority classes "
+                                            "(Request.priority, FCFS within a class)")
+def _build_priority(levels: int = 3) -> SchedulingPolicy:
+    return PriorityPolicy(levels=levels)
+
+
+@register("policy", "sjf", description="shortest predicted job first")
+def _build_sjf() -> SchedulingPolicy:
+    return SJFPolicy()
+
+
+def resolve_policy(policy: "SchedulingPolicy | str | None") -> SchedulingPolicy:
+    """Build a policy from a spec string (``None`` means ``"fcfs"``)."""
+    if policy is None:
+        return FCFSPolicy()
+    return resolve("policy", policy)
+
+
+class Scheduler:
+    """Owns request lifecycle state and produces per-step decisions.
+
+    The running set is keyed by request id (an insertion-ordered dict), so
+    membership tests, retirement and cancellation are O(1) instead of the
+    former engine's O(n) list scans; the waiting queue is a rank-keyed heap
+    (O(log n) push/pop with lazy removal of cancelled entries), preserving
+    PR 3's removal of the O(n²) ``pop(0)`` admission cost for every policy.
+    """
+
+    def __init__(self, policy: SchedulingPolicy, max_concurrency: int) -> None:
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        self.policy = policy
+        self.max_concurrency = max_concurrency
+        #: Rank-keyed min-heap of (rank, push-seq, state); ranks include a
+        #: request-id tiebreak so ordering matches a stable policy sort.
+        self._waiting: list[tuple] = []
+        self._push_seq = 0
+        self._n_waiting = 0
+        self.running: dict[str, SequenceState] = {}
+        self.finished: list[SequenceState] = []
+        self.n_preemptions = 0
+        #: Victims preempted since the last plan() call (admission included).
+        self._victims: list[SequenceState] = []
+
+    # -- the waiting queue ----------------------------------------------
+    @property
+    def waiting(self) -> list[SequenceState]:
+        """Live waiting states in policy order (a sorted copy for callers)."""
+        return [entry[2] for entry in sorted(self._waiting)
+                if self._queued(entry[2])]
+
+    @staticmethod
+    def _queued(state: SequenceState) -> bool:
+        return state.phase in (RequestPhase.WAITING, RequestPhase.PREEMPTED)
+
+    def _push_waiting(self, state: SequenceState) -> None:
+        heapq.heappush(self._waiting, (self.policy.rank(state), self._push_seq, state))
+        self._push_seq += 1
+        self._n_waiting += 1
+
+    def _peek_waiting(self) -> SequenceState | None:
+        """The best-ranked live waiting state (drops stale entries lazily)."""
+        while self._waiting and not self._queued(self._waiting[0][2]):
+            heapq.heappop(self._waiting)
+        return self._waiting[0][2] if self._waiting else None
+
+    def _pop_waiting(self) -> SequenceState:
+        self._n_waiting -= 1
+        return heapq.heappop(self._waiting)[2]
+
+    # -- submission ------------------------------------------------------
+    def submit(self, states: list[SequenceState]) -> None:
+        seen = ({entry[2].request_id for entry in self._waiting
+                 if self._queued(entry[2])} | set(self.running))
+        for state in states:
+            if state.request_id in seen:
+                raise ValueError(f"duplicate request_id '{state.request_id}'")
+            seen.add(state.request_id)
+            state.phase = RequestPhase.WAITING
+            self._push_waiting(state)
+
+    def has_work(self) -> bool:
+        return bool(self._n_waiting or self.running)
+
+    # -- admission -------------------------------------------------------
+    def admit(self, step: int, now: float, kv: "KVSpaceManager", *,
+              whole_prefill: bool,
+              on_admit: "Callable[[SequenceState, bool], None]") -> list[SequenceState]:
+        """Fill free continuous-batching slots in policy order.
+
+        In whole-prefill mode the candidate's full target (plus the decode
+        append that follows in the same step) must be reservable up front;
+        in chunked mode admission reserves nothing and chunks grow within
+        free space.  A policy with ``preempts_for_admission`` may evict
+        strictly worse-ranked running sequences to make room.  Admission
+        stops at the first candidate that cannot fit, preserving policy
+        order under memory pressure.
+        """
+        admitted: list[SequenceState] = []
+        while self._n_waiting and len(self.running) < self.max_concurrency:
+            state = self._peek_waiting()
+            if state is None:
+                break
+            resumed = state.phase is RequestPhase.PREEMPTED
+            state.prefill_target = (state.prompt + state.generated[:-1]
+                                    if resumed and state.generated else
+                                    list(state.prompt))
+            need = len(state.prefill_target) + 1 if whole_prefill else 0
+            if need and not self._make_room(state, need, kv, admission=True):
+                break
+            # Admission preemption only evicts strictly worse-ranked victims,
+            # so the candidate is still the heap head after _make_room.
+            self._pop_waiting()
+            state.phase = RequestPhase.PREFILL
+            state.prefilled = 0
+            state.caches = None
+            state.position = len(state.prefill_target)
+            state.resume_next_input = (state.generated[-1]
+                                       if resumed and state.generated else None)
+            first = state.admitted_step < 0
+            if first:
+                state.admitted_step = step
+                state.admitted_wall = now
+            on_admit(state, first)
+            self.running[state.request_id] = state
+            admitted.append(state)
+        return admitted
+
+    def _make_room(self, state: SequenceState, projected: int,
+                   kv: "KVSpaceManager", *, admission: bool = False,
+                   protected: set[str] | None = None) -> bool:
+        """Reserve ``projected`` total tokens for ``state``, evicting victims.
+
+        Victim candidates are running sequences other than ``state`` and any
+        ``protected`` ids; at admission time only policies that opt in may
+        preempt, and only strictly worse-ranked victims.  Returns whether
+        the reservation succeeded.
+        """
+        while not kv.reserve(state, projected):
+            candidates = [s for s in self.running.values() if s is not state
+                          and (protected is None or s.request_id not in protected)]
+            if admission:
+                if not self.policy.preempts_for_admission:
+                    return False
+                rank = self.policy.rank(state)
+                candidates = [s for s in candidates if self.policy.rank(s) > rank]
+            victim = self.policy.victim(candidates)
+            if victim is None:
+                if not admission and not self.running.keys() - {state.request_id}:
+                    raise RuntimeError(
+                        f"request '{state.request_id}' needs {projected} KV tokens "
+                        f"but the pool capacity is {kv.capacity_tokens}; it cannot "
+                        "run even with every other sequence preempted")
+                return False
+            self.preempt(victim, kv)
+        return True
+
+    # -- per-step planning ----------------------------------------------
+    def decode_ready(self) -> list[SequenceState]:
+        """Sequences fully prefilled with decode tokens remaining (run order)."""
+        return [s for s in self.running.values()
+                if s.prefill_done and s.decode_remaining > 0]
+
+    def prefill_pending(self) -> list[SequenceState]:
+        """Sequences with caches resolved but unprefilled tokens (run order)."""
+        return [s for s in self.running.values()
+                if s.caches is not None and s.prefilled < len(s.prefill_target)]
+
+    def plan(self, step: int, kv: "KVSpaceManager", *, token_budget: int | None,
+             spec_on: bool, chunkable: bool) -> ScheduleDecision:
+        """Produce this step's :class:`ScheduleDecision`.
+
+        Reproduces the pre-refactor budget discipline exactly: decode (and
+        speculative verify) tokens are charged against ``token_budget``
+        first, and only the leftover budget is spent on prompt chunks.
+        Under a bounded KV pool, growth is granted in policy-rank order and
+        worst-ranked victims are preempted to make room.
+        """
+        decision = ScheduleDecision(step=step)
+        decision.decode_ready = self.decode_ready()
+        decode_charge = len(decision.decode_ready)
+        if spec_on:
+            budget_left = (None if token_budget is None
+                           else token_budget - len(decision.decode_ready))
+            for state in decision.decode_ready:
+                cap = state.decode_remaining - 1
+                if budget_left is not None:
+                    cap = min(cap, budget_left)
+                state.proposals = (state.spec_session.propose(
+                    state.prompt + state.generated, max_tokens=cap)
+                    if cap > 0 else [])
+                decode_charge += len(state.proposals)
+                if budget_left is not None:
+                    budget_left -= len(state.proposals)
+        # Whole-target batched prefill: fresh sequences without chunk support
+        # or running without a token budget.
+        decision.prefill_whole = [
+            s for s in self.running.values()
+            if s.caches is not None and s.prefilled == 0 and s.next_input is None
+            and (not chunkable or token_budget is None)]
+        if kv.bounded:
+            self._grant_growth(decision, kv)
+        whole_ids = {id(s) for s in decision.prefill_whole}
+        # Chunked prefill: decode keeps strict priority over prompt chunks.
+        pending = self.prefill_pending()
+        if pending:
+            budget = (None if token_budget is None
+                      else max(0, token_budget - decode_charge))
+            for state in pending:
+                if id(state) in whole_ids:
+                    continue
+                remaining = len(state.prefill_target) - state.prefilled
+                chunk = remaining if budget is None else min(budget, remaining)
+                if chunk <= 0:
+                    break  # budget exhausted: later pending sequences wait
+                if kv.bounded:
+                    growth = kv.max_growth(state)
+                    if growth < chunk + 1:
+                        # Radix snapshots may be hoarding the free space (the
+                        # +1 covers a completing chunk's same-step decode).
+                        kv.reclaim(chunk + 1)
+                        growth = kv.max_growth(state)
+                    chunk = min(chunk, growth)
+                    if (chunk > 0 and chunk + 1 > growth
+                            and state.prefilled + chunk == len(state.prefill_target)):
+                        # A chunk that completes the target decodes this same
+                        # step; without room for that append, stop one short.
+                        chunk -= 1
+                    if chunk <= 0:
+                        continue  # KV pressure: retry once space frees up
+                    need = state.prefilled + chunk
+                    if need == len(state.prefill_target):
+                        need += 1  # the same-step decode append
+                    if not kv.reserve(state, need):
+                        continue  # page-rounding edge: wait for space instead
+                decision.prefill_chunks.append((state, chunk))
+                if budget is not None:
+                    budget -= chunk
+        stalled = self._n_waiting or any(
+            s.caches is None or s.prefilled < len(s.prefill_target)
+            for s in self.running.values())
+        if (kv.bounded and not decision.has_model_work and stalled
+                and len(self.running) > 1):
+            # Nothing runnable but live work exists: relieve the pressure by
+            # evicting the worst-ranked running sequence so the best one can
+            # make progress next step.  A lone running sequence is never its
+            # own victim — that would livelock; footprint validation at
+            # submission guarantees it can fit once everything else is gone,
+            # so the engine's stall guard covers the residue.
+            victim = self.policy.victim(list(self.running.values()))
+            if victim is not None:
+                self.preempt(victim, kv)
+        # Victims accumulated since the last plan() — admission-time evictions
+        # included — are handed over in one place.
+        decision.preempted, self._victims = self._victims, []
+        return decision
+
+    def _grant_growth(self, decision: ScheduleDecision, kv: "KVSpaceManager") -> None:
+        """Reserve rigid KV growth in policy-rank order, evicting victims.
+
+        Rigid growers — decode/verify appends and whole-target prefills —
+        must fit in full; a grower that cannot fit even after every
+        unprotected victim is evicted is itself preempted (recompute later
+        is always correct).  Chunked prefills are flexible (their chunk
+        shrinks to the free space) and are handled by the caller.
+        """
+        granted: set[str] = set()
+        rigid = [(s, s.position + 1 + len(s.proposals)) for s in decision.decode_ready]
+        rigid += [(s, len(s.prefill_target) + 1) for s in decision.prefill_whole]
+        for state, projected in sorted(rigid, key=lambda item: self.policy.rank(item[0])):
+            if not state.is_running:
+                continue  # already evicted as an earlier grower's victim
+            if self._make_room(state, projected, kv, protected=granted):
+                granted.add(state.request_id)
+            else:
+                self.preempt(state, kv)
+        decision.decode_ready = [s for s in decision.decode_ready if s.is_running]
+        decision.prefill_whole = [s for s in decision.prefill_whole if s.is_running]
+
+    # -- lifecycle transitions ------------------------------------------
+    def preempt(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Evict a running sequence: release its KV space, preserve tokens."""
+        kv.release(state)
+        self.running.pop(state.request_id, None)
+        state.phase = RequestPhase.PREEMPTED
+        state.caches = None
+        state.prefilled = 0
+        state.next_input = None
+        state.resume_next_input = None
+        state.proposals = []
+        state.spec_session = None
+        state.n_preemptions += 1
+        self.n_preemptions += 1
+        self._victims.append(state)
+        self._push_waiting(state)
+
+    def retire_finished(self) -> list[SequenceState]:
+        """Move fully-decoded sequences out of the running set (run order)."""
+        done = [s for s in self.running.values()
+                if s.prefill_done and s.decode_remaining <= 0]
+        for state in done:
+            self.running.pop(state.request_id)
+            state.phase = RequestPhase.FINISHED
+            self.finished.append(state)
+        return done
+
+    def cancel(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Cancel a waiting or running request, releasing any KV space."""
+        if not state.is_live:
+            return
+        if state.request_id in self.running:
+            kv.release(state)
+            self.running.pop(state.request_id)
+        else:
+            self._n_waiting -= 1  # heap entry is dropped lazily on peek
+        state.phase = RequestPhase.CANCELLED
+        state.caches = None
+        state.spec_session = None
+        self.finished.append(state)
+
+    def live_states(self) -> list[SequenceState]:
+        """Every waiting (unsorted) and running state — membership sweeps
+        (e.g. cancellation checks) that don't care about policy order."""
+        return ([entry[2] for entry in self._waiting if self._queued(entry[2])]
+                + list(self.running.values()))
+
+    def find(self, request_id: str) -> SequenceState | None:
+        state = self.running.get(request_id)
+        if state is not None:
+            return state
+        for entry in self._waiting:
+            if self._queued(entry[2]) and entry[2].request_id == request_id:
+                return entry[2]
+        return None
+
+
+__all__ = [
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "RequestPhase",
+    "SJFPolicy",
+    "ScheduleDecision",
+    "SchedulingPolicy",
+    "Scheduler",
+    "SequenceState",
+    "resolve_policy",
+]

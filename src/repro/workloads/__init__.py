@@ -21,9 +21,11 @@ from repro.workloads.datasets import (
 from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task, make_recall_task
 from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
 from repro.workloads.serving import (
+    bursty_requests,
     multi_turn_requests,
     repetitive_requests,
     shared_prefix_requests,
+    tiered_requests,
 )
 
 __all__ = [
@@ -40,7 +42,9 @@ __all__ = [
     "WorkloadTrace",
     "PAPER_TRACES",
     "trace_for_dataset",
+    "bursty_requests",
     "multi_turn_requests",
     "repetitive_requests",
     "shared_prefix_requests",
+    "tiered_requests",
 ]

@@ -11,11 +11,18 @@ prefixes.  Two generators cover the canonical scenarios:
   turn's prefill can reuse the whole preceding conversation;
 * :func:`repetitive_requests` — templated/JSON-like token streams whose
   recent context recurs verbatim earlier in the prompt, the high-acceptance
-  regime for prompt-lookup (n-gram) speculative decoding.
+  regime for prompt-lookup (n-gram) speculative decoding;
+* :func:`bursty_requests` — Poisson bursts of near-simultaneous arrivals
+  sized to overflow a small bounded :class:`~repro.core.kv_pool.KVPagePool`,
+  the preemption(eviction-and-recompute) stress pattern;
+* :func:`tiered_requests` — mixed :attr:`repro.serve.Request.priority`
+  levels, the traffic the ``"priority"`` scheduling policy separates.
 
 All return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
 deterministic in ``seed``, with Poisson-ish arrival spacing so admission
-order interleaves the groups/conversations.
+order interleaves the groups/conversations.  Prompts are *pinned* (not
+synthesised at admission), which keeps outputs token-identical across
+scheduling policies and preemption schedules.
 """
 
 from __future__ import annotations
@@ -120,6 +127,86 @@ def repetitive_requests(n_requests: int, template_len: int, n_repeats: int,
             prompt_len=int(prompt.size),
             decode_len=decode_len,
             prompt_tokens=tuple(int(t) for t in prompt),
+        ))
+    return requests
+
+
+def bursty_requests(n_bursts: int, burst_size: int, prompt_len: int,
+                    decode_len: int, vocab_size: int, burst_gap_s: float = 5.0,
+                    burst_rate_rps: float = 200.0, length_jitter: float = 0.3,
+                    seed: int = 0) -> list[Request]:
+    """Bursts of near-simultaneous requests that oversubscribe a small KV pool.
+
+    ``n_bursts`` bursts arrive ``burst_gap_s`` apart; within a burst,
+    ``burst_size`` requests arrive Poisson at the (high) ``burst_rate_rps``,
+    so a whole burst lands on the engine essentially at once.  Prompt and
+    decode lengths jitter by ``length_jitter`` so footprints are mixed.
+
+    Sizing a bounded pool for preemption: one request's peak KV footprint is
+    ``prompt_len + decode_len`` tokens (per layer), so a pool holding about
+    ``burst_size * (prompt_len + decode_len) // 2`` tokens runs the burst at
+    2x oversubscription — the engine must preempt-and-recompute to finish.
+    """
+    if n_bursts <= 0 or burst_size <= 0:
+        raise ValueError("n_bursts and burst_size must be positive")
+    if prompt_len <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prompt_len/decode_len must be positive and vocab_size > 1")
+    if burst_gap_s <= 0 or burst_rate_rps <= 0:
+        raise ValueError("burst_gap_s and burst_rate_rps must be positive")
+    if not 0.0 <= length_jitter < 1.0:
+        raise ValueError("length_jitter must lie in [0, 1)")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "bursty-requests")
+    requests = []
+    for burst in range(n_bursts):
+        offsets = np.cumsum(rng.exponential(1.0 / burst_rate_rps, size=burst_size))
+        for index, offset in enumerate(offsets):
+            if length_jitter > 0:
+                low, high = 1.0 - length_jitter, 1.0 + length_jitter
+                prompt = max(1, int(round(prompt_len * rng.uniform(low, high))))
+                decode = max(1, int(round(decode_len * rng.uniform(low, high))))
+            else:
+                prompt, decode = prompt_len, decode_len
+            tokens = rng.integers(0, vocab_size, size=prompt)
+            requests.append(request_cls(
+                request_id=f"b{burst}r{index}",
+                arrival_time_s=float(burst * burst_gap_s + offset),
+                prompt_len=prompt,
+                decode_len=decode,
+                prompt_tokens=tuple(int(t) for t in tokens),
+            ))
+    return requests
+
+
+def tiered_requests(n_requests: int, levels: int = 3, prompt_len: int = 64,
+                    decode_len: int = 32, vocab_size: int = 128,
+                    rate_rps: float = 100.0, seed: int = 0) -> list[Request]:
+    """Mixed-priority traffic for the ``"priority"`` scheduling policy.
+
+    Priorities cycle through ``[0, levels)`` (0 is the most important), so
+    every level sees the same arrival pattern and geometry — any TTFT gap
+    between levels is pure scheduling policy, not workload skew.
+    """
+    if n_requests <= 0 or levels <= 0:
+        raise ValueError("n_requests and levels must be positive")
+    if prompt_len <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prompt_len/decode_len must be positive and vocab_size > 1")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "tiered-requests")
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=n_requests))
+    requests = []
+    for index in range(n_requests):
+        level = index % levels
+        tokens = rng.integers(0, vocab_size, size=prompt_len)
+        requests.append(request_cls(
+            request_id=f"p{level}r{index}",
+            arrival_time_s=float(arrivals[index]),
+            prompt_len=prompt_len,
+            decode_len=decode_len,
+            prompt_tokens=tuple(int(t) for t in tokens),
+            priority=level,
         ))
     return requests
 
