@@ -1,0 +1,248 @@
+"""Cluster benchmark: routing policy head-to-heads and failure recovery.
+
+Exercises the multi-replica :class:`~repro.serve.cluster.ClusterEngine` in
+the three regimes the router registry exists for, and writes
+``BENCH_cluster.json``:
+
+* ``shared_prefix`` — Zipf-popularity shared-prefix traffic (long template
+  prefixes, short suffixes, prefill-dominated) on 4 replicas with per-replica
+  radix prefix caches.  ``radix-affinity`` keeps each template hot on one
+  replica; popularity-blind routing re-prefills it everywhere.  Guarded:
+  the cluster tokens/s speedup of radix-affinity over least-loaded (both
+  measured on the simulated parallel makespan, so the ratio is portable)
+  and the deterministic prefix-reuse-fraction ratio.
+* ``skewed`` — lognormally skewed decode lengths.  ``least-loaded`` balances
+  outstanding *tokens*; ``round-robin`` balances request counts and parks
+  short requests behind giants.  Guarded: the deterministic lockstep-round
+  speedup (round-robin rounds / least-loaded rounds).
+* ``failure`` — one of 4 replicas is killed mid-run; its in-flight requests
+  drain back through the router and must all complete on the survivors,
+  token-identical to a healthy run.  Guarded: completed fraction (1.0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py            # full run
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick    # CI smoke
+
+The committed ``benchmarks/BENCH_cluster_baseline.json`` pins the guarded
+metrics (its ``guarded`` key); CI runs ``check_bench_regression.py`` against
+it and fails on a >20% drop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.llm.config import tiny_config
+from repro.llm.model import DecoderLM
+from repro.serve import ClusterEngine
+from repro.workloads import zipf_shared_prefix_requests
+
+
+def _bench_model(max_seq_len: int) -> DecoderLM:
+    config = tiny_config("bench-cluster", n_layers=4, d_model=64, n_heads=4,
+                         d_ff=128, vocab_size=128, max_seq_len=max_seq_len)
+    return DecoderLM(config, seed=0)
+
+
+def _metrics(report) -> dict:
+    return {
+        "decode_tokens_per_s": report.decode_tokens_per_s,
+        "parallel_wall_s": report.parallel_wall_s,
+        "wall_s": report.wall_s,
+        "cluster_steps": report.cluster_steps,
+        "completed_fraction": report.completed_fraction,
+        "reused_prefix_tokens": report.reused_prefix_tokens,
+        "total_prompt_tokens": report.total_prompt_tokens,
+        "reuse_fraction": (report.reused_prefix_tokens
+                           / max(report.total_prompt_tokens, 1)),
+        "load_imbalance": report.load_imbalance,
+        "mean_ttft_s": report.mean_ttft_s,
+        "p99_ttft_s": report.ttft_percentile_s(99),
+        "p50_step_s": report.step_latency_percentile_s(50),
+        "p99_step_s": report.step_latency_percentile_s(99),
+        "n_requeued": report.n_requeued,
+        "per_replica_decode_tokens": report.per_replica_decode_tokens,
+    }
+
+
+def _tokens(report) -> dict:
+    return {r.request.request_id: tuple(r.generated_tokens)
+            for r in report.results}
+
+
+def run_benchmark(quick: bool, repeats: int) -> dict:
+    if quick:
+        n_replicas, concurrency = 4, 2
+        n_requests, n_templates = 24, 6
+        prefix_len, suffix_len, decode_len = 256, 4, 4
+        skew_requests, skew_decode, skew_sigma = 16, 8, 1.0
+        skew_concurrency, skew_arrivals = 2, 2
+    else:
+        n_replicas, concurrency = 4, 4
+        n_requests, n_templates = 64, 8
+        prefix_len, suffix_len, decode_len = 256, 4, 6
+        skew_requests, skew_decode, skew_sigma = 40, 16, 1.5
+        skew_concurrency, skew_arrivals = 1, 4
+
+    lm = _bench_model(max_seq_len=2 * (prefix_len + suffix_len + 4 * skew_decode + 64))
+    vocab = lm.config.vocab_size
+    page_cache = "paged:page_tokens=16"
+
+    def cluster(router, **kwargs):
+        merged = dict(router=router, max_concurrency=concurrency, seed=0)
+        merged.update(kwargs)
+        return ClusterEngine(n_replicas, **merged)
+
+    def best(router, requests, **kwargs):
+        top = None
+        for _ in range(repeats):
+            report = cluster(router, **kwargs).run(lm, requests)
+            if top is None or report.decode_tokens_per_s > top.decode_tokens_per_s:
+                top = report
+        return top
+
+    # -- regime 1: shared-prefix traffic, affinity vs blind routing -----
+    shared = zipf_shared_prefix_requests(
+        n_requests=n_requests, n_templates=n_templates, prefix_len=prefix_len,
+        suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab,
+        alpha=1.1, seed=0)
+    # Two arrivals per lockstep round: enough inter-arrival spacing that a
+    # replica's radix cache is warm before the next instance of a template
+    # lands (a closed-loop flood would cold-prefill simultaneous admissions).
+    radix_kwargs = dict(cache=page_cache, prefix_cache=True,
+                        arrivals_per_step=2)
+    affinity = best(f"radix-affinity:threshold={prefix_len // 4}", shared,
+                    **radix_kwargs)
+    least_loaded = best("least-loaded", shared, **radix_kwargs)
+    round_robin = best("round-robin", shared, **radix_kwargs)
+    assert _tokens(affinity) == _tokens(least_loaded) == _tokens(round_robin), \
+        "routing changed decoded tokens"
+    shared_prefix = {
+        "radix_affinity": _metrics(affinity),
+        "least_loaded": _metrics(least_loaded),
+        "round_robin": _metrics(round_robin),
+        "completed_fraction": min(affinity.completed_fraction,
+                                  least_loaded.completed_fraction,
+                                  round_robin.completed_fraction),
+        "speedup_affinity_vs_least_loaded": (
+            affinity.decode_tokens_per_s
+            / max(least_loaded.decode_tokens_per_s, 1e-9)),
+        "speedup_affinity_vs_round_robin": (
+            affinity.decode_tokens_per_s
+            / max(round_robin.decode_tokens_per_s, 1e-9)),
+        # Deterministic companion to the timing speedup: how much more of the
+        # prompt stream affinity served from replica radix caches.
+        "reuse_ratio_affinity_vs_least_loaded": (
+            _metrics(affinity)["reuse_fraction"]
+            / max(_metrics(least_loaded)["reuse_fraction"], 1e-9)),
+    }
+
+    # -- regime 2: skewed decode lengths, least-loaded vs round-robin ---
+    skewed = zipf_shared_prefix_requests(
+        n_requests=skew_requests, n_templates=4, prefix_len=16, suffix_len=4,
+        decode_len=skew_decode, vocab_size=vocab, alpha=1.1,
+        decode_sigma=skew_sigma, seed=1)
+    # Low concurrency keeps replicas queue-limited: with deep per-replica
+    # parallelism the single longest request bounds every router equally and
+    # placement stops mattering.
+    ll_skew = best("least-loaded", skewed, arrivals_per_step=skew_arrivals,
+                   max_concurrency=skew_concurrency)
+    rr_skew = best("round-robin", skewed, arrivals_per_step=skew_arrivals,
+                   max_concurrency=skew_concurrency)
+    assert _tokens(ll_skew) == _tokens(rr_skew), "routing changed decoded tokens"
+    skewed_regime = {
+        "least_loaded": _metrics(ll_skew),
+        "round_robin": _metrics(rr_skew),
+        "completed_fraction": min(ll_skew.completed_fraction,
+                                  rr_skew.completed_fraction),
+        # Deterministic: lockstep rounds to drain the trace do not depend on
+        # the host machine.
+        "round_speedup_least_loaded_vs_round_robin": (
+            rr_skew.cluster_steps / max(ll_skew.cluster_steps, 1)),
+        "speedup_least_loaded_vs_round_robin": (
+            ll_skew.decode_tokens_per_s
+            / max(rr_skew.decode_tokens_per_s, 1e-9)),
+    }
+
+    # -- regime 3: replica failure mid-run ------------------------------
+    healthy = cluster("least-loaded", **radix_kwargs).run(lm, shared)
+    failing = cluster("least-loaded", **radix_kwargs)
+    failing.fail_replica(1, at_step=max(2, healthy.cluster_steps // 3))
+    failed = failing.run(lm, shared)
+    assert _tokens(failed) == _tokens(healthy), \
+        "failure drain changed decoded tokens"
+    failure = {
+        "healthy": _metrics(healthy),
+        "failed": _metrics(failed),
+        "failed_replicas": failed.failed_replicas,
+        "n_requeued": failed.n_requeued,
+        "completed_fraction": failed.completed_fraction,
+        "throughput_retained": (failed.decode_tokens_per_s
+                                / max(healthy.decode_tokens_per_s, 1e-9)),
+    }
+
+    results = {
+        "config": {
+            "model": lm.config.name, "n_layers": lm.config.n_layers,
+            "n_replicas": n_replicas, "max_concurrency": concurrency,
+            "repeats": repeats, "quick": quick,
+            "shared_prefix": {"n_requests": n_requests,
+                              "n_templates": n_templates,
+                              "prefix_len": prefix_len,
+                              "suffix_len": suffix_len,
+                              "decode_len": decode_len},
+            "skewed": {"n_requests": skew_requests,
+                       "decode_len": skew_decode, "decode_sigma": skew_sigma,
+                       "max_concurrency": skew_concurrency,
+                       "arrivals_per_step": skew_arrivals},
+        },
+        "shared_prefix": shared_prefix,
+        "skewed": skewed_regime,
+        "failure": failure,
+        # Ratio/deterministic metrics only; absolute tokens/s stay unguarded.
+        "guarded": [["shared_prefix", "speedup_affinity_vs_least_loaded"],
+                    ["shared_prefix", "reuse_ratio_affinity_vs_least_loaded"],
+                    ["shared_prefix", "completed_fraction"],
+                    ["skewed", "round_speedup_least_loaded_vs_round_robin"],
+                    ["skewed", "completed_fraction"],
+                    ["failure", "completed_fraction"]],
+    }
+
+    print(f"shared_prefix: affinity {affinity.decode_tokens_per_s:8.1f} tok/s "
+          f"({shared_prefix['speedup_affinity_vs_least_loaded']:.2f}x of "
+          f"least-loaded, {shared_prefix['speedup_affinity_vs_round_robin']:.2f}x "
+          f"of round-robin) | reuse "
+          f"{_metrics(affinity)['reuse_fraction']:.0%} vs "
+          f"{_metrics(least_loaded)['reuse_fraction']:.0%}")
+    print(f"skewed       : least-loaded {ll_skew.cluster_steps} rounds vs "
+          f"round-robin {rr_skew.cluster_steps} "
+          f"({skewed_regime['round_speedup_least_loaded_vs_round_robin']:.2f}x) | "
+          f"imbalance {ll_skew.load_imbalance:.2f}x vs "
+          f"{rr_skew.load_imbalance:.2f}x")
+    print(f"failure      : replica 1 killed, {failed.n_requeued} requests "
+          f"re-routed | completed {failure['completed_fraction']:.0%} | "
+          f"{failure['throughput_retained']:.2f}x healthy throughput")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_cluster.json"))
+    args = parser.parse_args()
+    if args.quick and args.repeats > 2:
+        args.repeats = 2
+
+    results = run_benchmark(args.quick, args.repeats)
+    args.out.write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,7 +56,8 @@ from repro.registry import RegistryError, known, known_kinds, resolve
 #: Top-level names served lazily from repro.serve (PEP 562), so that plain
 #: ``import repro`` stays light and component modules keep loading on first
 #: resolve() as the registry documents.
-_SERVE_EXPORTS = ("Request", "RequestResult", "ServingEngine", "ServingReport", "simulate")
+_SERVE_EXPORTS = ("ClusterEngine", "ClusterReport", "Request", "RequestResult",
+                  "ServingEngine", "ServingReport", "simulate")
 
 
 def __getattr__(name: str):
@@ -73,6 +74,8 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "__version__",
+    "ClusterEngine",
+    "ClusterReport",
     "RegistryError",
     "Request",
     "RequestResult",

@@ -209,6 +209,7 @@ _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
               "repro.baselines.eviction", "repro.baselines.quant_kv"),
     "drafter": ("repro.llm.speculate",),
     "policy": ("repro.serve.scheduler",),
+    "router": ("repro.serve.cluster",),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),
     "accelerator": ("repro.baselines.accelerators",),

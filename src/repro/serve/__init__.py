@@ -23,9 +23,22 @@ analytical :class:`ServingEngine.run` queueing model and the spec-driven
 prefixes to forked KV cache state.
 """
 
+from repro.serve.cluster import (
+    ClusterEngine,
+    ClusterReport,
+    LeastLoadedRouter,
+    PrefixDigest,
+    RadixAffinityRouter,
+    ReplicaView,
+    RoundRobinRouter,
+    Router,
+    resolve_router,
+)
 from repro.serve.engine import (
     FunctionalRequestResult,
     FunctionalServingReport,
+    FunctionalSession,
+    LoadSnapshot,
     Request,
     RequestResult,
     ServingEngine,
@@ -49,17 +62,27 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "ClusterEngine",
+    "ClusterReport",
     "FCFSPolicy",
     "FunctionalRequestResult",
     "FunctionalServingReport",
+    "FunctionalSession",
     "KVSpaceManager",
+    "LeastLoadedRouter",
+    "LoadSnapshot",
     "ModelExecutor",
+    "PrefixDigest",
     "PrefixEntry",
     "PriorityPolicy",
+    "RadixAffinityRouter",
     "RadixPrefixIndex",
+    "ReplicaView",
     "Request",
     "RequestPhase",
     "RequestResult",
+    "RoundRobinRouter",
+    "Router",
     "SJFPolicy",
     "ScheduleDecision",
     "SchedulingPolicy",
@@ -71,5 +94,6 @@ __all__ = [
     "TokenEvent",
     "poisson_requests",
     "resolve_policy",
+    "resolve_router",
     "simulate",
 ]

@@ -1,0 +1,581 @@
+"""Multi-replica cluster serving with cache-aware routing and failure handling.
+
+The layer *above* the single-node engine: a :class:`ClusterEngine` owns N
+independent :class:`~repro.serve.engine.ServingEngine` replicas — each with
+its own KV pool and radix prefix index — and drives them step-by-step in
+lockstep rounds from a shared arrival queue.  Three pieces make it a cluster
+rather than N engines:
+
+* **Routing** — a new ``"router"`` registry kind decides which replica serves
+  each arriving request.  ``round-robin`` cycles replicas, ``least-loaded``
+  picks the lowest in-flight token pressure (queue depth as tiebreak), and
+  ``radix-affinity`` sends a request to the replica whose *prefix digest*
+  holds the longest match for its prompt — cache-affinity placement in the
+  spirit of Icarus-style per-node request routing — falling back to
+  least-loaded below a match threshold.  Routers see only
+  :class:`ReplicaView` objects (replica id + a
+  :class:`~repro.serve.engine.LoadSnapshot`); the affinity router maintains
+  its own lightweight per-replica :class:`PrefixDigest` of routed prompts,
+  so no router ever reaches into engine internals.
+
+* **Failure handling** — :meth:`ClusterEngine.fail_replica` kills a replica
+  at a chosen cluster step.  Its in-flight requests (waiting *and* running)
+  are drained back to the arrival queue and re-routed to survivors; a
+  request that already generated tokens resumes by eviction-and-recompute
+  (re-prefill prompt + generated tokens), exactly the single-node preemption
+  semantics, so completion stays 100% under single-replica failure.
+
+* **Cluster metrics** — a :class:`ClusterReport` aggregates per-replica and
+  cluster-wide outcomes: TTFT, p50/p99 step latency, per-replica load
+  imbalance, radix-reuse tokens, requeue counts, and a *simulated parallel
+  makespan* (``parallel_wall_s``): replicas run sequentially in-process, so
+  each lockstep round contributes the maximum of its replicas' measured
+  step latencies — the wall time a truly parallel cluster would take.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.registry import register, resolve
+from repro.serve.engine import (
+    FunctionalRequestResult,
+    FunctionalServingReport,
+    LoadSnapshot,
+    Request,
+    ServingEngine,
+    _percentiles_from_sorted,
+)
+from repro.serve.radix import RadixPrefixIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.llm.cache import KVCacheFactory
+    from repro.llm.model import DecoderLM
+    from repro.llm.speculate import Drafter
+    from repro.serve.engine import FunctionalSession
+    from repro.serve.scheduler import SchedulingPolicy, SequenceState
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """What a router may see of one replica: its identity and load only."""
+
+    replica_id: int
+    load: LoadSnapshot
+
+
+class PrefixDigest:
+    """Token-only radix digest of the prompts routed to one replica.
+
+    A :class:`~repro.serve.radix.RadixPrefixIndex` carrying no KV payloads:
+    the router observes every prompt it routes and later asks for the
+    longest stored prefix match — a cheap router-side proxy for the
+    replica's real radix cache (which the router must not touch, and whose
+    contents lag routing anyway: a routed prompt is only cached once its
+    prefill completes).  ``max_tokens`` bounds the digest with LRU eviction,
+    mirroring the replica-side budget.
+    """
+
+    def __init__(self, max_tokens: int | None = None) -> None:
+        self._index = RadixPrefixIndex(max_tokens=max_tokens)
+
+    def observe(self, tokens: Sequence[int]) -> None:
+        """Record one routed prompt (duplicates refresh recency)."""
+        if len(tokens):
+            self._index.insert(tokens, [])
+
+    def longest_match_len(self, tokens: Sequence[int]) -> int:
+        """Longest recorded prefix of ``tokens`` (read-only on stats)."""
+        return self._index.longest_match_len(tokens)
+
+    @property
+    def n_prompts(self) -> int:
+        return self._index.n_entries
+
+    @property
+    def stored_tokens(self) -> int:
+        return self._index.stored_tokens
+
+
+# ----------------------------------------------------------------------
+# Routers (the "router" registry kind)
+# ----------------------------------------------------------------------
+class Router(abc.ABC):
+    """Routing policy: pick the replica that serves one arriving request.
+
+    :meth:`route` sees the request and a :class:`ReplicaView` per *alive*
+    replica and returns the chosen ``replica_id``; any internal state (turn
+    counters, prefix digests) is the router's own.  :meth:`forget` tells the
+    router a replica died, so per-replica state can be dropped.
+    """
+
+    name: str = "router"
+
+    @abc.abstractmethod
+    def route(self, request: Request, views: list[ReplicaView]) -> int:
+        """The ``replica_id`` (from ``views``) that should serve ``request``."""
+
+    def forget(self, replica_id: int) -> None:
+        """Drop any per-replica state for a dead replica (default: none)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class RoundRobinRouter(Router):
+    """Cycle the alive replicas in order, ignoring load and content."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def route(self, request: Request, views: list[ReplicaView]) -> int:
+        view = views[self._turn % len(views)]
+        self._turn += 1
+        return view.replica_id
+
+
+class LeastLoadedRouter(Router):
+    """Lowest in-flight token pressure wins; queue depth breaks ties.
+
+    Pressure is the replica's outstanding work in tokens (prompt tokens not
+    yet prefilled + decode tokens not yet generated, queued requests
+    included), the EPLB-style balancing signal; replica id is the final
+    deterministic tiebreak.
+    """
+
+    name = "least-loaded"
+
+    @staticmethod
+    def pressure(view: ReplicaView) -> tuple:
+        return (view.load.inflight_tokens, view.load.n_live, view.replica_id)
+
+    def route(self, request: Request, views: list[ReplicaView]) -> int:
+        return min(views, key=self.pressure).replica_id
+
+
+class RadixAffinityRouter(Router):
+    """Route to the replica whose prefix digest best matches the prompt.
+
+    Each routed prompt is recorded in the chosen replica's
+    :class:`PrefixDigest`; a new request goes to the replica with the
+    longest digest match for its prompt **if** that match reaches
+    ``threshold`` tokens (ties broken by load), otherwise — and for requests
+    without pinned prompt tokens — it falls back to least-loaded routing.
+    ``digest_tokens`` bounds each per-replica digest (LRU).
+    """
+
+    name = "radix-affinity"
+
+    def __init__(self, threshold: int = 16,
+                 digest_tokens: int | None = None) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.digest_tokens = digest_tokens
+        self._digests: dict[int, PrefixDigest] = {}
+        self._fallback = LeastLoadedRouter()
+
+    def digest(self, replica_id: int) -> PrefixDigest:
+        """The (lazily-created) digest of one replica's routed prompts."""
+        if replica_id not in self._digests:
+            self._digests[replica_id] = PrefixDigest(max_tokens=self.digest_tokens)
+        return self._digests[replica_id]
+
+    def route(self, request: Request, views: list[ReplicaView]) -> int:
+        prompt = request.prompt_tokens
+        chosen: int | None = None
+        if prompt:
+            matches = {view.replica_id: self.digest(view.replica_id)
+                       .longest_match_len(prompt) for view in views}
+            best = max(matches.values())
+            if best >= self.threshold:
+                tied = [v for v in views if matches[v.replica_id] == best]
+                chosen = min(tied, key=LeastLoadedRouter.pressure).replica_id
+        if chosen is None:
+            chosen = self._fallback.route(request, views)
+        if prompt:
+            self.digest(chosen).observe(prompt)
+        return chosen
+
+    def forget(self, replica_id: int) -> None:
+        self._digests.pop(replica_id, None)
+
+    def describe(self) -> str:
+        return f"radix-affinity:threshold={self.threshold}"
+
+
+@register("router", "round-robin", "rr",
+          description="cycle alive replicas in order")
+def _build_round_robin() -> Router:
+    return RoundRobinRouter()
+
+
+@register("router", "least-loaded",
+          description="lowest in-flight token pressure (queue depth tiebreak)")
+def _build_least_loaded() -> Router:
+    return LeastLoadedRouter()
+
+
+@register("router", "radix-affinity",
+          description="longest prompt-prefix digest match above a threshold, "
+                      "least-loaded fallback")
+def _build_radix_affinity(threshold: int = 16,
+                          digest_tokens: int | None = None) -> Router:
+    return RadixAffinityRouter(threshold=threshold, digest_tokens=digest_tokens)
+
+
+def resolve_router(router: "Router | str | None") -> Router:
+    """Build a router from a spec string (``None`` means ``"round-robin"``)."""
+    if router is None:
+        return RoundRobinRouter()
+    return resolve("router", router)
+
+
+# ----------------------------------------------------------------------
+# Cluster report
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one :meth:`ClusterEngine.run` call.
+
+    ``replica_reports`` holds each replica's own
+    :class:`~repro.serve.engine.FunctionalServingReport` (a failed replica's
+    report contains only the requests it finished before dying); cluster-wide
+    views pool them.  ``parallel_wall_s`` is the simulated parallel makespan:
+    per lockstep round, the maximum of the stepping replicas' measured wall
+    latencies — what a cluster with truly concurrent replicas would take —
+    and is the denominator of :attr:`decode_tokens_per_s`.
+    """
+
+    router: str
+    n_replicas: int
+    max_concurrency: int
+    replica_reports: list[FunctionalServingReport] = field(default_factory=list)
+    #: request_id -> replica that (last) served it.
+    assignments: dict[str, int] = field(default_factory=dict)
+    #: request_id -> times the request was drained and re-routed.
+    requeues: dict[str, int] = field(default_factory=dict)
+    failed_replicas: list[int] = field(default_factory=list)
+    #: Lockstep rounds until every replica drained its work.
+    cluster_steps: int = 0
+    #: Sequential in-process wall time of the whole run.
+    wall_s: float = 0.0
+    #: Simulated parallel makespan (sum over rounds of the slowest step).
+    parallel_wall_s: float = 0.0
+
+    # -- pooled views ----------------------------------------------------
+    @property
+    def results(self) -> list[FunctionalRequestResult]:
+        """Every request's result, pooled across replicas, arrival-ordered."""
+        pooled = [r for report in self.replica_reports for r in report.results]
+        pooled.sort(key=lambda r: (r.request.arrival_time_s, r.request.request_id))
+        return pooled
+
+    @property
+    def n_requests(self) -> int:
+        return sum(report.n_requests for report in self.replica_reports)
+
+    @property
+    def n_requeued(self) -> int:
+        """Drain-and-re-route events across the run (one request may count
+        several times if it survived several failures)."""
+        return sum(self.requeues.values())
+
+    @property
+    def total_decode_tokens(self) -> int:
+        return sum(r.total_decode_tokens for r in self.replica_reports)
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(r.total_prompt_tokens for r in self.replica_reports)
+
+    @property
+    def reused_prefix_tokens(self) -> int:
+        """Prompt tokens served from replica radix caches instead of prefilled."""
+        return sum(r.reused_prefix_tokens for r in self.replica_reports)
+
+    @property
+    def completed_fraction(self) -> float:
+        results = self.results
+        if not results:
+            return 0.0
+        return sum(1 for r in results if r.status == "finished") / len(results)
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        """Cluster decode throughput over the simulated parallel makespan."""
+        if self.parallel_wall_s <= 0:
+            return 0.0
+        return self.total_decode_tokens / self.parallel_wall_s
+
+    # -- latency ---------------------------------------------------------
+    def _ttft_values(self) -> list[float]:
+        return [r.ttft_s for r in self.results if r.first_token_step >= 0]
+
+    @property
+    def mean_ttft_s(self) -> float:
+        values = self._ttft_values()
+        return float(np.mean(values)) if values else 0.0
+
+    def ttft_percentile_s(self, percentile: float) -> float:
+        values = self._ttft_values()
+        if not values:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    def step_latency_percentile_s(self, percentile: float) -> float:
+        """Pooled per-replica engine-step latency percentile."""
+        values = [s for r in self.replica_reports for s in r.step_latencies_s]
+        if not values:
+            return 0.0
+        return float(np.percentile(values, percentile))
+
+    # -- balance ---------------------------------------------------------
+    @property
+    def per_replica_decode_tokens(self) -> list[int]:
+        return [r.total_decode_tokens for r in self.replica_reports]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean of per-replica decode tokens (1.0 is perfectly even)."""
+        tokens = self.per_replica_decode_tokens
+        mean = float(np.mean(tokens)) if tokens else 0.0
+        if mean <= 0:
+            return 1.0
+        return max(tokens) / mean
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the cluster run."""
+        ttft_sorted = np.sort(self._ttft_values())
+        ttft_p50, ttft_p99 = _percentiles_from_sorted(ttft_sorted, (50, 99))
+        step_sorted = np.sort([s for r in self.replica_reports
+                               for s in r.step_latencies_s])
+        step_p50, step_p99 = _percentiles_from_sorted(step_sorted, (50, 99))
+        reused, prompts = self.reused_prefix_tokens, self.total_prompt_tokens
+        lines = [
+            f"ClusterReport: {self.n_requests} requests on {self.n_replicas} "
+            f"replicas (router {self.router}, <= {self.max_concurrency} "
+            f"concurrent each): {self.total_decode_tokens} tokens decoded in "
+            f"{self.cluster_steps} rounds / {self.parallel_wall_s:.2f} s "
+            f"parallel makespan ({self.decode_tokens_per_s:.1f} tok/s)",
+            f"  TTFT           mean {self.mean_ttft_s * 1e3:8.2f} ms | "
+            f"p50 {ttft_p50 * 1e3:8.2f} ms | p99 {ttft_p99 * 1e3:8.2f} ms",
+            f"  step latency   p50  {step_p50 * 1e3:8.2f} ms | "
+            f"p99 {step_p99 * 1e3:8.2f} ms",
+            f"  prefix reuse   {reused} / {prompts} prompt tokens "
+            f"({100.0 * reused / max(prompts, 1):.1f}%)",
+            f"  balance        decode tokens per replica "
+            f"{self.per_replica_decode_tokens} "
+            f"(imbalance {self.load_imbalance:.2f}x)",
+        ]
+        if self.failed_replicas or self.n_requeued:
+            lines.append(
+                f"  failures       replicas {self.failed_replicas} killed | "
+                f"{self.n_requeued} requests drained and re-routed | "
+                f"completion {100.0 * self.completed_fraction:.1f}%")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The cluster engine
+# ----------------------------------------------------------------------
+class ClusterEngine:
+    """N independent serving replicas behind a routing policy.
+
+    Each replica is a :class:`~repro.serve.engine.ServingEngine` running a
+    :class:`~repro.serve.engine.FunctionalSession` with its *own* cache
+    factory (``cache`` spec strings are resolved once per replica, so
+    bounded paged pools and radix indices are never shared); the cluster
+    loop routes arrivals through ``router`` and then steps every busy
+    replica once per lockstep round.
+
+    ``cache`` accepts a registry spec string (resolved per replica), ``None``
+    (full cache), or a sequence of ``n_replicas`` pre-built factories; a
+    single pre-built factory is rejected because the replicas would share
+    one KV pool.  ``arrivals_per_step`` throttles routing to at most that
+    many requests per round (``None`` routes the whole trace up front, the
+    closed-loop regime); drained requests from a failed replica are always
+    re-routed before fresh arrivals.
+
+    Greedy decoding over pinned prompts makes per-request outputs depend
+    only on the prompt, so cluster outputs are token-identical to any
+    single-replica serving of the same per-replica partition — routing,
+    lockstep interleaving and failures change *when* tokens appear, never
+    *which* tokens.
+    """
+
+    def __init__(self, n_replicas: int, *,
+                 router: "Router | str | None" = "round-robin",
+                 max_concurrency: int = 4,
+                 cache: "KVCacheFactory | str | Sequence | None" = None,
+                 prefix_cache: bool = False,
+                 token_budget: int | None = None,
+                 radix_max_tokens: int | None = None,
+                 drafter: "Drafter | str | None" = None,
+                 policy: "SchedulingPolicy | str | None" = "fcfs",
+                 capacity_tokens: int | None = None,
+                 seed: int = 0,
+                 arrivals_per_step: int | None = None) -> None:
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        if arrivals_per_step is not None and arrivals_per_step <= 0:
+            raise ValueError("arrivals_per_step must be positive (or None)")
+        self.n_replicas = n_replicas
+        self.router = resolve_router(router)
+        self.max_concurrency = max_concurrency
+        self._caches = self._per_replica_caches(cache, n_replicas)
+        self.prefix_cache = prefix_cache
+        self.token_budget = token_budget
+        self.radix_max_tokens = radix_max_tokens
+        self.drafter = drafter
+        self.policy = policy
+        self.capacity_tokens = capacity_tokens
+        self.seed = seed
+        self.arrivals_per_step = arrivals_per_step
+        self.engines = [ServingEngine(max_concurrency=max_concurrency)
+                        for _ in range(n_replicas)]
+        self._sessions: "list[FunctionalSession] | None" = None
+        self._alive = [True] * n_replicas
+        self._fail_at: dict[int, int] = {}
+
+    @staticmethod
+    def _per_replica_caches(cache, n_replicas: int) -> list:
+        """One cache factory (or spec/None) per replica, never shared."""
+        if cache is None or isinstance(cache, str):
+            return [cache] * n_replicas
+        if isinstance(cache, (list, tuple)):
+            if len(cache) != n_replicas:
+                raise ValueError(
+                    f"cache sequence has {len(cache)} factories for "
+                    f"{n_replicas} replicas")
+            return list(cache)
+        raise TypeError(
+            "cache must be a registry spec string, None, or a sequence of "
+            "n_replicas factories — a single pre-built factory would share "
+            "one KV pool across every replica")
+
+    # -- fault injection -------------------------------------------------
+    def fail_replica(self, replica_id: int, at_step: int = 0) -> None:
+        """Kill ``replica_id`` at cluster step ``at_step`` (0 = immediately).
+
+        Takes effect at the next round boundary at or after ``at_step``: the
+        replica's in-flight requests are drained back to the shared queue
+        and re-routed among survivors (the router is told to
+        :meth:`~Router.forget` the replica), and the replica never steps
+        again.  Requests it finished before the failure keep their results.
+        """
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(f"no replica {replica_id} in a "
+                             f"{self.n_replicas}-replica cluster")
+        if at_step < 0:
+            raise ValueError("at_step must be non-negative")
+        self._fail_at[replica_id] = at_step
+
+    # -- routing ---------------------------------------------------------
+    def _views(self) -> list[ReplicaView]:
+        assert self._sessions is not None
+        views = [ReplicaView(i, self._sessions[i].load_snapshot())
+                 for i in range(self.n_replicas) if self._alive[i]]
+        if not views:
+            raise RuntimeError("every replica has failed with work outstanding")
+        return views
+
+    def _route(self, request: Request) -> int:
+        target = self.router.route(request, self._views())
+        if not (0 <= target < self.n_replicas and self._alive[target]):
+            raise RuntimeError(
+                f"router {self.router.describe()} chose unavailable replica "
+                f"{target}")
+        return target
+
+    # -- the cluster loop ------------------------------------------------
+    def run(self, lm: "DecoderLM", requests: list[Request]) -> ClusterReport:
+        """Serve ``requests`` across the replicas and aggregate the outcome."""
+        if not requests:
+            raise ValueError("requests must be non-empty")
+        seen: set[str] = set()
+        for request in requests:
+            if request.request_id in seen:
+                raise ValueError(f"duplicate request_id '{request.request_id}'")
+            seen.add(request.request_id)
+        pending = deque(sorted(requests,
+                               key=lambda r: (r.arrival_time_s, r.request_id)))
+        self._sessions = [
+            self.engines[i].start_functional(
+                lm, cache=(resolve("cache", spec) if isinstance(spec, str)
+                           else spec),
+                seed=self.seed, prefix_cache=self.prefix_cache,
+                token_budget=self.token_budget,
+                radix_max_tokens=self.radix_max_tokens, drafter=self.drafter,
+                policy=self.policy, capacity_tokens=self.capacity_tokens)
+            for i, spec in enumerate(self._caches)]
+        sessions = self._sessions
+        self._alive = [True] * self.n_replicas
+        requeue: "deque[SequenceState]" = deque()
+        report = ClusterReport(router=self.router.describe(),
+                               n_replicas=self.n_replicas,
+                               max_concurrency=self.max_concurrency)
+        fail_at = dict(self._fail_at)
+        start = time.perf_counter()
+        step = 0
+        while (pending or requeue
+               or any(self._alive[i] and sessions[i].has_work()
+                      for i in range(self.n_replicas))):
+            # 1. Apply due failures: drain the dead replica's in-flight work.
+            for replica_id, due in sorted(fail_at.items()):
+                if due <= step and self._alive[replica_id]:
+                    self._alive[replica_id] = False
+                    del fail_at[replica_id]
+                    requeue.extend(sessions[replica_id].drain())
+                    self.router.forget(replica_id)
+                    report.failed_replicas.append(replica_id)
+            # 2. Re-route drained requests first (they arrived earliest and
+            #    their ranks still say so), then fresh arrivals.
+            while requeue:
+                state = requeue.popleft()
+                target = self._route(state.request)
+                sessions[target].resubmit([state])
+                report.assignments[state.request_id] = target
+                report.requeues[state.request_id] = (
+                    report.requeues.get(state.request_id, 0) + 1)
+            n_route = (len(pending) if self.arrivals_per_step is None
+                       else min(self.arrivals_per_step, len(pending)))
+            for _ in range(n_route):
+                request = pending.popleft()
+                target = self._route(request)
+                sessions[target].submit([request])
+                report.assignments[request.request_id] = target
+            # 3. One lockstep round: every busy alive replica takes one step.
+            round_max = 0.0
+            for i in range(self.n_replicas):
+                if self._alive[i] and sessions[i].has_work():
+                    t0 = time.perf_counter()
+                    sessions[i].step()
+                    round_max = max(round_max, time.perf_counter() - t0)
+            report.parallel_wall_s += round_max
+            step += 1
+        report.cluster_steps = step
+        report.replica_reports = [session.finish() for session in sessions]
+        report.wall_s = time.perf_counter() - start
+        return report
+
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterReport",
+    "LeastLoadedRouter",
+    "PrefixDigest",
+    "RadixAffinityRouter",
+    "ReplicaView",
+    "RoundRobinRouter",
+    "Router",
+    "resolve_router",
+]

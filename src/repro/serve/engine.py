@@ -333,6 +333,32 @@ class FunctionalRequestResult:
         return self.status == "cancelled"
 
 
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """A cheap point-in-time view of one engine's serving load.
+
+    This is the introspection surface cluster routers consume (via
+    :meth:`ServingEngine.load_snapshot`): queue depth, running-batch size,
+    outstanding work in tokens, and — for a bounded paged pool — the free
+    pool space.  Everything here is derivable in O(live requests) without
+    touching scheduler or KV-manager internals.
+    """
+
+    #: Requests waiting for admission (preempted requeues included).
+    n_queued: int
+    #: Requests currently in the running batch (prefilling or decoding).
+    n_running: int
+    #: Outstanding work across live requests: prompt tokens not yet
+    #: prefilled plus decode tokens not yet generated.
+    inflight_tokens: int
+    #: Free tokens in a bounded KV pool (``None`` when unbounded).
+    free_pool_tokens: int | None = None
+
+    @property
+    def n_live(self) -> int:
+        return self.n_queued + self.n_running
+
+
 @dataclass
 class FunctionalServingReport:
     """Aggregate outcome of one :meth:`ServingEngine.run_functional` call.
@@ -476,6 +502,7 @@ class ServingEngine:
         self.max_concurrency = max_concurrency
         self._service_cache: dict[tuple[int, int], SimulationResult] = {}
         self._cancelled: set[str] = set()
+        self._session: "FunctionalSession | None" = None
 
     # ------------------------------------------------------------------
     def service_simulation(self, request: Request) -> SimulationResult:
@@ -665,95 +692,249 @@ class ServingEngine:
         measured throughput, per-request TTFT, per-step latencies,
         preemption/cancellation counts and (when a drafter is set) the
         proposal-acceptance counters.
+
+        The run is exactly a :class:`FunctionalSession` driven to completion:
+        ``submit(requests); while step(): pass; finish()``.  Callers that need
+        step-at-a-time control (the cluster layer drives many replicas in
+        lockstep rounds) use :meth:`start_functional` directly.
         """
-        if not requests:
-            raise ValueError("requests must be non-empty")
+        session = self.start_functional(
+            lm, cache=cache, seed=seed, prefix_cache=prefix_cache,
+            token_budget=token_budget, radix_max_tokens=radix_max_tokens,
+            drafter=drafter, policy=policy, on_token=on_token,
+            should_cancel=should_cancel, capacity_tokens=capacity_tokens,
+            on_step=on_step)
+        session.submit(requests)
+        while session.step():
+            pass
+        return session.finish()
+
+    def start_functional(self, lm: "DecoderLM",
+                         cache: "KVCacheFactory | str | None" = None,
+                         seed: int = 0, *, prefix_cache: bool = False,
+                         token_budget: int | None = None,
+                         radix_max_tokens: int | None = None,
+                         drafter: "Drafter | str | None" = None,
+                         policy: "SchedulingPolicy | str | None" = "fcfs",
+                         on_token: OnToken | None = None,
+                         should_cancel: Callable[[str], bool] | None = None,
+                         capacity_tokens: int | None = None,
+                         on_step: Callable[[int], None] | None = None,
+                         ) -> "FunctionalSession":
+        """Open a step-at-a-time functional serving session.
+
+        Same parameters and semantics as :meth:`run_functional`, but the
+        caller drives the loop: requests may be submitted while the session
+        runs (dynamic arrival), :meth:`FunctionalSession.step` executes one
+        engine step, and :meth:`FunctionalSession.finish` seals the report.
+        Pending :meth:`cancel` flags from a previous run are cleared.
+        """
+        self._cancelled = set()
+        session = FunctionalSession(
+            self, lm, cache=cache, seed=seed, prefix_cache=prefix_cache,
+            token_budget=token_budget, radix_max_tokens=radix_max_tokens,
+            drafter=drafter, policy=policy, on_token=on_token,
+            should_cancel=should_cancel, capacity_tokens=capacity_tokens,
+            on_step=on_step)
+        self._session = session
+        return session
+
+    def load_snapshot(self) -> LoadSnapshot:
+        """Queue/batch/token-pressure snapshot of the active functional session.
+
+        The cheap introspection surface cluster routers consume — an idle
+        snapshot (all zeros, unbounded pool) when no session is running.
+        """
+        if self._session is None:
+            return LoadSnapshot(n_queued=0, n_running=0, inflight_tokens=0)
+        return self._session.load_snapshot()
+
+
+class FunctionalSession:
+    """One functional serving run driven step-by-step by the caller.
+
+    Created by :meth:`ServingEngine.start_functional`.  The blocking
+    :meth:`ServingEngine.run_functional` is ``submit(requests); while step():
+    pass; finish()``; keeping the loop outside the session lets a
+    :class:`~repro.serve.cluster.ClusterEngine` interleave many replicas'
+    steps in lockstep rounds, route arrivals while replicas run, and — on a
+    replica failure — :meth:`drain` every in-flight request for resubmission
+    (:meth:`resubmit`) to a surviving replica, reusing the scheduler's
+    eviction-and-recompute semantics.
+    """
+
+    def __init__(self, engine: ServingEngine, lm: "DecoderLM",
+                 cache: "KVCacheFactory | str | None" = None,
+                 seed: int = 0, *, prefix_cache: bool = False,
+                 token_budget: int | None = None,
+                 radix_max_tokens: int | None = None,
+                 drafter: "Drafter | str | None" = None,
+                 policy: "SchedulingPolicy | str | None" = "fcfs",
+                 on_token: OnToken | None = None,
+                 should_cancel: Callable[[str], bool] | None = None,
+                 capacity_tokens: int | None = None,
+                 on_step: Callable[[int], None] | None = None) -> None:
+        from repro.llm.speculate import resolve_drafter
+
         if token_budget is not None and token_budget <= 0:
             raise ValueError("token_budget must be positive (or None to disable)")
+        self.engine = engine
+        self.lm = lm
         cache_factory = resolve("cache", cache) if isinstance(cache, str) else cache
-        max_len = lm.config.max_seq_len
+        self.kv = KVSpaceManager(lm, cache_factory, prefix_cache=prefix_cache,
+                                 radix_max_tokens=radix_max_tokens,
+                                 capacity_tokens=capacity_tokens)
+        self._drafter = resolve_drafter(drafter)
+        # Speculation needs verify_chunk (chunked prefill) and KV rollback;
+        # caches without them run the plain decode path, as generate() does.
+        self.spec_on = (self._drafter is not None and self._drafter.k > 0
+                        and self.kv.chunkable and self.kv.rollbackable)
+        if self.spec_on:
+            self._drafter.check_compatible(lm.config)
+        if self._drafter is None or self._drafter.k <= 0:
+            drafter_desc = None
+        elif self.spec_on:
+            drafter_desc = self._drafter.describe()
+        else:  # keep the silent fallback observable in the report/summary
+            drafter_desc = self._drafter.describe() + " (disabled: cache lacks rollback)"
+        self.policy = resolve_policy(policy)
+        self.scheduler = Scheduler(self.policy, engine.max_concurrency)
+        self.executor = ModelExecutor(lm, self.kv, on_token=on_token)
+        self.rng = derive_rng(seed, "serve-functional")
+        self.token_budget = token_budget
+        self.should_cancel = should_cancel
+        self.on_step = on_step
+        self.whole_prefill = not self.kv.chunkable or token_budget is None
+        self.report = FunctionalServingReport(
+            model_name=lm.config.name, max_concurrency=engine.max_concurrency,
+            drafter=drafter_desc, policy=self.policy.describe())
+        self._step = 0
+        self._start: float | None = None
+        self._finished = False
+
+    # -- submission ------------------------------------------------------
+    def submit(self, requests: list[Request]) -> None:
+        """Materialise and queue ``requests`` (callable while running)."""
+        if not requests:
+            raise ValueError("requests must be non-empty")
+        max_len = self.lm.config.max_seq_len
         for request in requests:
             if request.prompt_len + request.decode_len > max_len:
                 raise ValueError(
                     f"request '{request.request_id}' needs {request.prompt_len + request.decode_len} "
                     f"positions but the model supports max_seq_len={max_len}")
-        from repro.llm.speculate import resolve_drafter
-
-        kv = KVSpaceManager(lm, cache_factory, prefix_cache=prefix_cache,
-                            radix_max_tokens=radix_max_tokens,
-                            capacity_tokens=capacity_tokens)
-        drafter_obj = resolve_drafter(drafter)
-        # Speculation needs verify_chunk (chunked prefill) and KV rollback;
-        # caches without them run the plain decode path, as generate() does.
-        spec_on = (drafter_obj is not None and drafter_obj.k > 0
-                   and kv.chunkable and kv.rollbackable)
-        if spec_on:
-            drafter_obj.check_compatible(lm.config)
-        if drafter_obj is None or drafter_obj.k <= 0:
-            drafter_desc = None
-        elif spec_on:
-            drafter_desc = drafter_obj.describe()
-        else:  # keep the silent fallback observable in the report/summary
-            drafter_desc = drafter_obj.describe() + " (disabled: cache lacks rollback)"
-        policy_obj = resolve_policy(policy)
-        scheduler = Scheduler(policy_obj, self.max_concurrency)
-        executor = ModelExecutor(lm, kv, on_token=on_token)
-        rng = derive_rng(seed, "serve-functional")
-        states = self._materialise(requests, lm, rng)
+        states = self.engine._materialise(requests, self.lm, self.rng)
         for state in states:
-            kv.validate_footprint(state)  # reject never-servable requests now
-        scheduler.submit(states)
-        self._cancelled = set()
-        whole_prefill = not kv.chunkable or token_budget is None
+            self.kv.validate_footprint(state)  # reject never-servable requests now
+        self.scheduler.submit(states)
 
-        def on_admit(state: SequenceState, first: bool) -> None:
-            if spec_on:
-                state.spec_session = drafter_obj.session()
+    def resubmit(self, states: "list[SequenceState]") -> None:
+        """Queue states drained from another session (cluster requeue).
 
-        report = FunctionalServingReport(
-            model_name=lm.config.name, max_concurrency=self.max_concurrency,
-            drafter=drafter_desc, policy=policy_obj.describe())
-        start = time.perf_counter()
-        step = 0
-        while scheduler.has_work():
-            step_start = time.perf_counter()
-            self._apply_cancellations(scheduler, kv, should_cancel, report, step)
-            if not scheduler.has_work():
-                break
-            admitted = scheduler.admit(step, time.perf_counter(), kv,
-                                       whole_prefill=whole_prefill,
-                                       on_admit=on_admit)
-            kv.resolve_caches(list(scheduler.running.values()))
-            decision = scheduler.plan(step, kv, token_budget=token_budget,
-                                      spec_on=spec_on, chunkable=kv.chunkable)
-            executor.prefill_whole(decision.prefill_whole, step)
-            executor.prefill_chunks(decision.prefill_chunks, step)
-            outcome = executor.decode_step(scheduler.decode_ready(), step, spec_on)
-            if outcome.decoded:
-                step += 1
-                report.n_steps += 1
-                report.peak_batch = max(report.peak_batch, outcome.batch)
-                report.spec_proposed_tokens += outcome.spec_proposed
-                report.spec_accepted_tokens += outcome.spec_accepted
-            retired = scheduler.retire_finished()
-            for state in retired:
-                kv.release(state)
-                report.results.append(self._result(state, step))
-            if kv.bounded:
-                kv.check_accounting()  # pool invariant holds after every step
-            report.step_latencies_s.append(time.perf_counter() - step_start)
-            if on_step is not None:
-                on_step(step)
-            if not (admitted or decision.has_model_work or outcome.decoded
-                    or retired or decision.preempted):
-                raise RuntimeError(
-                    "serving stalled: no admission, prefill, decode, retirement "
-                    "or preemption was possible this step (KV pool too small?)")
-        kv.clear()  # return every radix snapshot's pages to the pool
-        report.n_preemptions = scheduler.n_preemptions
-        report.wall_s = time.perf_counter() - start
-        report.results.sort(key=lambda r: (r.request.arrival_time_s, r.request.request_id))
-        return report
+        States keep their original :class:`Request` — arrival time, priority
+        and accumulated results (generated tokens, TTFT, preemption counts)
+        — so policy ranking does not penalise the re-admission, and a state
+        with generated tokens resumes by eviction-and-recompute exactly as a
+        locally-preempted one would.
+        """
+        for state in states:
+            self.kv.validate_footprint(state)
+        self.scheduler.resubmit(states)
+
+    # -- stepping --------------------------------------------------------
+    def has_work(self) -> bool:
+        return not self._finished and self.scheduler.has_work()
+
+    def _on_admit(self, state: SequenceState, first: bool) -> None:
+        if self.spec_on:
+            state.spec_session = self._drafter.session()
+
+    def step(self) -> bool:
+        """Run one engine step; returns False when there is nothing to do."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        scheduler, kv, executor = self.scheduler, self.kv, self.executor
+        if not scheduler.has_work():
+            return False
+        if self._start is None:
+            self._start = time.perf_counter()
+        step_start = time.perf_counter()
+        self.engine._apply_cancellations(scheduler, kv, self.should_cancel,
+                                         self.report, self._step)
+        if not scheduler.has_work():
+            return False
+        admitted = scheduler.admit(self._step, time.perf_counter(), kv,
+                                   whole_prefill=self.whole_prefill,
+                                   on_admit=self._on_admit)
+        kv.resolve_caches(list(scheduler.running.values()))
+        decision = scheduler.plan(self._step, kv, token_budget=self.token_budget,
+                                  spec_on=self.spec_on, chunkable=kv.chunkable)
+        executor.prefill_whole(decision.prefill_whole, self._step)
+        executor.prefill_chunks(decision.prefill_chunks, self._step)
+        outcome = executor.decode_step(scheduler.decode_ready(), self._step,
+                                       self.spec_on)
+        if outcome.decoded:
+            self._step += 1
+            self.report.n_steps += 1
+            self.report.peak_batch = max(self.report.peak_batch, outcome.batch)
+            self.report.spec_proposed_tokens += outcome.spec_proposed
+            self.report.spec_accepted_tokens += outcome.spec_accepted
+        retired = scheduler.retire_finished()
+        for state in retired:
+            kv.release(state)
+            self.report.results.append(self.engine._result(state, self._step))
+        if kv.bounded:
+            kv.check_accounting()  # pool invariant holds after every step
+        self.report.step_latencies_s.append(time.perf_counter() - step_start)
+        if self.on_step is not None:
+            self.on_step(self._step)
+        if not (admitted or decision.has_model_work or outcome.decoded
+                or retired or decision.preempted):
+            raise RuntimeError(
+                "serving stalled: no admission, prefill, decode, retirement "
+                "or preemption was possible this step (KV pool too small?)")
+        return True
+
+    # -- introspection ---------------------------------------------------
+    def load_snapshot(self) -> LoadSnapshot:
+        """Queue depth, batch size, outstanding tokens and free pool space."""
+        inflight = 0
+        for state in self.scheduler.live_states():
+            outstanding = (len(state.prompt) + state.request.decode_len
+                           - state.prefilled - len(state.generated))
+            inflight += max(0, outstanding)
+        return LoadSnapshot(
+            n_queued=self.scheduler.n_waiting,
+            n_running=len(self.scheduler.running),
+            inflight_tokens=inflight,
+            free_pool_tokens=self.kv.free_tokens if self.kv.bounded else None)
+
+    # -- teardown --------------------------------------------------------
+    def drain(self) -> "list[SequenceState]":
+        """Evacuate every live request (replica failure), releasing all KV.
+
+        Returns the drained states — generated tokens and original requests
+        preserved, caches dropped — ready for :meth:`resubmit` on another
+        session; the local radix index is cleared so every pool page is back
+        on the free list.
+        """
+        drained = self.scheduler.evacuate(self.kv)
+        self.kv.clear()
+        if self.kv.bounded:
+            self.kv.check_accounting()
+        return drained
+
+    def finish(self) -> FunctionalServingReport:
+        """Seal the session and return its report (idempotent)."""
+        if not self._finished:
+            self._finished = True
+            self.kv.clear()  # return every radix snapshot's pages to the pool
+            self.report.n_preemptions = self.scheduler.n_preemptions
+            self.report.wall_s = (time.perf_counter() - self._start
+                                  if self._start is not None else 0.0)
+            self.report.results.sort(
+                key=lambda r: (r.request.arrival_time_s, r.request.request_id))
+        return self.report
 
 
 def simulate(system: EdgeSystem | str = "kelle+edram", model: ModelConfig | str = "llama2-7b",

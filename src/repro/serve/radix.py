@@ -190,6 +190,39 @@ class RadixPrefixIndex:
         self.misses += 1
         return 0, None
 
+    def longest_match_len(self, tokens: Sequence[int]) -> int:
+        """Longest usable shared-prefix length for ``tokens`` — read-only.
+
+        Exactly the length :meth:`match` would return, but without touching
+        LRU recency or the hit/miss counters, so routers (and monitoring)
+        can probe the index without perturbing eviction or statistics.
+        """
+        node, i = self._root, 0
+        last_consumed = 0
+        tokens = tuple(tokens)
+        while i < len(tokens):
+            child = node.children.get(tokens[i])
+            if child is None:
+                break
+            common = _common_prefix_len(child.edge, tokens, i)
+            i += common
+            node = child
+            last_consumed = common
+            if common < len(child.edge):
+                break  # diverged (or ran out of query) mid-edge
+        matched = i
+        if matched == 0:
+            return 0
+        if next(self._iter_entries(node), None) is not None:
+            return matched  # some entry below the walk covers all matched tokens
+        ancestor, depth = node.parent, matched - last_consumed
+        while ancestor is not None:
+            if ancestor.entry is not None:
+                return depth
+            depth -= len(ancestor.edge)
+            ancestor = ancestor.parent
+        return 0
+
     def _iter_entries(self, node: _Node) -> Iterator[PrefixEntry]:
         stack = [node]
         while stack:

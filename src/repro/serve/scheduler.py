@@ -258,6 +258,11 @@ class Scheduler:
 
     # -- the waiting queue ----------------------------------------------
     @property
+    def n_waiting(self) -> int:
+        """Live waiting-queue depth (preempted requeues included)."""
+        return self._n_waiting
+
+    @property
     def waiting(self) -> list[SequenceState]:
         """Live waiting states in policy order (a sorted copy for callers)."""
         return [entry[2] for entry in sorted(self._waiting)
@@ -283,15 +288,62 @@ class Scheduler:
         return heapq.heappop(self._waiting)[2]
 
     # -- submission ------------------------------------------------------
-    def submit(self, states: list[SequenceState]) -> None:
+    def _check_new_ids(self, states: list[SequenceState]) -> None:
         seen = ({entry[2].request_id for entry in self._waiting
                  if self._queued(entry[2])} | set(self.running))
         for state in states:
             if state.request_id in seen:
                 raise ValueError(f"duplicate request_id '{state.request_id}'")
             seen.add(state.request_id)
+
+    def submit(self, states: list[SequenceState]) -> None:
+        self._check_new_ids(states)
+        for state in states:
             state.phase = RequestPhase.WAITING
             self._push_waiting(state)
+
+    def resubmit(self, states: list[SequenceState]) -> None:
+        """Re-queue states drained from another scheduler (cluster requeue).
+
+        A state with generated tokens re-enters as ``PREEMPTED`` so admission
+        rebuilds its recompute target (prompt + generated[:-1]) and resumes
+        from the preserved last token — the eviction-and-recompute path.
+        Ranks derive from the state's *original* :class:`Request` (arrival
+        time, priority), so fcfs/priority ordering never penalises a
+        re-admitted request for having been drained or preempted.
+        """
+        self._check_new_ids(states)
+        for state in states:
+            state.phase = (RequestPhase.PREEMPTED if state.generated
+                           else RequestPhase.WAITING)
+            self._push_waiting(state)
+
+    def evacuate(self, kv: "KVSpaceManager") -> list[SequenceState]:
+        """Remove every live state (replica-failure drain), releasing its KV.
+
+        Returned states are reset like preemption victims — caches dropped,
+        prompt/generated tokens and the original request preserved — ready
+        for :meth:`resubmit` on a surviving scheduler.  Finished/cancelled
+        history stays behind; this does not count as preemption (the
+        sequences did nothing wrong — their replica died).
+        """
+        drained = list(self.running.values())
+        for state in drained:
+            kv.release(state)
+        self.running.clear()
+        drained += [entry[2] for entry in self._waiting if self._queued(entry[2])]
+        self._waiting.clear()
+        self._n_waiting = 0
+        for state in drained:
+            state.phase = (RequestPhase.PREEMPTED if state.generated
+                           else RequestPhase.WAITING)
+            state.caches = None
+            state.prefilled = 0
+            state.next_input = None
+            state.resume_next_input = None
+            state.proposals = []
+            state.spec_session = None
+        return drained
 
     def has_work(self) -> bool:
         return bool(self._n_waiting or self.running)

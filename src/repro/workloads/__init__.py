@@ -26,6 +26,7 @@ from repro.workloads.serving import (
     repetitive_requests,
     shared_prefix_requests,
     tiered_requests,
+    zipf_shared_prefix_requests,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "repetitive_requests",
     "shared_prefix_requests",
     "tiered_requests",
+    "zipf_shared_prefix_requests",
 ]

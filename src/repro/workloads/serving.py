@@ -6,6 +6,9 @@ prefixes.  Two generators cover the canonical scenarios:
 
 * :func:`shared_prefix_requests` — groups of requests sharing a long common
   prefix (the "many users, one system prompt" pattern);
+* :func:`zipf_shared_prefix_requests` — Zipf-popularity prefix reuse over a
+  template pool (the production traffic shape cache-affinity *routing*
+  exploits), with optional lognormal decode-length skew;
 * :func:`multi_turn_requests` — conversations whose every turn's prompt
   extends the previous turn's prompt (the chat-history pattern), so each
   turn's prefill can reuse the whole preceding conversation;
@@ -78,6 +81,69 @@ def shared_prefix_requests(n_groups: int, requests_per_group: int, prefix_len: i
             arrival_time_s=float(arrivals[index]),
             prompt_len=len(prompt),
             decode_len=decode_len,
+            prompt_tokens=tuple(prompt),
+        ))
+    return requests
+
+
+def zipf_shared_prefix_requests(n_requests: int, n_templates: int, prefix_len: int,
+                                suffix_len: int, decode_len: int, vocab_size: int,
+                                alpha: float = 1.1, decode_sigma: float = 0.0,
+                                max_decode_len: int | None = None,
+                                rate_rps: float = 100.0,
+                                seed: int = 0) -> list[Request]:
+    """Zipf-popularity prefix reuse over a pool of prompt templates.
+
+    Each request picks one of ``n_templates`` random ``prefix_len``-token
+    templates with probability proportional to ``(rank + 1) ** -alpha`` — a
+    few templates dominate, a long tail recurs rarely — and appends a private
+    ``suffix_len``-token suffix.  This is the production-style traffic shape
+    for which cache-affinity *routing* matters: a cluster that routes a
+    popular template consistently to the same replica keeps that replica's
+    radix cache hot, while popularity-blind routing re-prefills the prefix on
+    every replica.
+
+    ``decode_sigma > 0`` draws each request's decode length lognormally around
+    ``decode_len`` (clamped to ``[1, max_decode_len or 4 * decode_len]``), the
+    skewed-service-time regime that separates least-loaded from round-robin
+    routing.  Arrivals are Poisson at ``rate_rps``.
+    """
+    if n_requests <= 0 or n_templates <= 0:
+        raise ValueError("n_requests and n_templates must be positive")
+    if prefix_len <= 0 or suffix_len < 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prefix_len/decode_len must be positive, suffix_len "
+                         "non-negative and vocab_size > 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if decode_sigma < 0:
+        raise ValueError("decode_sigma must be non-negative")
+    if max_decode_len is not None and max_decode_len < 1:
+        raise ValueError("max_decode_len must be positive (or None)")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "zipf-shared-prefix-requests")
+    templates = [rng.integers(0, vocab_size, size=prefix_len).tolist()
+                 for _ in range(n_templates)]
+    weights = np.arange(1, n_templates + 1, dtype=float) ** -alpha
+    weights /= weights.sum()
+    picks = rng.choice(n_templates, size=n_requests, p=weights)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=n_requests))
+    decode_cap = max_decode_len if max_decode_len is not None else 4 * decode_len
+    requests = []
+    for index in range(n_requests):
+        template = int(picks[index])
+        suffix = rng.integers(0, vocab_size, size=suffix_len).tolist()
+        prompt = templates[template] + suffix
+        decode = decode_len
+        if decode_sigma > 0:
+            decode = int(round(decode_len * rng.lognormal(0.0, decode_sigma)))
+            decode = min(max(decode, 1), decode_cap)
+        requests.append(request_cls(
+            request_id=f"z{template}r{index}",
+            arrival_time_s=float(arrivals[index]),
+            prompt_len=len(prompt),
+            decode_len=decode,
             prompt_tokens=tuple(prompt),
         ))
     return requests

@@ -298,3 +298,71 @@ class TestRequestExtensions:
             engine._finish_prefill(state, np.array([0.0, 1.0, 0.0]), None, 1.0)
         assert state["next_input"] == 1
         assert state["generated"] == [1]
+
+
+class TestRequeueFairness:
+    """Drained/re-admitted requests keep their original arrival ranking."""
+
+    def test_resubmit_keeps_original_arrival_rank(self, lm):
+        kv = KVSpaceManager(lm, None)
+        source = Scheduler(FCFSPolicy(), max_concurrency=2)
+        early = _state("early", arrival=0.0, decode_len=6)
+        source.submit([early])
+        (admitted,) = source.admit(0, 0.0, kv, whole_prefill=True,
+                                   on_admit=lambda s, first: None)
+        admitted.caches = []
+        admitted.prefilled = len(admitted.prefill_target)
+        admitted.generated = [7, 8]  # mid-decode when its replica dies
+        drained = source.evacuate(kv)
+        assert drained == [early]
+        assert early.phase is RequestPhase.PREEMPTED  # has generated tokens
+        assert early.caches is None and early.prefilled == 0
+
+        # A surviving scheduler already holds later arrivals; the drained
+        # request must rank ahead of them (fcfs rank = original arrival).
+        survivor = Scheduler(FCFSPolicy(), max_concurrency=2)
+        survivor.submit([_state("late1", arrival=5.0), _state("late2", arrival=6.0)])
+        survivor.resubmit(drained)
+        assert [s.request_id for s in survivor.waiting] == ["early", "late1", "late2"]
+        # Re-admission resumes by eviction-and-recompute from the last token.
+        states = survivor.admit(9, 0.0, kv, whole_prefill=True,
+                                on_admit=lambda s, first: None)
+        assert states[0] is early
+        assert early.prefill_target == early.prompt + [7]
+        assert early.resume_next_input == 8
+
+    def test_resubmit_without_generated_reenters_as_waiting(self):
+        scheduler = Scheduler(FCFSPolicy(), max_concurrency=2)
+        fresh = _state("fresh", arrival=1.0)
+        scheduler.resubmit([fresh])
+        assert fresh.phase is RequestPhase.WAITING
+        assert scheduler.n_waiting == 1
+
+    def test_resubmit_duplicate_id_raises(self):
+        scheduler = Scheduler(FCFSPolicy(), max_concurrency=2)
+        scheduler.submit([_state("x")])
+        with pytest.raises(ValueError):
+            scheduler.resubmit([_state("x")])
+
+    def test_evacuate_does_not_count_as_preemption(self, lm):
+        kv = KVSpaceManager(lm, None)
+        scheduler = Scheduler(FCFSPolicy(), max_concurrency=1)
+        scheduler.submit([_state("x", decode_len=6)])
+        (state,) = scheduler.admit(0, 0.0, kv, whole_prefill=True,
+                                   on_admit=lambda s, first: None)
+        state.caches = []
+        state.generated = [3]
+        scheduler.evacuate(kv)
+        assert state.n_preemptions == 0
+        assert not scheduler.has_work()
+
+    def test_priority_rank_survives_requeue(self, lm):
+        kv = KVSpaceManager(lm, None)
+        source = Scheduler(PriorityPolicy(levels=3), max_concurrency=1)
+        urgent = _state("urgent", arrival=50.0, priority=0)
+        source.submit([urgent])
+        drained = source.evacuate(kv)
+        survivor = Scheduler(PriorityPolicy(levels=3), max_concurrency=1)
+        survivor.submit([_state("casual", arrival=0.0, priority=2)])
+        survivor.resubmit(drained)
+        assert [s.request_id for s in survivor.waiting] == ["urgent", "casual"]
