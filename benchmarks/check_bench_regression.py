@@ -47,11 +47,35 @@ def guarded_metrics(baseline: dict) -> list[tuple[str, str]]:
     return [(regime, metric) for regime, metric in pairs]
 
 
+def _lookup(data: dict, regime: str, metric: str, source: str) -> "float | str":
+    """``data[regime][metric]`` or a human-readable failure message.
+
+    A missing regime or metric (a renamed key, a stale baseline, a benchmark
+    that stopped emitting a guarded metric) is itself a gate failure with a
+    per-metric message — never a raw ``KeyError`` traceback.
+    """
+    regime_data = data.get(regime)
+    if not isinstance(regime_data, dict):
+        return f"{regime}.{metric}: regime '{regime}' missing from {source} JSON"
+    if metric not in regime_data:
+        return f"{regime}.{metric}: metric missing from {source} JSON"
+    value = regime_data[metric]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return (f"{regime}.{metric}: {source} value {value!r} is not numeric")
+    return float(value)
+
+
 def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     failures = []
     for regime, metric in guarded_metrics(baseline):
-        base = baseline[regime][metric]
-        now = current[regime][metric]
+        base = _lookup(baseline, regime, metric, "baseline")
+        now = _lookup(current, regime, metric, "current")
+        broken = [v for v in (base, now) if isinstance(v, str)]
+        if broken:
+            for message in broken:
+                print(f"FAIL {message}")
+            failures.extend(broken)
+            continue
         floor = base * (1.0 - tolerance)
         status = "OK " if now >= floor else "FAIL"
         print(f"{status} {regime}.{metric}: {now:.3f} "

@@ -55,7 +55,7 @@ class KVPagePool:
     :class:`PoolExhausted` instead.
     """
 
-    __slots__ = ("n_heads", "head_dim", "page_tokens", "grow",
+    __slots__ = ("n_heads", "head_dim", "page_tokens", "grow", "fault_gate",
                  "_keys", "_values", "_refcounts", "_free")
 
     def __init__(self, n_heads: int, head_dim: int, page_tokens: int = 16,
@@ -67,6 +67,9 @@ class KVPagePool:
         self.head_dim = head_dim
         self.page_tokens = page_tokens
         self.grow = grow
+        #: Chaos hook (``repro.serve.faults``): a zero-argument callable that
+        #: makes :meth:`try_alloc` spuriously fail when it returns True.
+        self.fault_gate = None
         self._keys = np.empty((initial_pages, n_heads, page_tokens, head_dim),
                               dtype=np.float32)
         self._values = np.empty((initial_pages, n_heads, page_tokens, head_dim),
@@ -138,16 +141,31 @@ class KVPagePool:
         self._refcounts.extend([0] * (new - old))
         self._free.extend(range(new - 1, old - 1, -1))
 
-    def alloc(self) -> int:
-        """Pop a free page (refcount 1), growing the arena if allowed."""
+    def try_alloc(self, *, faultable: bool = True) -> int | None:
+        """Non-raising :meth:`alloc`: ``None`` when a bounded pool is dry or
+        the armed :attr:`fault_gate` injects spurious allocation pressure."""
+        if faultable and self.fault_gate is not None and self.fault_gate():
+            return None
         if not self._free:
             if not self.grow:
-                raise PoolExhausted(
-                    f"pool exhausted: all {self.n_pages} pages "
-                    f"({self.n_pages * self.page_tokens} tokens) are referenced")
+                return None
             self._grow()
         page = self._free.pop()
         self._refcounts[page] = 1
+        return page
+
+    def alloc(self) -> int:
+        """Pop a free page (refcount 1), growing the arena if allowed.
+
+        Bypasses the fault gate: internal flushes allocate pages for space
+        the serving layer already *reserved*, and a granted reservation must
+        always be honoured (pressure is injected at reservation time).
+        """
+        page = self.try_alloc(faultable=False)
+        if page is None:
+            raise PoolExhausted(
+                f"pool exhausted: all {self.n_pages} pages "
+                f"({self.n_pages * self.page_tokens} tokens) are referenced")
         return page
 
     def retain(self, page: int) -> None:
@@ -400,6 +418,9 @@ class PagedCacheFactory:
         self.page_tokens = page_tokens
         self.initial_pages = initial_pages
         self.grow = grow
+        #: Chaos hook propagated to every (existing and future) layer pool's
+        #: :attr:`KVPagePool.fault_gate`.
+        self.fault_gate = None
         self._pools: dict[tuple[int, int, int], KVPagePool] = {}
 
     def __call__(self, layer_index: int, n_heads: int, head_dim: int, d_model: int,
@@ -410,8 +431,15 @@ class PagedCacheFactory:
         if pool is None:
             pool = KVPagePool(n_heads, head_dim, page_tokens=self.page_tokens,
                               initial_pages=self.initial_pages, grow=self.grow)
+            pool.fault_gate = self.fault_gate
             self._pools[key] = pool
         return PagedKVCache(pool, n_heads, head_dim, d_model)
+
+    def arm_fault_gate(self, gate) -> None:
+        """Arm (or with ``None`` disarm) the allocation fault gate everywhere."""
+        self.fault_gate = gate
+        for pool in self._pools.values():
+            pool.fault_gate = gate
 
     @property
     def pools(self) -> list[KVPagePool]:

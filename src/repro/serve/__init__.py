@@ -20,7 +20,11 @@ together by a thin :meth:`ServingEngine.run_functional` loop:
 analytical :class:`ServingEngine.run` queueing model and the spec-driven
 :func:`simulate` helper; :mod:`repro.serve.radix` holds
 :class:`RadixPrefixIndex`, the radix-trie prompt-prefix index mapping shared
-prefixes to forked KV cache state.
+prefixes to forked KV cache state; :mod:`repro.serve.faults` holds the
+deterministic chaos harness — the ``"fault"`` registry kind,
+:class:`FaultPlan`/:class:`FaultGate` and the retryable
+:class:`TransientExecutorError` — consumed by the engine's and cluster's
+fault-injection hooks and health supervision (:class:`ReplicaHealth`).
 """
 
 from repro.serve.cluster import (
@@ -29,10 +33,21 @@ from repro.serve.cluster import (
     LeastLoadedRouter,
     PrefixDigest,
     RadixAffinityRouter,
+    ReplicaHealth,
     ReplicaView,
     RoundRobinRouter,
     Router,
     resolve_router,
+)
+from repro.serve.faults import (
+    AllocPressure,
+    FaultGate,
+    FaultPlan,
+    ReplicaCrash,
+    Straggler,
+    TransientExec,
+    TransientExecutorError,
+    resolve_fault_plan,
 )
 from repro.serve.engine import (
     FunctionalRequestResult,
@@ -62,9 +77,12 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "AllocPressure",
     "ClusterEngine",
     "ClusterReport",
     "FCFSPolicy",
+    "FaultGate",
+    "FaultPlan",
     "FunctionalRequestResult",
     "FunctionalServingReport",
     "FunctionalSession",
@@ -77,6 +95,8 @@ __all__ = [
     "PriorityPolicy",
     "RadixAffinityRouter",
     "RadixPrefixIndex",
+    "ReplicaCrash",
+    "ReplicaHealth",
     "ReplicaView",
     "Request",
     "RequestPhase",
@@ -91,8 +111,12 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "StepOutcome",
+    "Straggler",
     "TokenEvent",
+    "TransientExec",
+    "TransientExecutorError",
     "poisson_requests",
+    "resolve_fault_plan",
     "resolve_policy",
     "resolve_router",
     "simulate",

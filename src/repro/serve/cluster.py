@@ -31,6 +31,20 @@ rather than N engines:
   makespan* (``parallel_wall_s``): replicas run sequentially in-process, so
   each lockstep round contributes the maximum of its replicas' measured
   step latencies — the wall time a truly parallel cluster would take.
+
+* **Health supervision & self-healing** — every replica carries a
+  :class:`ReplicaHealth` (HEALTHY / DEGRADED / DOWN) driven by its step
+  outcomes: transient-failure retries inside a sliding window or an active
+  straggler slowdown demote it to DEGRADED, a crash marks it DOWN.  Routers
+  are health-aware (every router skips DOWN replicas; radix-affinity also
+  demotes DEGRADED ones to last resort), and a crashed replica whose fault
+  plan allows recovery *rejoins* after its recovery delay with a fresh KV
+  pool, an empty radix index and a rebuilt router-side prefix digest.
+  Chaos testing composes these through a deterministic
+  :class:`~repro.serve.faults.FaultPlan` (``faults=...``), with per-request
+  deadlines/retries, projected-KV load shedding (``shed_threshold``) and a
+  paranoid per-step invariant sweep (``paranoid=True``) guaranteeing every
+  request ends in exactly one explicit terminal status.
 """
 
 from __future__ import annotations
@@ -39,6 +53,7 @@ import abc
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -52,6 +67,7 @@ from repro.serve.engine import (
     ServingEngine,
     _percentiles_from_sorted,
 )
+from repro.serve.faults import resolve_fault_plan
 from repro.serve.radix import RadixPrefixIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
@@ -62,12 +78,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.serve.scheduler import SchedulingPolicy, SequenceState
 
 
+class ReplicaHealth(Enum):
+    """Supervised health of one replica, driven by its step outcomes."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+#: Sliding window (in lockstep rounds) over which retry errors accumulate.
+HEALTH_WINDOW = 8
+#: Retries within the window that demote a replica to DEGRADED.
+DEGRADE_ERRORS = 2
+#: Straggler latency inflation at or above which a replica is DEGRADED.
+DEGRADE_SLOWDOWN = 1.5
+
+
 @dataclass(frozen=True)
 class ReplicaView:
-    """What a router may see of one replica: its identity and load only."""
+    """What a router may see of one replica: identity, load and health."""
 
     replica_id: int
     load: LoadSnapshot
+    health: ReplicaHealth = ReplicaHealth.HEALTHY
 
 
 class PrefixDigest:
@@ -117,6 +150,19 @@ class Router(abc.ABC):
 
     name: str = "router"
 
+    @staticmethod
+    def routable(views: list[ReplicaView]) -> list[ReplicaView]:
+        """Replicas eligible for new work: everything not DOWN.
+
+        Every built-in router filters through this first, so a replica the
+        health supervisor marked DOWN never receives a request even if it
+        still appears in the view list.
+        """
+        up = [view for view in views if view.health is not ReplicaHealth.DOWN]
+        if not up:
+            raise RuntimeError("no routable (non-DOWN) replica")
+        return up
+
     @abc.abstractmethod
     def route(self, request: Request, views: list[ReplicaView]) -> int:
         """The ``replica_id`` (from ``views``) that should serve ``request``."""
@@ -137,6 +183,7 @@ class RoundRobinRouter(Router):
         self._turn = 0
 
     def route(self, request: Request, views: list[ReplicaView]) -> int:
+        views = self.routable(views)
         view = views[self._turn % len(views)]
         self._turn += 1
         return view.replica_id
@@ -158,7 +205,7 @@ class LeastLoadedRouter(Router):
         return (view.load.inflight_tokens, view.load.n_live, view.replica_id)
 
     def route(self, request: Request, views: list[ReplicaView]) -> int:
-        return min(views, key=self.pressure).replica_id
+        return min(self.routable(views), key=self.pressure).replica_id
 
 
 class RadixAffinityRouter(Router):
@@ -170,6 +217,11 @@ class RadixAffinityRouter(Router):
     ``threshold`` tokens (ties broken by load), otherwise — and for requests
     without pinned prompt tokens — it falls back to least-loaded routing.
     ``digest_tokens`` bounds each per-replica digest (LRU).
+
+    Health-aware: DOWN replicas are never candidates, and DEGRADED ones are
+    demoted to last resort — both the affinity match and the fallback only
+    consider them when no HEALTHY replica exists (cache affinity is not
+    worth routing onto a struggling replica).
     """
 
     name = "radix-affinity"
@@ -190,17 +242,20 @@ class RadixAffinityRouter(Router):
         return self._digests[replica_id]
 
     def route(self, request: Request, views: list[ReplicaView]) -> int:
+        views = self.routable(views)
+        healthy = [v for v in views if v.health is ReplicaHealth.HEALTHY]
+        pool = healthy or views  # DEGRADED replicas only as a last resort
         prompt = request.prompt_tokens
         chosen: int | None = None
         if prompt:
             matches = {view.replica_id: self.digest(view.replica_id)
-                       .longest_match_len(prompt) for view in views}
+                       .longest_match_len(prompt) for view in pool}
             best = max(matches.values())
             if best >= self.threshold:
-                tied = [v for v in views if matches[v.replica_id] == best]
+                tied = [v for v in pool if matches[v.replica_id] == best]
                 chosen = min(tied, key=LeastLoadedRouter.pressure).replica_id
         if chosen is None:
-            chosen = self._fallback.route(request, views)
+            chosen = self._fallback.route(request, pool)
         if prompt:
             self.digest(chosen).observe(prompt)
         return chosen
@@ -270,18 +325,29 @@ class ClusterReport:
     wall_s: float = 0.0
     #: Simulated parallel makespan (sum over rounds of the slowest step).
     parallel_wall_s: float = 0.0
+    #: Requests terminated at the cluster layer (shed admissions, requests
+    #: cancelled while queued/requeued) — they never reached a replica.
+    cluster_results: list[FunctionalRequestResult] = field(default_factory=list)
+    #: replica_id -> {"healthy->degraded": count, ...} transition counters.
+    health_transitions: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: Replicas that crashed and later rejoined.
+    recovered_replicas: list[int] = field(default_factory=list)
+    #: Fault-plan description when the run injected faults (None otherwise).
+    faults: str | None = None
 
     # -- pooled views ----------------------------------------------------
     @property
     def results(self) -> list[FunctionalRequestResult]:
         """Every request's result, pooled across replicas, arrival-ordered."""
         pooled = [r for report in self.replica_reports for r in report.results]
+        pooled += self.cluster_results
         pooled.sort(key=lambda r: (r.request.arrival_time_s, r.request.request_id))
         return pooled
 
     @property
     def n_requests(self) -> int:
-        return sum(report.n_requests for report in self.replica_reports)
+        return (sum(report.n_requests for report in self.replica_reports)
+                + len(self.cluster_results))
 
     @property
     def n_requeued(self) -> int:
@@ -315,6 +381,33 @@ class ClusterReport:
         if self.parallel_wall_s <= 0:
             return 0.0
         return self.total_decode_tokens / self.parallel_wall_s
+
+    # -- robustness ------------------------------------------------------
+    @property
+    def n_retries(self) -> int:
+        """Transient executor failures retried across every replica."""
+        return sum(r.n_retries for r in self.replica_reports)
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(1 for r in self.results if r.status == "timeout")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if r.status == "failed")
+
+    @property
+    def n_shed(self) -> int:
+        return sum(1 for r in self.results if r.status == "shed")
+
+    @property
+    def n_cancelled(self) -> int:
+        return sum(1 for r in self.results if r.status == "cancelled")
+
+    @property
+    def n_health_transitions(self) -> int:
+        return sum(sum(counts.values())
+                   for counts in self.health_transitions.values())
 
     # -- latency ---------------------------------------------------------
     def _ttft_values(self) -> list[float]:
@@ -377,10 +470,20 @@ class ClusterReport:
             f"(imbalance {self.load_imbalance:.2f}x)",
         ]
         if self.failed_replicas or self.n_requeued:
+            recovered = (f" ({self.recovered_replicas} rejoined)"
+                         if self.recovered_replicas else "")
             lines.append(
-                f"  failures       replicas {self.failed_replicas} killed | "
+                f"  failures       replicas {self.failed_replicas} killed"
+                f"{recovered} | "
                 f"{self.n_requeued} requests drained and re-routed | "
                 f"completion {100.0 * self.completed_fraction:.1f}%")
+        if (self.faults or self.n_retries or self.n_timeouts or self.n_shed
+                or self.n_failed or self.n_health_transitions):
+            lines.append(
+                f"  robustness     faults {self.faults or 'none'} | "
+                f"{self.n_retries} retries | {self.n_timeouts} timeouts | "
+                f"{self.n_shed} shed | {self.n_failed} failed | "
+                f"{self.n_health_transitions} health transitions")
         return "\n".join(lines)
 
 
@@ -423,11 +526,16 @@ class ClusterEngine:
                  policy: "SchedulingPolicy | str | None" = "fcfs",
                  capacity_tokens: int | None = None,
                  seed: int = 0,
-                 arrivals_per_step: int | None = None) -> None:
+                 arrivals_per_step: int | None = None,
+                 faults: "object | None" = None,
+                 shed_threshold: float | None = None,
+                 paranoid: bool = False) -> None:
         if n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
         if arrivals_per_step is not None and arrivals_per_step <= 0:
             raise ValueError("arrivals_per_step must be positive (or None)")
+        if shed_threshold is not None and shed_threshold <= 0:
+            raise ValueError("shed_threshold must be positive (or None)")
         self.n_replicas = n_replicas
         self.router = resolve_router(router)
         self.max_concurrency = max_concurrency
@@ -440,11 +548,22 @@ class ClusterEngine:
         self.capacity_tokens = capacity_tokens
         self.seed = seed
         self.arrivals_per_step = arrivals_per_step
+        #: Deterministic chaos plan shared by the cluster (crash schedule)
+        #: and every replica session (transient-exec / alloc-pressure gates,
+        #: straggler inflation scoped by replica_id).
+        self.faults = resolve_fault_plan(faults, seed=seed)
+        #: Shed a fresh arrival when the cluster-wide projected KV footprint
+        #: (live requests + the candidate) would exceed this fraction of the
+        #: replicas' summed pool capacity (``None`` disables shedding).
+        self.shed_threshold = shed_threshold
+        self.paranoid = paranoid
         self.engines = [ServingEngine(max_concurrency=max_concurrency)
                         for _ in range(n_replicas)]
         self._sessions: "list[FunctionalSession] | None" = None
         self._alive = [True] * n_replicas
+        self._health = {i: ReplicaHealth.HEALTHY for i in range(n_replicas)}
         self._fail_at: dict[int, int] = {}
+        self._cancel_at: dict[str, int] = {}
 
     @staticmethod
     def _per_replica_caches(cache, n_replicas: int) -> list:
@@ -479,10 +598,34 @@ class ClusterEngine:
             raise ValueError("at_step must be non-negative")
         self._fail_at[replica_id] = at_step
 
+    def cancel(self, request_id: str, at_step: int = 0) -> None:
+        """Cancel ``request_id`` at cluster round ``at_step`` (0 = first round).
+
+        Works wherever the request is at that round: still queued for
+        routing, waiting in a replica, mid-decode, preempted, or requeued
+        after a replica failure — its pages are released and it terminates
+        with ``status="cancelled"`` exactly once.
+        """
+        if at_step < 0:
+            raise ValueError("at_step must be non-negative")
+        self._cancel_at[request_id] = at_step
+
+    # -- health supervision ----------------------------------------------
+    def _set_health(self, report: ClusterReport, replica_id: int,
+                    health: ReplicaHealth) -> None:
+        old = self._health[replica_id]
+        if old is health:
+            return
+        self._health[replica_id] = health
+        counts = report.health_transitions.setdefault(replica_id, {})
+        key = f"{old.value}->{health.value}"
+        counts[key] = counts.get(key, 0) + 1
+
     # -- routing ---------------------------------------------------------
     def _views(self) -> list[ReplicaView]:
         assert self._sessions is not None
-        views = [ReplicaView(i, self._sessions[i].load_snapshot())
+        views = [ReplicaView(i, self._sessions[i].load_snapshot(),
+                             self._health[i])
                  for i in range(self.n_replicas) if self._alive[i]]
         if not views:
             raise RuntimeError("every replica has failed with work outstanding")
@@ -496,7 +639,60 @@ class ClusterEngine:
                 f"{target}")
         return target
 
+    def _should_shed(self, request: Request) -> bool:
+        """Whether admitting ``request`` would oversubscribe the cluster's KV.
+
+        Projected pressure is the peak footprint (prompt + decode tokens) of
+        every live request across alive replicas plus the candidate's own;
+        the request is shed when that exceeds ``shed_threshold`` times the
+        summed pool capacity.  Unbounded pools never shed.
+        """
+        if self.shed_threshold is None:
+            return False
+        projected = request.prompt_len + request.decode_len
+        capacity = 0
+        for view in self._views():
+            if view.load.capacity_tokens is None:
+                return False  # an unbounded replica can always absorb it
+            capacity += view.load.capacity_tokens
+            projected += view.load.projected_kv_tokens
+        return projected > self.shed_threshold * capacity
+
     # -- the cluster loop ------------------------------------------------
+    def _start_session(self, lm: "DecoderLM",
+                       replica_id: int) -> "FunctionalSession":
+        """Open one replica's session (fresh pool/index — also the rejoin path)."""
+        spec = self._caches[replica_id]
+        return self.engines[replica_id].start_functional(
+            lm, cache=(resolve("cache", spec) if isinstance(spec, str)
+                       else spec),
+            seed=self.seed, prefix_cache=self.prefix_cache,
+            token_budget=self.token_budget,
+            radix_max_tokens=self.radix_max_tokens, drafter=self.drafter,
+            policy=self.policy, capacity_tokens=self.capacity_tokens,
+            faults=self.faults, paranoid=self.paranoid,
+            replica_id=replica_id)
+
+    @staticmethod
+    def _cluster_result(request: Request, step: int, status: str,
+                        state: "SequenceState | None" = None,
+                        ) -> FunctionalRequestResult:
+        """A terminal result minted at the cluster layer (shed / cancelled)."""
+        return FunctionalRequestResult(
+            request=request,
+            prompt_tokens=(state.prompt if state is not None
+                           else list(request.prompt_tokens or ())),
+            generated_tokens=state.generated if state is not None else [],
+            admitted_step=state.admitted_step if state is not None else -1,
+            finished_step=step,
+            ttft_s=state.ttft_s if state is not None else 0.0,
+            reused_prefix_tokens=state.reused if state is not None else 0,
+            status=status,
+            first_token_step=(state.first_token_step
+                              if state is not None else -1),
+            n_preemptions=state.n_preemptions if state is not None else 0,
+            n_retries=state.n_retries if state is not None else 0,
+        )
     def run(self, lm: "DecoderLM", requests: list[Request]) -> ClusterReport:
         """Serve ``requests`` across the replicas and aggregate the outcome."""
         if not requests:
@@ -508,28 +704,60 @@ class ClusterEngine:
             seen.add(request.request_id)
         pending = deque(sorted(requests,
                                key=lambda r: (r.arrival_time_s, r.request_id)))
-        self._sessions = [
-            self.engines[i].start_functional(
-                lm, cache=(resolve("cache", spec) if isinstance(spec, str)
-                           else spec),
-                seed=self.seed, prefix_cache=self.prefix_cache,
-                token_budget=self.token_budget,
-                radix_max_tokens=self.radix_max_tokens, drafter=self.drafter,
-                policy=self.policy, capacity_tokens=self.capacity_tokens)
-            for i, spec in enumerate(self._caches)]
+        self._sessions = [self._start_session(lm, i)
+                          for i in range(self.n_replicas)]
         sessions = self._sessions
         self._alive = [True] * self.n_replicas
+        self._health = {i: ReplicaHealth.HEALTHY
+                        for i in range(self.n_replicas)}
         requeue: "deque[SequenceState]" = deque()
         report = ClusterReport(router=self.router.describe(),
                                n_replicas=self.n_replicas,
-                               max_concurrency=self.max_concurrency)
+                               max_concurrency=self.max_concurrency,
+                               faults=(self.faults.describe()
+                                       if self.faults is not None else None))
+        # Merge the fault plan's crash schedule into the manual fail_replica
+        # one (earliest kill wins); crashes with recover_after rejoin later.
         fail_at = dict(self._fail_at)
+        recover_delay: dict[int, int] = {}
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                if not 0 <= crash.replica < self.n_replicas:
+                    raise ValueError(
+                        f"fault plan kills replica {crash.replica} but the "
+                        f"cluster has {self.n_replicas} replicas")
+                fail_at[crash.replica] = min(
+                    fail_at.get(crash.replica, crash.at), crash.at)
+                if crash.recover_after is not None:
+                    recover_delay[crash.replica] = crash.recover_after
+        recover_at: dict[int, int] = {}
+        cancel_at = dict(self._cancel_at)
+        # Health-supervision signals: per-replica retry deltas over a
+        # sliding window of rounds.
+        retry_hist = [deque(maxlen=HEALTH_WINDOW)
+                      for _ in range(self.n_replicas)]
+        last_retries = [0] * self.n_replicas
+        retired_reports: list[FunctionalServingReport] = []
         start = time.perf_counter()
         step = 0
         while (pending or requeue
                or any(self._alive[i] and sessions[i].has_work()
                       for i in range(self.n_replicas))):
-            # 1. Apply due failures: drain the dead replica's in-flight work.
+            # 1a. Rejoin recovered replicas: seal the crashed session's
+            #     report (pre-crash completions survive) and start a fresh
+            #     one — new pool, empty radix index, clean health history.
+            for replica_id in sorted(recover_at):
+                if recover_at[replica_id] > step or self._alive[replica_id]:
+                    continue
+                del recover_at[replica_id]
+                retired_reports.append(sessions[replica_id].finish())
+                sessions[replica_id] = self._start_session(lm, replica_id)
+                self._alive[replica_id] = True
+                retry_hist[replica_id].clear()
+                last_retries[replica_id] = 0
+                self._set_health(report, replica_id, ReplicaHealth.HEALTHY)
+                report.recovered_replicas.append(replica_id)
+            # 1b. Apply due failures: drain the dead replica's in-flight work.
             for replica_id, due in sorted(fail_at.items()):
                 if due <= step and self._alive[replica_id]:
                     self._alive[replica_id] = False
@@ -537,43 +765,130 @@ class ClusterEngine:
                     requeue.extend(sessions[replica_id].drain())
                     self.router.forget(replica_id)
                     report.failed_replicas.append(replica_id)
-            # 2. Re-route drained requests first (they arrived earliest and
-            #    their ranks still say so), then fresh arrivals.
-            while requeue:
-                state = requeue.popleft()
-                target = self._route(state.request)
-                sessions[target].resubmit([state])
-                report.assignments[state.request_id] = target
-                report.requeues[state.request_id] = (
-                    report.requeues.get(state.request_id, 0) + 1)
-            n_route = (len(pending) if self.arrivals_per_step is None
-                       else min(self.arrivals_per_step, len(pending)))
-            for _ in range(n_route):
-                request = pending.popleft()
-                target = self._route(request)
-                sessions[target].submit([request])
-                report.assignments[request.request_id] = target
-            # 3. One lockstep round: every busy alive replica takes one step.
+                    self._set_health(report, replica_id, ReplicaHealth.DOWN)
+                    if replica_id in recover_delay:
+                        recover_at[replica_id] = (
+                            step + recover_delay.pop(replica_id))
+            # 2. Forward due cancellations to the replicas, then route:
+            #    drained requests first (they arrived earliest and their
+            #    ranks still say so), then fresh arrivals (shed-checked).
+            due_cancels = {rid for rid, at in cancel_at.items() if at <= step}
+            for rid in due_cancels:
+                for i in range(self.n_replicas):
+                    if self._alive[i]:
+                        self.engines[i].cancel(rid)
+            any_alive = any(self._alive)
+            if not any_alive and (pending or requeue) and not recover_at:
+                self._views()  # every replica dead, no recovery due: raise
+            if any_alive:
+                while requeue:
+                    state = requeue.popleft()
+                    if state.request_id in due_cancels:
+                        report.cluster_results.append(self._cluster_result(
+                            state.request, step, "cancelled", state))
+                        continue
+                    target = self._route(state.request)
+                    sessions[target].resubmit([state])
+                    report.assignments[state.request_id] = target
+                    report.requeues[state.request_id] = (
+                        report.requeues.get(state.request_id, 0) + 1)
+                n_route = (len(pending) if self.arrivals_per_step is None
+                           else min(self.arrivals_per_step, len(pending)))
+                for _ in range(n_route):
+                    request = pending.popleft()
+                    if request.request_id in due_cancels:
+                        report.cluster_results.append(self._cluster_result(
+                            request, step, "cancelled"))
+                        continue
+                    if self._should_shed(request):
+                        report.cluster_results.append(self._cluster_result(
+                            request, step, "shed"))
+                        continue
+                    target = self._route(request)
+                    sessions[target].submit([request])
+                    report.assignments[request.request_id] = target
+            # 3. One lockstep round: every busy alive replica takes one
+            #    step at the shared cluster clock.  A straggler's simulated
+            #    latency inflates both its own report and the round maximum.
             round_max = 0.0
             for i in range(self.n_replicas):
                 if self._alive[i] and sessions[i].has_work():
                     t0 = time.perf_counter()
-                    sessions[i].step()
-                    round_max = max(round_max, time.perf_counter() - t0)
+                    sessions[i].step(clock=step)
+                    dt = time.perf_counter() - t0
+                    if self.faults is not None:
+                        dt *= self.faults.inflation(i, step)
+                    round_max = max(round_max, dt)
+            # 4. Health supervision from this round's outcomes.
+            for i in range(self.n_replicas):
+                if not self._alive[i]:
+                    continue
+                retries_now = sessions[i].report.n_retries
+                retry_hist[i].append(retries_now - last_retries[i])
+                last_retries[i] = retries_now
+                inflation = (self.faults.inflation(i, step)
+                             if self.faults is not None else 1.0)
+                degraded = (sum(retry_hist[i]) >= DEGRADE_ERRORS
+                            or inflation >= DEGRADE_SLOWDOWN)
+                self._set_health(report, i,
+                                 ReplicaHealth.DEGRADED if degraded
+                                 else ReplicaHealth.HEALTHY)
             report.parallel_wall_s += round_max
             step += 1
+            if self.paranoid:
+                self._check_conservation(seen, pending, requeue, report,
+                                         retired_reports)
         report.cluster_steps = step
-        report.replica_reports = [session.finish() for session in sessions]
+        report.replica_reports = (retired_reports
+                                  + [session.finish() for session in sessions])
         report.wall_s = time.perf_counter() - start
         return report
 
+    def _check_conservation(self, all_ids: set, pending, requeue,
+                            report: ClusterReport,
+                            retired_reports: list) -> None:
+        """Assert every submitted request is tracked exactly once.
+
+        Conservation of requests across the whole cluster: each request must
+        be pending, requeued, live inside exactly one replica, or terminal
+        in exactly one report (replica, retired pre-crash, or cluster-level
+        shed/cancel) — never lost, never duplicated.
+        """
+        counts: dict[str, int] = {}
+
+        def see(request_id: str) -> None:
+            counts[request_id] = counts.get(request_id, 0) + 1
+
+        for request in pending:
+            see(request.request_id)
+        for state in requeue:
+            see(state.request_id)
+        for result in report.cluster_results:
+            see(result.request.request_id)
+        for rep in retired_reports:
+            for result in rep.results:
+                see(result.request.request_id)
+        for session in self._sessions:
+            for state in session.scheduler.live_states():
+                see(state.request_id)
+            for result in session.report.results:
+                see(result.request.request_id)
+        duplicated = sorted(rid for rid, n in counts.items() if n > 1)
+        assert not duplicated, f"requests tracked twice: {duplicated}"
+        missing = sorted(all_ids - counts.keys())
+        assert not missing, f"requests lost: {missing}"
+
 
 __all__ = [
+    "DEGRADE_ERRORS",
+    "DEGRADE_SLOWDOWN",
+    "HEALTH_WINDOW",
     "ClusterEngine",
     "ClusterReport",
     "LeastLoadedRouter",
     "PrefixDigest",
     "RadixAffinityRouter",
+    "ReplicaHealth",
     "ReplicaView",
     "RoundRobinRouter",
     "Router",

@@ -50,7 +50,8 @@ from repro.accelerator.accelerator import EdgeSystem, SimulationResult
 from repro.accelerator.energy import EnergyBreakdown
 from repro.llm.config import ModelConfig
 from repro.registry import resolve
-from repro.serve.executor import ModelExecutor, OnToken
+from repro.serve.executor import ModelExecutor, OnToken, StepOutcome
+from repro.serve.faults import TransientExecutorError, resolve_fault_plan
 from repro.serve.kv_manager import DEFER_MIN_SHARED, KVSpaceManager, shared_prefix_len
 from repro.serve.scheduler import (
     Scheduler,
@@ -94,6 +95,13 @@ class Request:
     synthesises a random prompt of ``prompt_len`` tokens.  ``priority`` is
     the traffic class consumed by the ``"priority"`` scheduling policy
     (0 is the most important; FCFS ignores it).
+
+    ``deadline_steps`` bounds how many session steps the request may spend
+    live after (re)submission before it is expired to ``status="timeout"``
+    (``None`` = no deadline); ``max_retries`` caps how many injected
+    transient executor failures are retried before the request is given up
+    as ``status="failed"``.  Both are step-based, never wall-clock, so
+    timeout behaviour is deterministic.
     """
 
     request_id: str
@@ -102,6 +110,8 @@ class Request:
     decode_len: int
     prompt_tokens: tuple[int, ...] | None = None
     priority: int = 0
+    deadline_steps: int | None = None
+    max_retries: int = 8
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
@@ -110,6 +120,10 @@ class Request:
             raise ValueError("prompt_len and decode_len must be positive")
         if self.priority < 0:
             raise ValueError("priority must be non-negative (0 is most important)")
+        if self.deadline_steps is not None and self.deadline_steps <= 0:
+            raise ValueError("deadline_steps must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         if self.prompt_tokens is not None:
             object.__setattr__(self, "prompt_tokens",
                                tuple(int(t) for t in self.prompt_tokens))
@@ -317,12 +331,16 @@ class FunctionalRequestResult:
     ttft_s: float = 0.0
     #: Prompt tokens restored from the radix prefix cache instead of prefilled.
     reused_prefix_tokens: int = 0
-    #: ``"finished"`` or ``"cancelled"``.
+    #: Terminal status: ``"finished"``, ``"cancelled"``, ``"timeout"``
+    #: (deadline exceeded), ``"failed"`` (transient retries exhausted) or
+    #: ``"shed"`` (admission refused under cluster KV pressure).
     status: str = "finished"
     #: Decode-step counter when the first token was produced (-1 if never).
     first_token_step: int = -1
     #: Times this request was evicted-and-recomputed under KV pressure.
     n_preemptions: int = 0
+    #: Injected transient executor failures this request retried through.
+    n_retries: int = 0
 
     @property
     def tokens_generated(self) -> int:
@@ -331,6 +349,11 @@ class FunctionalRequestResult:
     @property
     def cancelled(self) -> bool:
         return self.status == "cancelled"
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request ran to full completion."""
+        return self.status == "finished"
 
 
 @dataclass(frozen=True)
@@ -353,6 +376,11 @@ class LoadSnapshot:
     inflight_tokens: int
     #: Free tokens in a bounded KV pool (``None`` when unbounded).
     free_pool_tokens: int | None = None
+    #: Peak KV footprint (prompt + decode tokens) summed over live requests
+    #: — the load-shedding admission signal.
+    projected_kv_tokens: int = 0
+    #: The bounded pool's capacity (``None`` when unbounded).
+    capacity_tokens: int | None = None
 
     @property
     def n_live(self) -> int:
@@ -385,6 +413,10 @@ class FunctionalServingReport:
     policy: str = "fcfs"
     #: Total eviction-and-recompute preemptions across the run.
     n_preemptions: int = 0
+    #: Injected transient executor failures retried across the run.
+    n_retries: int = 0
+    #: Fault plan description when the run injected faults (None otherwise).
+    faults: str | None = None
 
     @property
     def n_requests(self) -> int:
@@ -393,6 +425,14 @@ class FunctionalServingReport:
     @property
     def n_cancelled(self) -> int:
         return sum(1 for r in self.results if r.cancelled)
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(1 for r in self.results if r.status == "timeout")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if r.status == "failed")
 
     @property
     def total_decode_tokens(self) -> int:
@@ -479,6 +519,11 @@ class FunctionalServingReport:
                 f"  scheduling     policy {self.policy} | "
                 f"{self.n_preemptions} preemptions | "
                 f"{self.n_cancelled} cancelled")
+        if self.n_retries or self.n_timeouts or self.n_failed or self.faults:
+            lines.append(
+                f"  robustness     faults {self.faults or 'none'} | "
+                f"{self.n_retries} transient retries | "
+                f"{self.n_timeouts} timeouts | {self.n_failed} failed")
         return "\n".join(lines)
 
 
@@ -617,6 +662,7 @@ class ServingEngine:
 
     @staticmethod
     def _result(state: SequenceState, step: int) -> FunctionalRequestResult:
+        terminal = state.phase.value
         return FunctionalRequestResult(
             request=state.request,
             prompt_tokens=state.prompt,
@@ -625,9 +671,11 @@ class ServingEngine:
             finished_step=step,
             ttft_s=state.ttft_s,
             reused_prefix_tokens=state.reused,
-            status="cancelled" if state.phase.value == "cancelled" else "finished",
+            status=(terminal if terminal in ("cancelled", "timeout", "failed")
+                    else "finished"),
             first_token_step=state.first_token_step,
             n_preemptions=state.n_preemptions,
+            n_retries=state.n_retries,
         )
 
     def run_functional(self, lm: "DecoderLM", requests: list[Request],
@@ -641,6 +689,9 @@ class ServingEngine:
                        should_cancel: Callable[[str], bool] | None = None,
                        capacity_tokens: int | None = None,
                        on_step: Callable[[int], None] | None = None,
+                       faults: "object | None" = None,
+                       paranoid: bool = False,
+                       replica_id: int = 0,
                        ) -> FunctionalServingReport:
         """Serve ``requests`` by *actually decoding tokens* with batched forwards.
 
@@ -687,6 +738,16 @@ class ServingEngine:
           :class:`~repro.serve.executor.TokenEvent`; ``should_cancel`` (or
           :meth:`cancel`) aborts requests between steps, releasing their
           pages and reporting partial output with ``status="cancelled"``.
+        * ``faults`` (a :class:`~repro.serve.faults.FaultPlan`, ``"fault"``
+          registry spec string, fault dataclass or sequence of those) arms
+          deterministic chaos injection: transient executor failures are
+          retried with capped step-based exponential backoff, spurious
+          KV-reservation failures are waited out, and per-request
+          ``deadline_steps`` / ``max_retries`` bound how long the engine
+          keeps trying.  ``paranoid=True`` asserts the full invariant sweep
+          (pool accounting, scheduler legality, request conservation) after
+          every step.  ``replica_id`` scopes straggler faults when the
+          session is one cluster replica.
 
         Returns a :class:`FunctionalServingReport` with the decoded tokens,
         measured throughput, per-request TTFT, per-step latencies,
@@ -703,7 +764,8 @@ class ServingEngine:
             token_budget=token_budget, radix_max_tokens=radix_max_tokens,
             drafter=drafter, policy=policy, on_token=on_token,
             should_cancel=should_cancel, capacity_tokens=capacity_tokens,
-            on_step=on_step)
+            on_step=on_step, faults=faults, paranoid=paranoid,
+            replica_id=replica_id)
         session.submit(requests)
         while session.step():
             pass
@@ -720,6 +782,9 @@ class ServingEngine:
                          should_cancel: Callable[[str], bool] | None = None,
                          capacity_tokens: int | None = None,
                          on_step: Callable[[int], None] | None = None,
+                         faults: "object | None" = None,
+                         paranoid: bool = False,
+                         replica_id: int = 0,
                          ) -> "FunctionalSession":
         """Open a step-at-a-time functional serving session.
 
@@ -735,7 +800,8 @@ class ServingEngine:
             token_budget=token_budget, radix_max_tokens=radix_max_tokens,
             drafter=drafter, policy=policy, on_token=on_token,
             should_cancel=should_cancel, capacity_tokens=capacity_tokens,
-            on_step=on_step)
+            on_step=on_step, faults=faults, paranoid=paranoid,
+            replica_id=replica_id)
         self._session = session
         return session
 
@@ -773,7 +839,10 @@ class FunctionalSession:
                  on_token: OnToken | None = None,
                  should_cancel: Callable[[str], bool] | None = None,
                  capacity_tokens: int | None = None,
-                 on_step: Callable[[int], None] | None = None) -> None:
+                 on_step: Callable[[int], None] | None = None,
+                 faults: "object | None" = None,
+                 paranoid: bool = False,
+                 replica_id: int = 0) -> None:
         from repro.llm.speculate import resolve_drafter
 
         if token_budget is not None and token_budget <= 0:
@@ -805,10 +874,34 @@ class FunctionalSession:
         self.should_cancel = should_cancel
         self.on_step = on_step
         self.whole_prefill = not self.kv.chunkable or token_budget is None
+        # Chaos wiring: resolve the plan once and arm every layer's hook.
+        # Each hook defaults to None, so an unfaulted session pays only a
+        # handful of attribute checks per step.
+        self.fault_plan = resolve_fault_plan(faults, seed=seed)
+        self.replica_id = replica_id
+        self.paranoid = paranoid
+        self._stragglers = (self.fault_plan.stragglers_for(replica_id)
+                           if self.fault_plan is not None else ())
+        if self.fault_plan is not None:
+            self.executor.fault_gate = self.fault_plan.exec_gate()
+            self.kv.pressure_gate = self.fault_plan.alloc_gate()
+            pool_gate = self.fault_plan.pool_gate()
+            arm = getattr(self.kv.cache_factory, "arm_fault_gate", None)
+            if pool_gate is not None and arm is not None:
+                arm(pool_gate)
         self.report = FunctionalServingReport(
             model_name=lm.config.name, max_concurrency=engine.max_concurrency,
-            drafter=drafter_desc, policy=self.policy.describe())
+            drafter=drafter_desc, policy=self.policy.describe(),
+            faults=(self.fault_plan.describe()
+                    if self.fault_plan is not None else None))
         self._step = 0
+        #: Session clock: advances every step() call (unlike _step, which
+        #: only counts decoded steps), so backoff/deadline/fault draws always
+        #: make forward progress.
+        self._clock = 0
+        self._has_deadlines = False
+        self._submitted_ids: set[str] = set()
+        self._drained_ids: set[str] = set()
         self._start: float | None = None
         self._finished = False
 
@@ -826,7 +919,11 @@ class FunctionalSession:
         states = self.engine._materialise(requests, self.lm, self.rng)
         for state in states:
             self.kv.validate_footprint(state)  # reject never-servable requests now
+            state.submitted_clock = self._clock
+            if state.request.deadline_steps is not None:
+                self._has_deadlines = True
         self.scheduler.submit(states)
+        self._submitted_ids.update(state.request_id for state in states)
 
     def resubmit(self, states: "list[SequenceState]") -> None:
         """Queue states drained from another session (cluster requeue).
@@ -835,11 +932,19 @@ class FunctionalSession:
         and accumulated results (generated tokens, TTFT, preemption counts)
         — so policy ranking does not penalise the re-admission, and a state
         with generated tokens resumes by eviction-and-recompute exactly as a
-        locally-preempted one would.
+        locally-preempted one would.  The deadline baseline restarts here: a
+        requeued request gets a fresh ``deadline_steps`` budget on its new
+        replica rather than inheriting rounds burned on the failed one.
         """
         for state in states:
             self.kv.validate_footprint(state)
+            state.submitted_clock = self._clock
+            if state.request.deadline_steps is not None:
+                self._has_deadlines = True
         self.scheduler.resubmit(states)
+        for state in states:
+            self._submitted_ids.add(state.request_id)
+            self._drained_ids.discard(state.request_id)
 
     # -- stepping --------------------------------------------------------
     def has_work(self) -> bool:
@@ -849,30 +954,54 @@ class FunctionalSession:
         if self.spec_on:
             state.spec_session = self._drafter.session()
 
-    def step(self) -> bool:
-        """Run one engine step; returns False when there is nothing to do."""
+    def step(self, clock: int | None = None) -> bool:
+        """Run one engine step; returns False when there is nothing to do.
+
+        ``clock`` pins the session clock to an external counter (the cluster
+        passes its round number so fault draws, backoffs and deadlines line
+        up across replicas); left ``None`` it simply advances by one per
+        call.  The clock advances even on steps that decode nothing, so a
+        request blocked by an injected fault always redraws a fresh gate
+        decision instead of failing forever.
+        """
         if self._finished:
             raise RuntimeError("session already finished")
         scheduler, kv, executor = self.scheduler, self.kv, self.executor
         if not scheduler.has_work():
             return False
+        self._clock = self._clock + 1 if clock is None else clock
+        if self.fault_plan is not None:
+            if executor.fault_gate is not None:
+                executor.fault_clock = self._clock
+            if kv.pressure_gate is not None:
+                kv.fault_clock = self._clock
         if self._start is None:
             self._start = time.perf_counter()
         step_start = time.perf_counter()
+        expired = self._expire_deadlines() if self._has_deadlines else 0
         self.engine._apply_cancellations(scheduler, kv, self.should_cancel,
                                          self.report, self._step)
         if not scheduler.has_work():
             return False
         admitted = scheduler.admit(self._step, time.perf_counter(), kv,
                                    whole_prefill=self.whole_prefill,
-                                   on_admit=self._on_admit)
+                                   on_admit=self._on_admit, clock=self._clock)
         kv.resolve_caches(list(scheduler.running.values()))
         decision = scheduler.plan(self._step, kv, token_budget=self.token_budget,
                                   spec_on=self.spec_on, chunkable=kv.chunkable)
-        executor.prefill_whole(decision.prefill_whole, self._step)
-        executor.prefill_chunks(decision.prefill_chunks, self._step)
-        outcome = executor.decode_step(scheduler.decode_ready(), self._step,
-                                       self.spec_on)
+        faulted: TransientExecutorError | None = None
+        try:
+            executor.prefill_whole(decision.prefill_whole, self._step)
+            executor.prefill_chunks(decision.prefill_chunks, self._step)
+            outcome = executor.decode_step(scheduler.decode_ready(), self._step,
+                                           self.spec_on)
+        except TransientExecutorError as err:
+            # The gate raises before any forward touches KV, so every state
+            # is exactly as it was at step entry; the faulted request is
+            # preempted (eviction-and-recompute) and retried after backoff.
+            faulted = err
+            outcome = StepOutcome()
+            self._handle_transient(err)
         if outcome.decoded:
             self._step += 1
             self.report.n_steps += 1
@@ -885,29 +1014,93 @@ class FunctionalSession:
             self.report.results.append(self.engine._result(state, self._step))
         if kv.bounded:
             kv.check_accounting()  # pool invariant holds after every step
-        self.report.step_latencies_s.append(time.perf_counter() - step_start)
+        dt = time.perf_counter() - step_start
+        if self._stragglers:
+            # Straggling inflates the *reported* simulated latency only —
+            # progress per step is unchanged, so tokens stay identical.
+            dt *= self.fault_plan.inflation(self.replica_id, self._clock)
+        self.report.step_latencies_s.append(dt)
+        if self.paranoid:
+            self.check_invariants()
         if self.on_step is not None:
             self.on_step(self._step)
         if not (admitted or decision.has_model_work or outcome.decoded
-                or retired or decision.preempted):
+                or retired or decision.preempted or expired
+                or faulted is not None or kv.last_failure_spurious
+                or scheduler.has_blocked(self._clock)):
             raise RuntimeError(
                 "serving stalled: no admission, prefill, decode, retirement "
                 "or preemption was possible this step (KV pool too small?)")
         return True
 
+    def _expire_deadlines(self) -> int:
+        """Expire live requests past their step deadline (terminal timeout)."""
+        expired = 0
+        for state in self.scheduler.live_states():
+            deadline = state.request.deadline_steps
+            if (deadline is not None
+                    and self._clock - state.submitted_clock >= deadline):
+                self.scheduler.timeout(state, self.kv)
+                self.report.results.append(self.engine._result(state, self._step))
+                expired += 1
+        return expired
+
+    def _handle_transient(self, err: TransientExecutorError) -> None:
+        """Retry (preempt + backoff) or give up on a faulted request."""
+        state = self.scheduler.running.get(err.request_id)
+        if state is None:  # already retired/cancelled — nothing to retry
+            return
+        state.n_retries += 1
+        self.report.n_retries += 1
+        if state.n_retries > state.request.max_retries:
+            self.scheduler.fail(state, self.kv)
+            self.report.results.append(self.engine._result(state, self._step))
+            return
+        self.scheduler.preempt(state, self.kv)
+        # Deterministic capped exponential backoff in *steps* (1, 2, 4, 8,
+        # 8, ...) — never wall clock, so retry schedules replay exactly.
+        state.blocked_until_step = (
+            self._clock + min(2 ** (state.n_retries - 1), 8))
+
+    def check_invariants(self) -> None:
+        """The paranoid-mode invariant sweep (asserted every step under chaos).
+
+        * **page accounting** — every replica pool's allocated pages equal
+          referenced + free (:meth:`KVPagePool.check_accounting`);
+        * **state-machine legality** — scheduler sets hold only legal phases
+          with consistent progress counters (:meth:`Scheduler.check_legal`);
+        * **conservation of requests** — every submitted request is exactly
+          live, terminal (reported) or drained; none lost, none duplicated.
+        """
+        self.kv.check_accounting()
+        self.scheduler.check_legal()
+        live = {s.request_id for s in self.scheduler.live_states()}
+        done = {r.request.request_id for r in self.report.results}
+        assert len(done) == len(self.report.results), (
+            "duplicate terminal results in the report")
+        assert not live & done, (
+            f"requests both live and terminal: {sorted(live & done)}")
+        missing = self._submitted_ids - (live | done | self._drained_ids)
+        assert not missing, f"requests lost (not live/terminal/drained): " \
+                            f"{sorted(missing)}"
+
     # -- introspection ---------------------------------------------------
     def load_snapshot(self) -> LoadSnapshot:
         """Queue depth, batch size, outstanding tokens and free pool space."""
         inflight = 0
+        projected = 0
         for state in self.scheduler.live_states():
             outstanding = (len(state.prompt) + state.request.decode_len
                            - state.prefilled - len(state.generated))
             inflight += max(0, outstanding)
+            projected += len(state.prompt) + state.request.decode_len
         return LoadSnapshot(
             n_queued=self.scheduler.n_waiting,
             n_running=len(self.scheduler.running),
             inflight_tokens=inflight,
-            free_pool_tokens=self.kv.free_tokens if self.kv.bounded else None)
+            free_pool_tokens=self.kv.free_tokens if self.kv.bounded else None,
+            projected_kv_tokens=projected,
+            capacity_tokens=self.kv.capacity_tokens if self.kv.bounded else None)
 
     # -- teardown --------------------------------------------------------
     def drain(self) -> "list[SequenceState]":
@@ -922,6 +1115,7 @@ class FunctionalSession:
         self.kv.clear()
         if self.kv.bounded:
             self.kv.check_accounting()
+        self._drained_ids.update(state.request_id for state in drained)
         return drained
 
     def finish(self) -> FunctionalServingReport:

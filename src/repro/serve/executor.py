@@ -69,6 +69,23 @@ class ModelExecutor:
         self.lm = lm
         self.kv = kv
         self.on_token = on_token
+        #: Chaos hook (``repro.serve.faults.FaultGate``): when armed, each
+        #: forward first draws per sequence and may raise a retryable
+        #: :class:`~repro.serve.faults.TransientExecutorError`.
+        self.fault_gate = None
+        #: Session clock for the gate's draws (advanced by the session, so a
+        #: retried request redraws instead of failing forever).
+        self.fault_clock = 0
+
+    def _maybe_fail(self, states: "list[SequenceState]") -> None:
+        """Raise an injected transient failure *before* any KV mutation."""
+        if self.fault_gate is None:
+            return
+        from repro.serve.faults import TransientExecutorError
+
+        for state in states:
+            if self.fault_gate.fires(state.request_id, self.fault_clock):
+                raise TransientExecutorError(state.request_id, self.fault_clock)
 
     # -- events ----------------------------------------------------------
     def _emit(self, state: "SequenceState", token: int, step: int) -> None:
@@ -107,6 +124,7 @@ class ModelExecutor:
         """One batched whole-target prefill for every fresh sequence."""
         if not states:
             return
+        self._maybe_fail(states)
         logits = self.lm.prefill_batch([s.prefill_target for s in states],
                                        [s.caches for s in states])
         now = time.perf_counter()
@@ -118,6 +136,8 @@ class ModelExecutor:
     def prefill_chunks(self, chunks: "list[tuple[SequenceState, int]]",
                        step: int) -> None:
         """Chunked prefill: each sequence extends by its budgeted chunk."""
+        if chunks:
+            self._maybe_fail([state for state, _ in chunks])
         for state, chunk in chunks:
             logits = self.lm.prefill_chunk(
                 state.prefill_target[state.prefilled:state.prefilled + chunk],
@@ -138,6 +158,7 @@ class ModelExecutor:
         outcome = StepOutcome(batch=len(active))
         if not active:
             return outcome
+        self._maybe_fail(active)
         outcome.decoded = True
         if spec_on:
             chunks = [[state.next_input, *state.proposals] for state in active]

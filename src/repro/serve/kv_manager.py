@@ -93,6 +93,16 @@ class KVSpaceManager:
         self.index: RadixPrefixIndex | None = (
             RadixPrefixIndex(max_tokens=radix_max_tokens)
             if prefix_cache and self.chunkable else None)
+        #: Chaos hook (``repro.serve.faults.FaultGate``): when armed, growing
+        #: reservations spuriously fail — deterministic allocation pressure.
+        self.pressure_gate = None
+        #: Session clock for the gate's draws (advanced by the session).
+        self.fault_clock = 0
+        #: Whether the most recent :meth:`reserve` *failure* was gate-injected
+        #: (evicting victims cannot cure it; the caller should just wait).
+        #: Updated only on failure: a genuine capacity failure clears it, so
+        #: stall detection stays sound while the gate is armed.
+        self.last_failure_spurious = False
 
     # -- capacity accounting --------------------------------------------
     @property
@@ -124,14 +134,25 @@ class KVSpaceManager:
             raise RuntimeError("free_tokens is undefined for an unbounded pool")
         return max(0, self.capacity_tokens - self.used_tokens)
 
-    def reserve(self, state: "SequenceState", n_tokens: int) -> bool:
+    def reserve(self, state: "SequenceState", n_tokens: int, *,
+                faultable: bool = True) -> bool:
         """Grow ``state``'s reservation to cover ``n_tokens`` total tokens.
 
         Answers the scheduler's ``can_allocate`` question *bindingly*: on
         success the space is reserved.  Reservations never shrink here
         (:meth:`sync` lowers them); radix snapshots are reclaimed LRU-first
-        before reporting failure.
+        before reporting failure.  An armed :attr:`pressure_gate` makes a
+        *growing* reservation spuriously fail (``faultable=False`` bypasses
+        the gate — the scheduler's genuine-capacity recheck); the draw is
+        keyed by ``(request, size, clock)`` so it is stable within a step
+        and redrawn the next.
         """
+        if (self.pressure_gate is not None and faultable
+                and self._page_round(n_tokens) > state.reserved_tokens
+                and self.pressure_gate.fires(state.request_id, n_tokens,
+                                             self.fault_clock)):
+            self.last_failure_spurious = True
+            return False
         if not self.bounded:
             return True
         rounded = self._page_round(n_tokens)
@@ -141,6 +162,7 @@ class KVSpaceManager:
         if extra > self.free_tokens:
             self.reclaim(extra)
         if extra > self.free_tokens:
+            self.last_failure_spurious = False  # genuine capacity failure
             return False
         state.reserved_tokens = rounded
         self._reserved_total += extra

@@ -6,8 +6,8 @@ This is the *policy* layer of the serving core's three-layer split
 request's lifecycle state::
 
     WAITING -> PREFILL -> DECODE -> FINISHED
-        ^          |         |        (or CANCELLED from any live phase)
-        |          v         v
+        ^          |         |        (or CANCELLED / TIMEOUT / FAILED
+        |          v         v         from any live phase)
         +------ PREEMPTED <--+
 
 and consults a :class:`SchedulingPolicy` — a first-class component registered
@@ -51,6 +51,10 @@ class RequestPhase(Enum):
     PREEMPTED = "preempted"
     FINISHED = "finished"
     CANCELLED = "cancelled"
+    #: Deadline exceeded (``Request.deadline_steps``) — terminal.
+    TIMEOUT = "timeout"
+    #: Transient-failure retries exhausted (``Request.max_retries``) — terminal.
+    FAILED = "failed"
 
 
 @dataclass(eq=False)
@@ -84,6 +88,12 @@ class SequenceState:
     n_preemptions: int = 0
     #: Logical KV tokens reserved for this sequence (KVSpaceManager-owned).
     reserved_tokens: int = 0
+    #: Transient executor failures retried so far.
+    n_retries: int = 0
+    #: Session clock before which admission skips this state (retry backoff).
+    blocked_until_step: int = 0
+    #: Session clock at submission — the deadline baseline.
+    submitted_clock: int = 0
 
     @property
     def request_id(self) -> str:
@@ -99,7 +109,8 @@ class SequenceState:
 
     @property
     def is_live(self) -> bool:
-        return self.phase not in (RequestPhase.FINISHED, RequestPhase.CANCELLED)
+        return self.phase in (RequestPhase.WAITING, RequestPhase.PREFILL,
+                              RequestPhase.DECODE, RequestPhase.PREEMPTED)
 
     @property
     def is_running(self) -> bool:
@@ -351,7 +362,8 @@ class Scheduler:
     # -- admission -------------------------------------------------------
     def admit(self, step: int, now: float, kv: "KVSpaceManager", *,
               whole_prefill: bool,
-              on_admit: "Callable[[SequenceState, bool], None]") -> list[SequenceState]:
+              on_admit: "Callable[[SequenceState, bool], None]",
+              clock: int | None = None) -> list[SequenceState]:
         """Fill free continuous-batching slots in policy order.
 
         In whole-prefill mode the candidate's full target (plus the decode
@@ -360,13 +372,21 @@ class Scheduler:
         free space.  A policy with ``preempts_for_admission`` may evict
         strictly worse-ranked running sequences to make room.  Admission
         stops at the first candidate that cannot fit, preserving policy
-        order under memory pressure.
+        order under memory pressure — but states still serving a retry
+        backoff (``blocked_until_step > clock``) are skipped over rather
+        than blocking the queue head.
         """
+        if clock is None:
+            clock = step
         admitted: list[SequenceState] = []
+        deferred: list[SequenceState] = []
         while self._n_waiting and len(self.running) < self.max_concurrency:
             state = self._peek_waiting()
             if state is None:
                 break
+            if state.blocked_until_step > clock:
+                deferred.append(self._pop_waiting())
+                continue
             resumed = state.phase is RequestPhase.PREEMPTED
             state.prefill_target = (state.prompt + state.generated[:-1]
                                     if resumed and state.generated else
@@ -390,7 +410,14 @@ class Scheduler:
             on_admit(state, first)
             self.running[state.request_id] = state
             admitted.append(state)
+        for state in deferred:
+            self._push_waiting(state)
         return admitted
+
+    def has_blocked(self, clock: int) -> bool:
+        """Whether any queued state is serving a retry backoff at ``clock``."""
+        return any(self._queued(entry[2]) and entry[2].blocked_until_step > clock
+                   for entry in self._waiting)
 
     def _make_room(self, state: SequenceState, projected: int,
                    kv: "KVSpaceManager", *, admission: bool = False,
@@ -403,6 +430,10 @@ class Scheduler:
         the reservation succeeded.
         """
         while not kv.reserve(state, projected):
+            if kv.last_failure_spurious:
+                # Injected allocation pressure: evicting victims cannot cure
+                # it and the draw is stable within this clock — just wait.
+                return False
             candidates = [s for s in self.running.values() if s is not state
                           and (protected is None or s.request_id not in protected)]
             if admission:
@@ -570,25 +601,83 @@ class Scheduler:
             self.finished.append(state)
         return done
 
-    def cancel(self, state: SequenceState, kv: "KVSpaceManager") -> None:
-        """Cancel a waiting or running request, releasing any KV space."""
+    def _terminate(self, state: SequenceState, kv: "KVSpaceManager",
+                   phase: RequestPhase) -> None:
+        """Move a live state to a terminal phase, releasing any KV space.
+
+        Handles every live phase uniformly: a running state leaves the
+        running set, a queued (waiting/preempted) one is dropped lazily from
+        the heap on the next peek.  ``kv.release`` is idempotent for queued
+        states (no caches, zero reservation), so pages can never leak or be
+        resurrected by a later re-admission sweep.
+        """
         if not state.is_live:
             return
         if state.request_id in self.running:
-            kv.release(state)
             self.running.pop(state.request_id)
         else:
             self._n_waiting -= 1  # heap entry is dropped lazily on peek
-        state.phase = RequestPhase.CANCELLED
+        kv.release(state)
+        state.phase = phase
         state.caches = None
         state.spec_session = None
         self.finished.append(state)
+
+    def cancel(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Cancel a waiting or running request, releasing any KV space."""
+        self._terminate(state, kv, RequestPhase.CANCELLED)
+
+    def timeout(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Expire a request past its ``deadline_steps`` (terminal)."""
+        self._terminate(state, kv, RequestPhase.TIMEOUT)
+
+    def fail(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Give up on a request whose transient retries are exhausted."""
+        self._terminate(state, kv, RequestPhase.FAILED)
 
     def live_states(self) -> list[SequenceState]:
         """Every waiting (unsorted) and running state — membership sweeps
         (e.g. cancellation checks) that don't care about policy order."""
         return ([entry[2] for entry in self._waiting if self._queued(entry[2])]
                 + list(self.running.values()))
+
+    def check_legal(self) -> None:
+        """Assert the scheduler's state machine is in a legal configuration.
+
+        The paranoid-mode invariant sweep (run every step under chaos):
+        running states must be mid-prefill or mid-decode with consistent
+        progress counters, queued states must hold no KV, terminal states
+        must be terminal, and no request may appear in two sets at once.
+        """
+        terminal = (RequestPhase.FINISHED, RequestPhase.CANCELLED,
+                    RequestPhase.TIMEOUT, RequestPhase.FAILED)
+        queued_ids = set()
+        for entry in self._waiting:
+            state = entry[2]
+            if not self._queued(state):
+                continue
+            queued_ids.add(state.request_id)
+            assert state.caches is None, (
+                f"queued request '{state.request_id}' holds caches")
+            assert state.reserved_tokens == 0, (
+                f"queued request '{state.request_id}' holds a KV reservation")
+        for request_id, state in self.running.items():
+            assert request_id == state.request_id, (
+                f"running key '{request_id}' maps to '{state.request_id}'")
+            assert state.phase in (RequestPhase.PREFILL, RequestPhase.DECODE), (
+                f"running request '{request_id}' in phase {state.phase.value}")
+            assert request_id not in queued_ids, (
+                f"request '{request_id}' is both queued and running")
+            assert len(state.generated) <= state.request.decode_len, (
+                f"request '{request_id}' decoded past its decode_len")
+            assert state.prefilled <= len(state.prefill_target), (
+                f"request '{request_id}' prefilled past its target")
+        for state in self.finished:
+            assert state.phase in terminal, (
+                f"retired request '{state.request_id}' in live phase "
+                f"{state.phase.value}")
+            assert state.reserved_tokens == 0, (
+                f"terminal request '{state.request_id}' holds a KV reservation")
 
     def find(self, request_id: str) -> SequenceState | None:
         state = self.running.get(request_id)

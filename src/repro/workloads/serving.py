@@ -91,6 +91,8 @@ def zipf_shared_prefix_requests(n_requests: int, n_templates: int, prefix_len: i
                                 alpha: float = 1.1, decode_sigma: float = 0.0,
                                 max_decode_len: int | None = None,
                                 rate_rps: float = 100.0,
+                                deadline_steps: int | None = None,
+                                max_retries: int | None = None,
                                 seed: int = 0) -> list[Request]:
     """Zipf-popularity prefix reuse over a pool of prompt templates.
 
@@ -107,6 +109,10 @@ def zipf_shared_prefix_requests(n_requests: int, n_templates: int, prefix_len: i
     ``decode_len`` (clamped to ``[1, max_decode_len or 4 * decode_len]``), the
     skewed-service-time regime that separates least-loaded from round-robin
     routing.  Arrivals are Poisson at ``rate_rps``.
+
+    ``deadline_steps`` / ``max_retries`` are forwarded to every
+    :class:`~repro.serve.Request` when given (``None`` keeps the Request
+    defaults) — the robustness knobs chaos benchmarks sweep.
     """
     if n_requests <= 0 or n_templates <= 0:
         raise ValueError("n_requests and n_templates must be positive")
@@ -121,6 +127,11 @@ def zipf_shared_prefix_requests(n_requests: int, n_templates: int, prefix_len: i
         raise ValueError("max_decode_len must be positive (or None)")
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
+    robustness = {}
+    if deadline_steps is not None:
+        robustness["deadline_steps"] = deadline_steps
+    if max_retries is not None:
+        robustness["max_retries"] = max_retries
     request_cls = _request_cls()
     rng = derive_rng(seed, "zipf-shared-prefix-requests")
     templates = [rng.integers(0, vocab_size, size=prefix_len).tolist()
@@ -145,6 +156,7 @@ def zipf_shared_prefix_requests(n_requests: int, n_templates: int, prefix_len: i
             prompt_len=len(prompt),
             decode_len=decode,
             prompt_tokens=tuple(prompt),
+            **robustness,
         ))
     return requests
 
