@@ -79,7 +79,7 @@ def _chaos_metrics(report, n_submitted: int) -> dict:
     }
 
 
-def run_benchmark(quick: bool, repeats: int) -> dict:
+def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     if quick:
         n_requests, n_templates = 24, 4
         prefix_len, suffix_len, decode_len = 64, 8, 8
@@ -95,7 +95,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     vocab = lm.config.vocab_size
     pool = "paged:page_tokens=16,initial_pages=24,grow=false"
     kwargs = dict(router="radix-affinity", cache=pool, prefix_cache=True,
-                  max_concurrency=2, seed=0)
+                  max_concurrency=2, seed=seed)
     plan = [f"replica-crash:replica=1,at={crash_at},recover_after={recover_after}",
             "straggler:replica=2,slowdown=3",
             "transient-exec:rate=0.04",
@@ -115,7 +115,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     requests = zipf_shared_prefix_requests(
         n_requests=n_requests, n_templates=n_templates, prefix_len=prefix_len,
         suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab,
-        alpha=1.1, deadline_steps=deadline, max_retries=8, seed=0)
+        alpha=1.1, deadline_steps=deadline, max_retries=8, seed=seed)
     healthy = best(requests)
     chaotic = best(requests, faults=plan, paranoid=True)
 
@@ -139,7 +139,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
         n_requests=over_requests, n_templates=n_templates,
         prefix_len=prefix_len, suffix_len=suffix_len, decode_len=decode_len,
         vocab_size=vocab, alpha=1.1, deadline_steps=over_deadline,
-        max_retries=4, seed=1)
+        max_retries=4, seed=seed + 1)
     overloaded = best(overload_requests, faults=["alloc-pressure:rate=0.1"],
                       shed_threshold=0.85, paranoid=True,
                       arrivals_per_step=over_arrivals)
@@ -151,7 +151,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
         "config": {
             "model": lm.config.name, "n_layers": lm.config.n_layers,
             "n_replicas": 4, "max_concurrency": 2,
-            "repeats": repeats, "quick": quick,
+            "repeats": repeats, "quick": quick, "seed": seed,
             "chaos": {"n_requests": n_requests, "n_templates": n_templates,
                       "prefix_len": prefix_len, "suffix_len": suffix_len,
                       "decode_len": decode_len, "deadline_steps": deadline,
@@ -193,12 +193,14 @@ def main() -> None:
                         help="small geometry for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload (and fault-plan) seed")
     parser.add_argument("--out", type=Path, default=Path("BENCH_chaos.json"))
     args = parser.parse_args()
     if args.quick and args.repeats > 2:
         args.repeats = 2
 
-    results = run_benchmark(args.quick, args.repeats)
+    results = run_benchmark(args.quick, args.repeats, args.seed)
     args.out.write_text(json.dumps(results, indent=2))
     print(f"wrote {args.out}")
 

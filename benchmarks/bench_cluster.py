@@ -73,7 +73,7 @@ def _tokens(report) -> dict:
             for r in report.results}
 
 
-def run_benchmark(quick: bool, repeats: int) -> dict:
+def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     if quick:
         n_replicas, concurrency = 4, 2
         n_requests, n_templates = 24, 6
@@ -92,7 +92,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     page_cache = "paged:page_tokens=16"
 
     def cluster(router, **kwargs):
-        merged = dict(router=router, max_concurrency=concurrency, seed=0)
+        merged = dict(router=router, max_concurrency=concurrency, seed=seed)
         merged.update(kwargs)
         return ClusterEngine(n_replicas, **merged)
 
@@ -108,7 +108,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     shared = zipf_shared_prefix_requests(
         n_requests=n_requests, n_templates=n_templates, prefix_len=prefix_len,
         suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab,
-        alpha=1.1, seed=0)
+        alpha=1.1, seed=seed)
     # Two arrivals per lockstep round: enough inter-arrival spacing that a
     # replica's radix cache is warm before the next instance of a template
     # lands (a closed-loop flood would cold-prefill simultaneous admissions).
@@ -144,7 +144,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     skewed = zipf_shared_prefix_requests(
         n_requests=skew_requests, n_templates=4, prefix_len=16, suffix_len=4,
         decode_len=skew_decode, vocab_size=vocab, alpha=1.1,
-        decode_sigma=skew_sigma, seed=1)
+        decode_sigma=skew_sigma, seed=seed + 1)
     # Low concurrency keeps replicas queue-limited: with deep per-replica
     # parallelism the single longest request bounds every router equally and
     # placement stops mattering.
@@ -234,12 +234,14 @@ def main() -> None:
                         help="small geometry for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload (and fault-plan) seed")
     parser.add_argument("--out", type=Path, default=Path("BENCH_cluster.json"))
     args = parser.parse_args()
     if args.quick and args.repeats > 2:
         args.repeats = 2
 
-    results = run_benchmark(args.quick, args.repeats)
+    results = run_benchmark(args.quick, args.repeats, args.seed)
     args.out.write_text(json.dumps(results, indent=2))
     print(f"wrote {args.out}")
 

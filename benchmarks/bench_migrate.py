@@ -1,0 +1,217 @@
+"""Failover benchmark: recompute-free recovery via KV checkpoint migration.
+
+Runs the multi-replica :class:`~repro.serve.cluster.ClusterEngine` through a
+mid-run replica crash three ways over identical long-prompt requests and
+writes ``BENCH_migrate.json``:
+
+* ``failover`` — 4 replicas, one crashes after the first periodic
+  checkpoint round.  The *recompute* run (PR 7 recovery: migration
+  disabled) re-prefills every drained request's full token history; the
+  *checkpointed* run (``migration="checkpoint:interval=8"``) restores each
+  drained request from its stashed KV checkpoint and re-decodes at most
+  ``interval`` lost steps.  A fault-free run over the same requests is the
+  token reference.  Guarded: every request reaches a terminal status
+  (``terminal_fraction`` 1.0), decoded tokens identical to the healthy run
+  (``token_identity_fraction`` 1.0 — both recovery modes are correctness-
+  preserving), the recompute tokens the checkpoints saved (deterministic,
+  > 0), and crash-recovery goodput vs the recompute run (> 1: restoring
+  pages is cheaper than re-prefilling long prompts).
+* ``drain`` — a straggling replica is demoted to DEGRADED and proactively
+  drained (``drain-on-degraded:max_inflight=0`` composed with periodic
+  checkpoints): live requests checkpoint-migrate onto HEALTHY replicas
+  without losing a token.  Guarded: terminal/identity fractions (1.0) and
+  the number of checkpoint-migrated requests (deterministic, > 0).
+
+Statuses, migration counts and decoded tokens are bit-reproducible for a
+fixed ``--seed``; only the timing-derived goodput ratio varies per host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_migrate.py            # full run
+    PYTHONPATH=src python benchmarks/bench_migrate.py --quick    # CI smoke
+
+The committed ``benchmarks/BENCH_migrate_baseline.json`` pins the guarded
+metrics (its ``guarded`` key); CI runs ``check_bench_regression.py`` against
+it and fails on a >20% drop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.config import tiny_config
+from repro.llm.model import DecoderLM
+from repro.serve import ClusterEngine, Request
+
+
+def _bench_model(max_seq_len: int) -> DecoderLM:
+    # Wider than the other serving benches: re-prefilling a long prompt has
+    # to cost real FLOPs for the recompute-vs-restore contrast to be fair.
+    config = tiny_config("bench-migrate", n_layers=4, d_model=128, n_heads=4,
+                         d_ff=256, vocab_size=128, max_seq_len=max_seq_len)
+    return DecoderLM(config, seed=0)
+
+
+def _requests(n: int, prompt_len: int, decode_len: int, vocab: int,
+              seed: int) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    return [Request(request_id=f"m{i}", arrival_time_s=i * 0.01,
+                    prompt_len=prompt_len, decode_len=decode_len,
+                    prompt_tokens=tuple(
+                        rng.integers(1, vocab, size=prompt_len).tolist()))
+            for i in range(n)]
+
+
+def _tokens(report) -> dict:
+    return {r.request.request_id: tuple(r.generated_tokens)
+            for r in report.results if r.status == "finished"}
+
+
+def _identity_fraction(report, reference_tokens: dict) -> float:
+    tokens = _tokens(report)
+    identical = sum(1 for rid, toks in tokens.items()
+                    if reference_tokens.get(rid) == toks)
+    return identical / max(len(tokens), 1)
+
+
+def _common_metrics(report, n_submitted: int) -> dict:
+    n = max(n_submitted, 1)
+    return {
+        "n_requests": n_submitted,
+        "terminal_fraction": len(report.results) / n,
+        "completion_rate": sum(1 for r in report.results
+                               if r.status == "finished") / n,
+        "n_requeued": report.n_requeued,
+        "migrated_requests": report.migrated_requests,
+        "migrated_pages": report.migrated_pages,
+        "n_restored": report.n_restored,
+        "recompute_tokens_saved": report.recompute_tokens_saved,
+        "cluster_steps": report.cluster_steps,
+        "decode_tokens_per_s": report.decode_tokens_per_s,
+        "parallel_wall_s": report.parallel_wall_s,
+    }
+
+
+def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
+    if quick:
+        n_requests, prompt_len, decode_len = 16, 192, 16
+        interval, crash_at, pages = 8, 11, 96
+    else:
+        n_requests, prompt_len, decode_len = 24, 320, 20
+        interval, crash_at, pages = 8, 13, 160
+
+    lm = _bench_model(max_seq_len=2 * (prompt_len + decode_len + 64))
+    vocab = lm.config.vocab_size
+    # No prefix cache and a bounded pool: recompute-based recovery really
+    # re-prefills the full prompt_len history it lost.
+    pool = f"paged:page_tokens=16,initial_pages={pages},grow=false"
+    kwargs = dict(router="least-loaded", cache=pool, max_concurrency=4,
+                  seed=seed)
+    requests = _requests(n_requests, prompt_len, decode_len, vocab, seed)
+
+    def best(fail=None, **extra):
+        merged = dict(kwargs)
+        merged.update(extra)
+        top = None
+        for _ in range(repeats):
+            cluster = ClusterEngine(4, **merged)
+            if fail is not None:
+                cluster.fail_replica(*fail)
+            report = cluster.run(lm, requests)
+            if top is None or report.parallel_wall_s < top.parallel_wall_s:
+                top = report
+        return top
+
+    # -- regime 1: crash failover, recompute vs checkpoint restore --------
+    healthy = best()
+    reference_tokens = _tokens(healthy)
+    recompute = best(fail=(1, crash_at), paranoid=True)
+    ckpt = best(fail=(1, crash_at), paranoid=True,
+                migration=f"checkpoint:interval={interval}")
+
+    failover = {
+        "healthy": _common_metrics(healthy, n_requests),
+        "recompute": _common_metrics(recompute, n_requests),
+        "checkpointed": _common_metrics(ckpt, n_requests),
+        "migration": ckpt.migration,
+        "terminal_fraction": len(ckpt.results) / n_requests,
+        "token_identity_fraction": _identity_fraction(ckpt, reference_tokens),
+        "recompute_identity_fraction": _identity_fraction(recompute,
+                                                          reference_tokens),
+        "recompute_tokens_saved": ckpt.recompute_tokens_saved,
+        "goodput_vs_recompute": (ckpt.decode_tokens_per_s
+                                 / max(recompute.decode_tokens_per_s, 1e-9)),
+    }
+
+    # -- regime 2: proactive drain of a DEGRADED (straggling) replica -----
+    drained = best(faults=["straggler:replica=2,slowdown=3"], paranoid=True,
+                   migration=["drain-on-degraded:max_inflight=0",
+                              f"checkpoint:interval={interval}"])
+    drain = _common_metrics(drained, n_requests)
+    drain["terminal_fraction"] = len(drained.results) / n_requests
+    drain["token_identity_fraction"] = _identity_fraction(drained,
+                                                          reference_tokens)
+    drain["migration"] = drained.migration
+
+    results = {
+        "config": {
+            "model": lm.config.name, "n_layers": lm.config.n_layers,
+            "n_replicas": 4, "max_concurrency": 2, "pool": pool,
+            "n_requests": n_requests, "prompt_len": prompt_len,
+            "decode_len": decode_len, "checkpoint_interval": interval,
+            "crash_at": crash_at, "seed": seed,
+            "repeats": repeats, "quick": quick,
+        },
+        "failover": failover,
+        "drain": drain,
+        # Terminal / identity / saved-token / migration counts are
+        # deterministic; the goodput ratio is the only timing-derived
+        # guarded metric.
+        "guarded": [["failover", "terminal_fraction"],
+                    ["failover", "token_identity_fraction"],
+                    ["failover", "recompute_identity_fraction"],
+                    ["failover", "recompute_tokens_saved"],
+                    ["failover", "goodput_vs_recompute"],
+                    ["drain", "terminal_fraction"],
+                    ["drain", "token_identity_fraction"],
+                    ["drain", "migrated_requests"]],
+    }
+
+    cm = failover["checkpointed"]
+    print(f"failover: terminal {failover['terminal_fraction']:.0%} | "
+          f"token-identical {failover['token_identity_fraction']:.0%} | "
+          f"{cm['migrated_requests']} migrated ({cm['migrated_pages']} pages), "
+          f"{cm['n_restored']} restores, "
+          f"{failover['recompute_tokens_saved']} recompute tokens saved | "
+          f"goodput {failover['goodput_vs_recompute']:.2f}x of recompute")
+    print(f"drain   : terminal {drain['terminal_fraction']:.0%} | "
+          f"token-identical {drain['token_identity_fraction']:.0%} | "
+          f"{drain['migrated_requests']} migrated "
+          f"({drain['migrated_pages']} pages), {drain['n_restored']} restores")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload / cluster / fault-plan seed")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_migrate.json"))
+    args = parser.parse_args()
+    if args.quick and args.repeats > 2:
+        args.repeats = 2
+
+    results = run_benchmark(args.quick, args.repeats, args.seed)
+    args.out.write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

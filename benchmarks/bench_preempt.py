@@ -82,7 +82,7 @@ def _metrics(report) -> dict:
     }
 
 
-def run_benchmark(quick: bool, repeats: int) -> dict:
+def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     if quick:
         n_bursts, burst_size = 2, 6
         prompt_len, decode_len = 48, 16
@@ -100,10 +100,10 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
 
     bursty = bursty_requests(n_bursts=n_bursts, burst_size=burst_size,
                              prompt_len=prompt_len, decode_len=decode_len,
-                             vocab_size=vocab, length_jitter=0.25, seed=0)
+                             vocab_size=vocab, length_jitter=0.25, seed=seed)
     tiered = tiered_requests(n_requests=tiered_n, levels=3,
                              prompt_len=tiered_prompt, decode_len=tiered_decode,
-                             vocab_size=vocab, seed=0)
+                             vocab_size=vocab, seed=seed)
 
     def best(requests, **kwargs):
         top = None
@@ -186,12 +186,14 @@ def main() -> None:
                         help="small geometry for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload (and fault-plan) seed")
     parser.add_argument("--out", type=Path, default=Path("BENCH_preempt.json"))
     args = parser.parse_args()
     if args.quick and args.repeats > 2:
         args.repeats = 2
 
-    results = run_benchmark(args.quick, args.repeats)
+    results = run_benchmark(args.quick, args.repeats, args.seed)
     args.out.write_text(json.dumps(results, indent=2))
     print(f"wrote {args.out}")
 

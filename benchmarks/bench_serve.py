@@ -98,7 +98,7 @@ def _compare(engine: ServingEngine, lm: DecoderLM, requests, repeats: int,
     return results
 
 
-def run_benchmark(quick: bool, repeats: int) -> dict:
+def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     if quick:
         prefix_len, suffix_len, decode_len = 96, 8, 12
         n_groups, per_group = 2, 6
@@ -118,17 +118,18 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
 
     shared = shared_prefix_requests(
         n_groups=n_groups, requests_per_group=per_group, prefix_len=prefix_len,
-        suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=0)
+        suffix_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=seed)
     multi_turn = multi_turn_requests(
         n_conversations=conversations, n_turns=turns, system_len=prefix_len // 2,
-        user_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=0)
+        user_len=suffix_len, decode_len=decode_len, vocab_size=vocab, seed=seed)
     disjoint = poisson_requests(disjoint_n, rate_rps=100.0, prompt_len=disjoint_prompt,
-                                decode_len=disjoint_decode, length_jitter=0.3, seed=0)
+                                decode_len=disjoint_decode, length_jitter=0.3, seed=seed)
 
     results = {
         "config": {
             "model": lm.config.name, "n_layers": lm.config.n_layers,
             "d_model": lm.config.d_model, "max_concurrency": concurrency,
+            "seed": seed,
             "page_tokens": page_tokens, "token_budget": token_budget,
             "repeats": repeats, "quick": quick,
             "shared": {"n_groups": n_groups, "requests_per_group": per_group,
@@ -160,12 +161,14 @@ def main() -> None:
                         help="small geometry for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload (and fault-plan) seed")
     parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
     args = parser.parse_args()
     if args.quick and args.repeats > 2:
         args.repeats = 2
 
-    results = run_benchmark(args.quick, args.repeats)
+    results = run_benchmark(args.quick, args.repeats, args.seed)
     args.out.write_text(json.dumps(results, indent=2))
     print(f"wrote {args.out}")
 

@@ -136,7 +136,7 @@ def _compare(engine: ServingEngine, lm: DecoderLM, requests, repeats: int,
     return results
 
 
-def run_benchmark(quick: bool, repeats: int) -> dict:
+def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     if quick:
         n_requests, template_len, n_repeats, decode_len = 6, 16, 3, 24
         random_n, random_prompt, random_decode = 6, 48, 24
@@ -155,9 +155,9 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
 
     repetitive = repetitive_requests(
         n_requests=n_requests, template_len=template_len, n_repeats=n_repeats,
-        decode_len=decode_len, vocab_size=vocab, seed=0)
+        decode_len=decode_len, vocab_size=vocab, seed=seed)
     random_reqs = poisson_requests(random_n, rate_rps=100.0, prompt_len=random_prompt,
-                                   decode_len=random_decode, length_jitter=0.3, seed=0)
+                                   decode_len=random_decode, length_jitter=0.3, seed=seed)
 
     results = {
         "config": {
@@ -165,6 +165,7 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
             "d_model": lm.config.d_model, "draft_model": draft.config.name,
             "draft_n_layers": draft.config.n_layers,
             "max_concurrency": concurrency, "page_tokens": page_tokens,
+            "seed": seed,
             "repeats": repeats, "quick": quick,
             "repetitive": {"n_requests": n_requests, "template_len": template_len,
                            "n_repeats": n_repeats, "decode_len": decode_len},
@@ -195,12 +196,14 @@ def main() -> None:
                         help="small geometry for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload (and fault-plan) seed")
     parser.add_argument("--out", type=Path, default=Path("BENCH_spec.json"))
     args = parser.parse_args()
     if args.quick and args.repeats > 2:
         args.repeats = 2
 
-    results = run_benchmark(args.quick, args.repeats)
+    results = run_benchmark(args.quick, args.repeats, args.seed)
     args.out.write_text(json.dumps(results, indent=2))
     print(f"wrote {args.out}")
 

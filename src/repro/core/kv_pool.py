@@ -35,6 +35,9 @@ first, and the mirror is only ever filled from page contents.
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.llm.cache import ContiguousKVStore, KVCacheFactory, LayerKVCache, RecomputeFn
@@ -43,6 +46,81 @@ from repro.registry import register
 
 class PoolExhausted(RuntimeError):
     """Raised when a non-growing :class:`KVPagePool` runs out of free pages."""
+
+
+@dataclass(frozen=True)
+class KVLayerCheckpoint:
+    """Self-contained serialized KV state of one request in one layer.
+
+    ``keys``/``values`` are ``[H, n_tokens, d]`` float32 *copies* gathered in
+    page-table order (flushed pages first, then any unflushed mirror tail),
+    so the checkpoint stays valid after the source cache — and even its whole
+    pool — is released, and CoW pages shared with other requests are never
+    aliased.  ``flushed_tokens`` records the source's mirror→page watermark;
+    ``page_tokens`` its pool geometry, so :attr:`n_pages` prices what the
+    checkpoint occupied at the source (a target pool with a different page
+    size simply re-chunks on import).
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+    n_tokens: int
+    flushed_tokens: int
+    page_tokens: int
+
+    @property
+    def n_heads(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def head_dim(self) -> int:
+        return int(self.keys.shape[2])
+
+    @property
+    def n_pages(self) -> int:
+        """Pages this layer's tokens occupied at the source pool (ceil)."""
+        return -(-self.n_tokens // self.page_tokens)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.values.nbytes)
+
+
+@dataclass(frozen=True)
+class KVCheckpoint:
+    """A request's full KV state across every decoder layer, self-contained.
+
+    Produced by :meth:`KVSpaceManager.checkpoint
+    <repro.serve.kv_manager.KVSpaceManager.checkpoint>` from per-layer
+    :meth:`PagedKVCache.export_state` calls; restorable into *any* pool with
+    matching head geometry via :meth:`KVPagePool.import_pages` /
+    :meth:`PagedKVCache.import_state` with clean page accounting on both
+    sides.  This is the KV-handoff primitive behind recompute-free failover
+    and (later) disaggregated prefill/decode.
+    """
+
+    layers: tuple[KVLayerCheckpoint, ...]
+
+    @property
+    def n_tokens(self) -> int:
+        return self.layers[0].n_tokens if self.layers else 0
+
+    @property
+    def n_heads(self) -> int:
+        return self.layers[0].n_heads if self.layers else 0
+
+    @property
+    def head_dim(self) -> int:
+        return self.layers[0].head_dim if self.layers else 0
+
+    @property
+    def n_pages(self) -> int:
+        """Source-pool pages across all layers (the migration payload size)."""
+        return sum(layer.n_pages for layer in self.layers)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(layer.nbytes for layer in self.layers)
 
 
 class KVPagePool:
@@ -115,19 +193,37 @@ class KVPagePool:
         return self._refcounts[page]
 
     def check_accounting(self) -> None:
-        """Assert the pool invariant ``allocated = referenced + free``."""
-        free = set(self._free)
-        if len(free) != len(self._free):
-            raise AssertionError("free list contains duplicate pages")
+        """Assert the pool invariant ``allocated = referenced + free``.
+
+        Failure messages carry the actual counts and the offending page ids
+        so a broken invariant surfaced deep inside a chaos run is debuggable
+        from the traceback alone.
+        """
+        counts = Counter(self._free)
+        duplicates = sorted(page for page, n in counts.items() if n > 1)
+        if duplicates:
+            raise AssertionError(
+                f"free list contains duplicate pages {duplicates} "
+                f"(free list has {len(self._free)} entries, "
+                f"{len(counts)} distinct, of {self.n_pages} allocated)")
         if self.n_pages != self.n_referenced + self.n_free:
             raise AssertionError(
                 f"page accounting broken: {self.n_pages} allocated != "
                 f"{self.n_referenced} referenced + {self.n_free} free")
         held = {page for page, count in enumerate(self._refcounts) if count > 0}
-        if free & held:
-            raise AssertionError("free list contains referenced pages")
-        if any(count < 0 for count in self._refcounts):
-            raise AssertionError("negative refcount")
+        both = sorted(set(counts) & held)
+        if both:
+            raise AssertionError(
+                f"free list contains referenced pages {both} "
+                f"(refcounts {[self._refcounts[p] for p in both]}; "
+                f"{self.n_referenced} referenced + {self.n_free} free "
+                f"of {self.n_pages} allocated)")
+        negative = sorted(page for page, count in enumerate(self._refcounts)
+                          if count < 0)
+        if negative:
+            raise AssertionError(
+                f"negative refcount on pages {negative} "
+                f"(refcounts {[self._refcounts[p] for p in negative]})")
 
     # -- allocation -----------------------------------------------------
     def _grow(self) -> None:
@@ -190,6 +286,37 @@ class KVPagePool:
     def value_page(self, page: int) -> np.ndarray:
         return self._values[page]
 
+    # -- checkpoint import ----------------------------------------------
+    def import_pages(self, ckpt: KVLayerCheckpoint) -> list[int]:
+        """Materialise a layer checkpoint as freshly-allocated pages here.
+
+        The checkpoint's contiguous ``[H, n_tokens, d]`` arrays are
+        re-chunked to *this* pool's ``page_tokens`` (the source's page size
+        may differ), so a checkpoint is portable across pool geometries as
+        long as head geometry matches.  All-or-nothing: if the pool runs dry
+        mid-import every page allocated so far is released before
+        :class:`PoolExhausted` propagates, leaving accounting clean.
+        """
+        if ckpt.n_heads != self.n_heads or ckpt.head_dim != self.head_dim:
+            raise ValueError(
+                f"checkpoint geometry [H={ckpt.n_heads}, d={ckpt.head_dim}] "
+                f"does not match pool [H={self.n_heads}, d={self.head_dim}]")
+        pages: list[int] = []
+        done = 0
+        try:
+            while done < ckpt.n_tokens:
+                page = self.alloc()
+                pages.append(page)
+                take = min(self.page_tokens, ckpt.n_tokens - done)
+                self._keys[page, :, :take] = ckpt.keys[:, done:done + take]
+                self._values[page, :, :take] = ckpt.values[:, done:done + take]
+                done += take
+        except PoolExhausted:
+            for page in pages:
+                self.release(page)
+            raise
+        return pages
+
 
 class PagedKVCache(LayerKVCache):
     """Full-cache semantics on pool pages, with zero-copy copy-on-write forks.
@@ -211,6 +338,7 @@ class PagedKVCache(LayerKVCache):
 
     supports_chunked_prefill = True
     supports_rollback = True
+    supports_checkpoint = True
 
     def __init__(self, pool: KVPagePool, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -390,6 +518,43 @@ class PagedKVCache(LayerKVCache):
         self._count = n
         if self._mirror is not None and len(self._mirror) > n:
             self._mirror.truncate(n)
+
+    # -- checkpoint / restore -------------------------------------------
+    def export_state(self) -> KVLayerCheckpoint:
+        """Serialise this layer's KV state into a self-contained checkpoint.
+
+        Read-only with respect to pool accounting: no pages are allocated,
+        flushed, retained or released — a periodic checkpoint of a live
+        request must not perturb it.  Data is gathered through the mirror
+        (pages in page-table order, then the unflushed tail) and *copied*,
+        so the checkpoint survives the source cache, its pool, and any CoW
+        sharing with forks.
+        """
+        mirror = self._sync_mirror()
+        keys, values = mirror.view()
+        return KVLayerCheckpoint(
+            keys=keys.copy(), values=values.copy(),
+            n_tokens=self._count, flushed_tokens=self._flushed,
+            page_tokens=self.pool.page_tokens)
+
+    def import_state(self, ckpt: KVLayerCheckpoint) -> None:
+        """Rebuild an exported layer state inside *this* cache's pool.
+
+        Only an empty (freshly made) cache may import; the tokens land as
+        fully-flushed private pages (refcount 1, so the restored request
+        owns its tail) plus a rebuilt mirror, making the restored cache
+        indistinguishable from one that decoded every token locally.
+        """
+        if self._count or self._pages:
+            raise ValueError("import_state requires an empty cache")
+        self._pages = self.pool.import_pages(ckpt)
+        self._count = self._flushed = ckpt.n_tokens
+        mirror = ContiguousKVStore(
+            self.n_heads, self.head_dim,
+            initial_capacity=max(64, ckpt.n_tokens + self.pool.page_tokens))
+        mirror.extend(ckpt.keys, ckpt.values)
+        self._mirror = mirror
+        self._tail_owned = bool(self._pages)
 
     def release(self) -> None:
         """Drop every page reference and reset; idempotent."""

@@ -140,6 +140,14 @@ class LayerKVCache(abc.ABC):
     #: leave this False.
     supports_rollback: bool = False
 
+    #: Whether this cache can serialise its state into a self-contained
+    #: checkpoint (``export_state``) and rebuild it in a compatible pool
+    #: (``import_state``) — the recompute-free failover/migration primitive.
+    #: Only pool-backed caches (:class:`repro.core.kv_pool.PagedKVCache`)
+    #: advertise it; every other cache keeps the eviction-and-recompute
+    #: recovery path.
+    supports_checkpoint: bool = False
+
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         if n_heads <= 0 or head_dim <= 0 or d_model <= 0:
             raise ValueError("n_heads, head_dim and d_model must be positive")

@@ -210,6 +210,7 @@ _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
     "drafter": ("repro.llm.speculate",),
     "policy": ("repro.serve.scheduler",),
     "router": ("repro.serve.cluster",),
+    "migration": ("repro.serve.cluster",),
     "fault": ("repro.serve.faults",),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),

@@ -31,12 +31,14 @@ from repro.serve.cluster import (
     ClusterEngine,
     ClusterReport,
     LeastLoadedRouter,
+    MigrationPolicy,
     PrefixDigest,
     RadixAffinityRouter,
     ReplicaHealth,
     ReplicaView,
     RoundRobinRouter,
     Router,
+    resolve_migration,
     resolve_router,
 )
 from repro.serve.faults import (
@@ -62,7 +64,7 @@ from repro.serve.engine import (
     simulate,
 )
 from repro.serve.executor import ModelExecutor, StepOutcome, TokenEvent
-from repro.serve.kv_manager import KVSpaceManager
+from repro.serve.kv_manager import KVSpaceManager, RequestCheckpoint
 from repro.serve.radix import PrefixEntry, RadixPrefixIndex
 from repro.serve.scheduler import (
     FCFSPolicy,
@@ -89,6 +91,7 @@ __all__ = [
     "KVSpaceManager",
     "LeastLoadedRouter",
     "LoadSnapshot",
+    "MigrationPolicy",
     "ModelExecutor",
     "PrefixDigest",
     "PrefixEntry",
@@ -99,6 +102,7 @@ __all__ = [
     "ReplicaHealth",
     "ReplicaView",
     "Request",
+    "RequestCheckpoint",
     "RequestPhase",
     "RequestResult",
     "RoundRobinRouter",
@@ -117,6 +121,7 @@ __all__ = [
     "TransientExecutorError",
     "poisson_requests",
     "resolve_fault_plan",
+    "resolve_migration",
     "resolve_policy",
     "resolve_router",
     "simulate",

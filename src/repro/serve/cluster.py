@@ -45,6 +45,18 @@ rather than N engines:
   deadlines/retries, projected-KV load shedding (``shed_threshold``) and a
   paranoid per-step invariant sweep (``paranoid=True``) guaranteeing every
   request ends in exactly one explicit terminal status.
+
+* **Live migration & checkpointing** — the ``"migration"`` registry kind
+  (:class:`MigrationPolicy`) makes recovery *recompute-free* where the KV
+  layer allows it.  ``drain-on-degraded:max_inflight=K`` proactively
+  checkpoints and moves in-flight requests off DEGRADED replicas onto
+  HEALTHY ones (via :meth:`~repro.serve.engine.FunctionalSession.
+  extract_request` / :meth:`~repro.serve.engine.FunctionalSession.
+  inject_request`), and ``checkpoint:interval=S`` stashes periodic KV
+  checkpoints of every decoding request so a crash loses at most ``S``
+  decode steps instead of the whole prefix.  Restored requests skip
+  PREFILL and resume DECODE token-identically; requests whose cache
+  cannot checkpoint keep PR 7's eviction-and-recompute path.
 """
 
 from __future__ import annotations
@@ -75,6 +87,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.model import DecoderLM
     from repro.llm.speculate import Drafter
     from repro.serve.engine import FunctionalSession
+    from repro.serve.kv_manager import RequestCheckpoint
     from repro.serve.scheduler import SchedulingPolicy, SequenceState
 
 
@@ -295,6 +308,94 @@ def resolve_router(router: "Router | str | None") -> Router:
 
 
 # ----------------------------------------------------------------------
+# Migration policies (the "migration" registry kind)
+# ----------------------------------------------------------------------
+@dataclass
+class MigrationPolicy:
+    """When the cluster moves KV state instead of recomputing it.
+
+    Two orthogonal mechanisms, individually spec-addressable and composable
+    (``migration=["drain-on-degraded:max_inflight=2", "checkpoint:interval=8"]``):
+
+    * ``drain_max_inflight`` — a DEGRADED replica is proactively drained
+      down to at most this many live requests per round; each drained
+      request is checkpointed (when its cache supports it) and injected
+      into a HEALTHY replica, resuming decode without re-prefilling.
+    * ``checkpoint_interval`` — every ``interval`` rounds the cluster
+      stashes a checkpoint of each decoding request, so a *crash* (which
+      gives no chance to drain) loses at most ``interval`` decode steps:
+      the drained state rewinds to its stashed checkpoint and re-decodes
+      only the suffix, token-identically.
+
+    Both default off (:attr:`enabled` False = PR 7 recompute-only recovery).
+    """
+
+    drain_max_inflight: int | None = None
+    checkpoint_interval: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return (self.drain_max_inflight is not None
+                or self.checkpoint_interval is not None)
+
+    def describe(self) -> str:
+        parts = []
+        if self.drain_max_inflight is not None:
+            parts.append(f"drain-on-degraded:max_inflight={self.drain_max_inflight}")
+        if self.checkpoint_interval is not None:
+            parts.append(f"checkpoint:interval={self.checkpoint_interval}")
+        return "+".join(parts) or "none"
+
+
+@register("migration", "none",
+          description="no live migration (eviction-and-recompute recovery only)")
+def _build_no_migration() -> MigrationPolicy:
+    return MigrationPolicy()
+
+
+@register("migration", "drain-on-degraded",
+          description="checkpoint-drain DEGRADED replicas down to max_inflight "
+                      "live requests, injecting into HEALTHY replicas")
+def _build_drain_on_degraded(max_inflight: int = 0) -> MigrationPolicy:
+    if max_inflight < 0:
+        raise ValueError("max_inflight must be non-negative")
+    return MigrationPolicy(drain_max_inflight=max_inflight)
+
+
+@register("migration", "checkpoint",
+          description="periodic KV checkpoints every `interval` rounds; a crash "
+                      "loses at most `interval` decode steps")
+def _build_checkpoint_migration(interval: int = 8) -> MigrationPolicy:
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    return MigrationPolicy(checkpoint_interval=interval)
+
+
+def resolve_migration(
+        migration: "MigrationPolicy | str | Sequence | None") -> MigrationPolicy:
+    """Build a migration policy from a spec, policy, or sequence of those.
+
+    ``None`` disables migration; a sequence merges its members (later
+    members override a field the earlier ones also set), which is how the
+    composed ``drain-on-degraded`` + ``checkpoint`` deployment is spelled.
+    """
+    if migration is None:
+        return MigrationPolicy()
+    if isinstance(migration, MigrationPolicy):
+        return migration
+    if isinstance(migration, (list, tuple)):
+        merged = MigrationPolicy()
+        for spec in migration:
+            part = resolve_migration(spec)
+            if part.drain_max_inflight is not None:
+                merged.drain_max_inflight = part.drain_max_inflight
+            if part.checkpoint_interval is not None:
+                merged.checkpoint_interval = part.checkpoint_interval
+        return merged
+    return resolve("migration", migration)
+
+
+# ----------------------------------------------------------------------
 # Cluster report
 # ----------------------------------------------------------------------
 @dataclass
@@ -334,6 +435,13 @@ class ClusterReport:
     recovered_replicas: list[int] = field(default_factory=list)
     #: Fault-plan description when the run injected faults (None otherwise).
     faults: str | None = None
+    #: Migration-policy description (``None`` when migration is disabled).
+    migration: str | None = None
+    #: Requests injected into a replica *carrying a KV checkpoint* (drain
+    #: passes and crash requeues with a stashed checkpoint).
+    migrated_requests: int = 0
+    #: Source-pool pages those checkpoints carried (the migration payload).
+    migrated_pages: int = 0
 
     # -- pooled views ----------------------------------------------------
     @property
@@ -408,6 +516,18 @@ class ClusterReport:
     def n_health_transitions(self) -> int:
         return sum(sum(counts.values())
                    for counts in self.health_transitions.values())
+
+    # -- migration -------------------------------------------------------
+    @property
+    def n_restored(self) -> int:
+        """Requests re-admitted from a KV checkpoint across every replica."""
+        return sum(r.n_restored for r in self.replica_reports)
+
+    @property
+    def recompute_tokens_saved(self) -> int:
+        """Prefill tokens checkpoint restores skipped — what recompute-based
+        recovery would have replayed for the same re-admissions."""
+        return sum(r.recompute_tokens_saved for r in self.replica_reports)
 
     # -- latency ---------------------------------------------------------
     def _ttft_values(self) -> list[float]:
@@ -484,6 +604,13 @@ class ClusterReport:
                 f"{self.n_retries} retries | {self.n_timeouts} timeouts | "
                 f"{self.n_shed} shed | {self.n_failed} failed | "
                 f"{self.n_health_transitions} health transitions")
+        if (self.migration and self.migration != "none") or self.migrated_requests:
+            lines.append(
+                f"  migration      policy {self.migration or 'none'} | "
+                f"{self.migrated_requests} migrated "
+                f"({self.migrated_pages} pages) | "
+                f"{self.n_restored} checkpoint restores | "
+                f"{self.recompute_tokens_saved} recompute tokens saved")
         return "\n".join(lines)
 
 
@@ -529,7 +656,9 @@ class ClusterEngine:
                  arrivals_per_step: int | None = None,
                  faults: "object | None" = None,
                  shed_threshold: float | None = None,
-                 paranoid: bool = False) -> None:
+                 paranoid: bool = False,
+                 migration: "MigrationPolicy | str | Sequence | None" = None,
+                 ) -> None:
         if n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
         if arrivals_per_step is not None and arrivals_per_step <= 0:
@@ -557,6 +686,9 @@ class ClusterEngine:
         #: replicas' summed pool capacity (``None`` disables shedding).
         self.shed_threshold = shed_threshold
         self.paranoid = paranoid
+        #: Live-migration policy (``"migration"`` registry kind): proactive
+        #: drain of DEGRADED replicas and/or periodic crash checkpoints.
+        self.migration = resolve_migration(migration)
         self.engines = [ServingEngine(max_concurrency=max_concurrency)
                         for _ in range(n_replicas)]
         self._sessions: "list[FunctionalSession] | None" = None
@@ -711,11 +843,19 @@ class ClusterEngine:
         self._health = {i: ReplicaHealth.HEALTHY
                         for i in range(self.n_replicas)}
         requeue: "deque[SequenceState]" = deque()
+        #: request_id -> latest periodic KV checkpoint (checkpoint:interval=S
+        #: mode); rebuilt wholesale each interval so finished requests drop
+        #: out.  Attached to crash-drained states, whose own state rides the
+        #: requeue — the checkpoint data is self-contained, so it survives
+        #: the pool it was exported from.
+        ckpt_stash: "dict[str, RequestCheckpoint]" = {}
         report = ClusterReport(router=self.router.describe(),
                                n_replicas=self.n_replicas,
                                max_concurrency=self.max_concurrency,
                                faults=(self.faults.describe()
-                                       if self.faults is not None else None))
+                                       if self.faults is not None else None),
+                               migration=(self.migration.describe()
+                                          if self.migration.enabled else None))
         # Merge the fault plan's crash schedule into the manual fail_replica
         # one (earliest kill wins); crashes with recover_after rejoin later.
         fail_at = dict(self._fail_at)
@@ -762,13 +902,28 @@ class ClusterEngine:
                 if due <= step and self._alive[replica_id]:
                     self._alive[replica_id] = False
                     del fail_at[replica_id]
-                    requeue.extend(sessions[replica_id].drain())
+                    drained = sessions[replica_id].drain()
+                    # A crash gives no chance to checkpoint: attach the
+                    # latest *periodic* checkpoint instead, bounding the
+                    # loss to at most `interval` decode steps (a state
+                    # already carrying one — e.g. a queued migrant — keeps
+                    # its own, which is at least as fresh).
+                    for state in drained:
+                        if state.checkpoint is None:
+                            state.checkpoint = ckpt_stash.get(state.request_id)
+                    requeue.extend(drained)
                     self.router.forget(replica_id)
                     report.failed_replicas.append(replica_id)
                     self._set_health(report, replica_id, ReplicaHealth.DOWN)
                     if replica_id in recover_delay:
                         recover_at[replica_id] = (
                             step + recover_delay.pop(replica_id))
+            # 1c. Proactive drain: a DEGRADED replica sheds live requests
+            #     down to max_inflight, checkpoint-migrating each onto a
+            #     HEALTHY replica (queued requests first — they carry no KV
+            #     to move — then decoding, then prefilling ones).
+            if self.migration.drain_max_inflight is not None:
+                self._drain_degraded(sessions, report)
             # 2. Forward due cancellations to the replicas, then route:
             #    drained requests first (they arrived earliest and their
             #    ranks still say so), then fresh arrivals (shed-checked).
@@ -788,7 +943,10 @@ class ClusterEngine:
                             state.request, step, "cancelled", state))
                         continue
                     target = self._route(state.request)
-                    sessions[target].resubmit([state])
+                    sessions[target].inject_request(state)
+                    if state.checkpoint is not None:
+                        report.migrated_requests += 1
+                        report.migrated_pages += state.checkpoint.n_pages
                     report.assignments[state.request_id] = target
                     report.requeues[state.request_id] = (
                         report.requeues.get(state.request_id, 0) + 1)
@@ -819,6 +977,16 @@ class ClusterEngine:
                     if self.faults is not None:
                         dt *= self.faults.inflation(i, step)
                     round_max = max(round_max, dt)
+            # 3b. Periodic checkpoint pass: every `interval` rounds, stash a
+            #     fresh checkpoint of each decoding request.  Rebuilt
+            #     wholesale (not merged) so finished requests drop out and
+            #     the stash never outgrows the live decode set.
+            interval = self.migration.checkpoint_interval
+            if interval is not None and step % interval == interval - 1:
+                ckpt_stash = {}
+                for i in range(self.n_replicas):
+                    if self._alive[i]:
+                        ckpt_stash.update(sessions[i].checkpoint_requests())
             # 4. Health supervision from this round's outcomes.
             for i in range(self.n_replicas):
                 if not self._alive[i]:
@@ -843,6 +1011,49 @@ class ClusterEngine:
                                   + [session.finish() for session in sessions])
         report.wall_s = time.perf_counter() - start
         return report
+
+    def _drain_degraded(self, sessions: "list[FunctionalSession]",
+                        report: ClusterReport) -> None:
+        """One proactive-drain pass over the DEGRADED replicas.
+
+        Each DEGRADED replica is drained down to ``max_inflight`` live
+        requests; every extracted request is routed (HEALTHY replicas only)
+        and injected immediately, carrying its KV checkpoint when the cache
+        could produce one — the recompute-free handoff.  With no HEALTHY
+        replica available the pass is skipped this round rather than
+        shuffling load between struggling replicas.
+        """
+        limit = self.migration.drain_max_inflight
+        for i in range(self.n_replicas):
+            if not self._alive[i] or self._health[i] is not ReplicaHealth.DEGRADED:
+                continue
+            session = sessions[i]
+            excess = session.load_snapshot().n_live - limit
+            if excess <= 0:
+                continue
+            # Queued first (nothing to checkpoint, cheapest to move), then
+            # decoding (checkpointable — the recompute-free case), then
+            # prefilling (restart their prefill elsewhere).
+            running = list(session.scheduler.running.values())
+            candidates = ([s.request_id for s in session.scheduler.waiting]
+                          + [s.request_id for s in running if s.prefill_done]
+                          + [s.request_id for s in running if not s.prefill_done])
+            for rid in candidates[:excess]:
+                healthy = [v for v in self._views()
+                           if v.health is ReplicaHealth.HEALTHY]
+                if not healthy:
+                    return  # nowhere to drain to this round
+                extracted = session.extract_request(rid)
+                if extracted is None:
+                    continue
+                state, _ = extracted
+                target = self.router.route(state.request, healthy)
+                sessions[target].inject_request(state)
+                if state.checkpoint is not None:
+                    report.migrated_requests += 1
+                    report.migrated_pages += state.checkpoint.n_pages
+                report.assignments[rid] = target
+                report.requeues[rid] = report.requeues.get(rid, 0) + 1
 
     def _check_conservation(self, all_ids: set, pending, requeue,
                             report: ClusterReport,
@@ -886,11 +1097,13 @@ __all__ = [
     "ClusterEngine",
     "ClusterReport",
     "LeastLoadedRouter",
+    "MigrationPolicy",
     "PrefixDigest",
     "RadixAffinityRouter",
     "ReplicaHealth",
     "ReplicaView",
     "RoundRobinRouter",
     "Router",
+    "resolve_migration",
     "resolve_router",
 ]

@@ -52,7 +52,12 @@ from repro.llm.config import ModelConfig
 from repro.registry import resolve
 from repro.serve.executor import ModelExecutor, OnToken, StepOutcome
 from repro.serve.faults import TransientExecutorError, resolve_fault_plan
-from repro.serve.kv_manager import DEFER_MIN_SHARED, KVSpaceManager, shared_prefix_len
+from repro.serve.kv_manager import (
+    DEFER_MIN_SHARED,
+    KVSpaceManager,
+    RequestCheckpoint,
+    shared_prefix_len,
+)
 from repro.serve.scheduler import (
     Scheduler,
     SchedulingPolicy,
@@ -417,6 +422,11 @@ class FunctionalServingReport:
     n_retries: int = 0
     #: Fault plan description when the run injected faults (None otherwise).
     faults: str | None = None
+    #: Requests re-admitted from a KV checkpoint (recompute-free failover).
+    n_restored: int = 0
+    #: Prefill tokens those restores skipped — what eviction-and-recompute
+    #: recovery would have replayed for the same re-admissions.
+    recompute_tokens_saved: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -524,6 +534,10 @@ class FunctionalServingReport:
                 f"  robustness     faults {self.faults or 'none'} | "
                 f"{self.n_retries} transient retries | "
                 f"{self.n_timeouts} timeouts | {self.n_failed} failed")
+        if self.n_restored:
+            lines.append(
+                f"  failover       {self.n_restored} checkpoint restores | "
+                f"{self.recompute_tokens_saved} recompute tokens saved")
         return "\n".join(lines)
 
 
@@ -1012,6 +1026,8 @@ class FunctionalSession:
         for state in retired:
             kv.release(state)
             self.report.results.append(self.engine._result(state, self._step))
+        self.report.n_restored = kv.n_restored
+        self.report.recompute_tokens_saved = kv.restored_tokens
         if kv.bounded:
             kv.check_accounting()  # pool invariant holds after every step
         dt = time.perf_counter() - step_start
@@ -1102,6 +1118,72 @@ class FunctionalSession:
             projected_kv_tokens=projected,
             capacity_tokens=self.kv.capacity_tokens if self.kv.bounded else None)
 
+    # -- live migration ---------------------------------------------------
+    def checkpoint_requests(self) -> "dict[str, RequestCheckpoint]":
+        """Checkpoint every checkpointable running request (periodic pass).
+
+        Read-only: the live decode state and pool accounting are untouched,
+        so the cluster can stash these every ``interval`` rounds and attach
+        them to drained states if this replica later crashes — bounding the
+        loss to at most ``interval`` decode steps.  Waiting, prefilling and
+        non-checkpointable requests simply don't appear (recompute covers
+        them).
+        """
+        checkpoints: dict[str, RequestCheckpoint] = {}
+        for state in self.scheduler.running.values():
+            ckpt = self.kv.checkpoint(state)
+            if ckpt is not None:
+                checkpoints[state.request_id] = ckpt
+        return checkpoints
+
+    def extract_request(self, request_id: str) \
+            -> "tuple[SequenceState, RequestCheckpoint | None] | None":
+        """Pull one live request out of this session for migration.
+
+        Checkpoints the request first when possible (decode-phase on a
+        checkpoint-capable cache), then removes it from the scheduler and
+        releases its local KV — the returned state carries the checkpoint
+        and is ready for :meth:`inject_request` on another session.  A
+        request that cannot be checkpointed (still waiting/prefilling, or a
+        non-paged cache) migrates with ``None`` and resumes by
+        eviction-and-recompute; ``None`` overall means the id is not live
+        here (already finished, cancelled or never submitted).
+        """
+        state = self.scheduler.find(request_id)
+        if state is None:
+            return None
+        ckpt = self.kv.checkpoint(state)
+        self.scheduler.extract(state, self.kv)
+        if ckpt is not None:
+            state.checkpoint = ckpt
+        self._drained_ids.add(request_id)
+        # A queued state may already carry a (stash-attached) checkpoint.
+        return state, state.checkpoint
+
+    def inject_request(self, state: "SequenceState",
+                       checkpoint: "RequestCheckpoint | None" = None) -> None:
+        """Admit a migrated request, restoring from ``checkpoint`` if possible.
+
+        ``checkpoint`` defaults to whatever rides on the state.  A *stale*
+        periodic checkpoint (its ``generated`` a strict prefix of the
+        state's) rewinds the decode to the capture point — greedy decoding
+        re-produces the identical suffix tokens, so results stay
+        token-identical (downstream ``on_token`` listeners may see those
+        suffix tokens again).  A checkpoint inconsistent with the token
+        history is dropped: eviction-and-recompute is always correct.
+        """
+        if checkpoint is None:
+            checkpoint = state.checkpoint
+        if checkpoint is not None:
+            ckgen = tuple(checkpoint.generated)
+            gen = tuple(state.generated)
+            if ckgen and gen[:len(ckgen)] == ckgen:
+                state.generated = list(ckgen)
+                state.checkpoint = checkpoint
+            else:
+                state.checkpoint = None
+        self.resubmit([state])
+
     # -- teardown --------------------------------------------------------
     def drain(self) -> "list[SequenceState]":
         """Evacuate every live request (replica failure), releasing all KV.
@@ -1124,6 +1206,8 @@ class FunctionalSession:
             self._finished = True
             self.kv.clear()  # return every radix snapshot's pages to the pool
             self.report.n_preemptions = self.scheduler.n_preemptions
+            self.report.n_restored = self.kv.n_restored
+            self.report.recompute_tokens_saved = self.kv.restored_tokens
             self.report.wall_s = (time.perf_counter() - self._start
                                   if self._start is not None else 0.0)
             self.report.results.sort(

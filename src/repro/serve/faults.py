@@ -24,6 +24,13 @@ serving layers expose (``ModelExecutor.fault_gate``,
 ``KVSpaceManager.pressure_gate``, ``KVPagePool.fault_gate``, the cluster's
 crash/recovery schedule).  Every hook defaults to ``None`` and is a single
 attribute check when unarmed, so the no-fault path costs nothing.
+
+Fault plans compose with the ``"migration"`` registry kind
+(:mod:`repro.serve.cluster`): a straggler demoting a replica to DEGRADED
+triggers ``drain-on-degraded`` checkpoint migration, and a
+``replica-crash`` rewinds its drained requests to the last periodic
+``checkpoint:interval=S`` stash instead of recomputing from scratch —
+both recovery paths stay token-identical under the same seeded plans.
 """
 
 from __future__ import annotations

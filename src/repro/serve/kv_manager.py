@@ -29,8 +29,10 @@ the unconstrained serving path is byte-for-byte the pre-refactor behaviour.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.kv_pool import KVCheckpoint
 from repro.serve.radix import RadixPrefixIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
@@ -41,6 +43,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
 #: Minimum shared-prefix length for which a fresh sequence is worth
 #: deferring one step behind another sequence prefilling the same prefix.
 DEFER_MIN_SHARED = 16
+
+
+@dataclass(frozen=True)
+class RequestCheckpoint:
+    """Portable snapshot of one in-flight request: KV pages + decode state.
+
+    Pairs the self-contained per-layer :class:`~repro.core.kv_pool.
+    KVCheckpoint` with the token-level state (``generated``, ``position``)
+    needed to resume DECODE exactly where the source left off — no replica-
+    local references, so it can cross session/pool boundaries (live
+    migration) or outlive a crashed replica (periodic checkpointing).
+    ``kv.n_tokens == position`` by construction: the KV state covers every
+    token *behind* the pending ``generated[-1]`` input.
+    """
+
+    request_id: str
+    kv: KVCheckpoint
+    generated: tuple[int, ...]
+    position: int
+
+    @property
+    def n_tokens(self) -> int:
+        """KV tokens carried — what a recompute recovery would re-prefill."""
+        return self.kv.n_tokens
+
+    @property
+    def n_pages(self) -> int:
+        return self.kv.n_pages
 
 
 def shared_prefix_len(a: list[int], b: list[int]) -> int:
@@ -75,7 +105,13 @@ class KVSpaceManager:
             lm.recompute_fn(0))
         self.chunkable: bool = probe.supports_chunked_prefill
         self.rollbackable: bool = probe.supports_rollback
+        self.checkpointable: bool = getattr(probe, "supports_checkpoint", False)
         probe.release()
+        #: Restore counters surfaced by the serving report: requests resumed
+        #: from a checkpoint, and the prefill tokens recompute recovery would
+        #: have replayed for them (= tokens carried by their checkpoints).
+        self.n_restored = 0
+        self.restored_tokens = 0
         self.page_tokens = getattr(cache_factory, "page_tokens", 1)
         physical = getattr(cache_factory, "capacity_tokens", None)
         if physical is not None:
@@ -283,6 +319,56 @@ class KVSpaceManager:
                    and self.used_tokens > self.capacity_tokens):
                 self.index.evict_lru()
 
+    # -- checkpoint / restore -------------------------------------------
+    def checkpoint(self, state: "SequenceState") -> "RequestCheckpoint | None":
+        """Export ``state``'s live KV + decode position, or ``None``.
+
+        Only decode-phase sequences on checkpoint-capable caches qualify:
+        a waiting/prefilling request has nothing worth carrying (whole-
+        prefill admission would stall on a partial-prefill resume anyway),
+        and a non-paged cache keeps the eviction-and-recompute path.  The
+        export is read-only — pool accounting and the live decode state are
+        untouched, so periodic checkpointing is safe mid-run.
+        """
+        if (not self.checkpointable or state.caches is None
+                or not state.prefill_done or not state.generated
+                or not all(getattr(c, "supports_checkpoint", False)
+                           for c in state.caches)):
+            return None
+        kv = KVCheckpoint(tuple(c.export_state() for c in state.caches))
+        return RequestCheckpoint(
+            request_id=state.request_id, kv=kv,
+            generated=tuple(state.generated), position=state.position)
+
+    def can_restore(self, ckpt: "RequestCheckpoint") -> bool:
+        """Whether ``ckpt`` fits this manager's cache/model geometry."""
+        cfg = self.lm.config
+        return (self.checkpointable
+                and len(ckpt.kv.layers) == cfg.n_layers
+                and ckpt.kv.n_heads == cfg.n_heads
+                and ckpt.kv.head_dim == cfg.head_dim)
+
+    def restore(self, state: "SequenceState", ckpt: "RequestCheckpoint") -> None:
+        """Materialise ``ckpt`` as ``state``'s caches in the local pool.
+
+        The caller has already reserved space (:meth:`reserve` for
+        ``ckpt.n_tokens + 1``), and reservations are conservative, so the
+        physical imports cannot exhaust the pool; all-or-nothing regardless
+        — a failed layer import releases every restored layer before
+        propagating.
+        """
+        caches = self.lm.make_caches(self.cache_factory)
+        try:
+            for cache, layer in zip(caches, ckpt.kv.layers):
+                cache.import_state(layer)
+        except Exception:
+            for cache in caches:
+                cache.release()
+            raise
+        state.caches = caches
+        self.n_restored += 1
+        self.restored_tokens += ckpt.n_tokens
+
     # -- teardown and invariants ----------------------------------------
     def clear(self) -> None:
         """Return every radix snapshot's pages to the pool."""
@@ -296,4 +382,5 @@ class KVSpaceManager:
             checker()
 
 
-__all__ = ["DEFER_MIN_SHARED", "KVSpaceManager", "shared_prefix_len"]
+__all__ = ["DEFER_MIN_SHARED", "KVSpaceManager", "RequestCheckpoint",
+           "shared_prefix_len"]

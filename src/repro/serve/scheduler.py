@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.cache import LayerKVCache
     from repro.llm.speculate import DrafterSession
     from repro.serve.engine import Request
-    from repro.serve.kv_manager import KVSpaceManager
+    from repro.serve.kv_manager import KVSpaceManager, RequestCheckpoint
 
 
 class RequestPhase(Enum):
@@ -94,6 +94,12 @@ class SequenceState:
     blocked_until_step: int = 0
     #: Session clock at submission — the deadline baseline.
     submitted_clock: int = 0
+    #: Pending KV checkpoint to restore from at admission (recompute-free
+    #: failover).  Attached by migration/crash recovery; consumed (or, when
+    #: stale/incompatible, silently dropped to the recompute path) by
+    #: :meth:`Scheduler.admit`.  Self-contained, so it survives evacuation
+    #: and even the crash of the replica it was queued on.
+    checkpoint: "RequestCheckpoint | None" = None
 
     @property
     def request_id(self) -> str:
@@ -388,6 +394,39 @@ class Scheduler:
                 deferred.append(self._pop_waiting())
                 continue
             resumed = state.phase is RequestPhase.PREEMPTED
+            ckpt = state.checkpoint
+            if ckpt is not None and (
+                    not state.generated
+                    or ckpt.n_tokens != len(state.prompt) + len(state.generated) - 1
+                    or not kv.can_restore(ckpt)):
+                # Stale or incompatible checkpoint: fall back to the always-
+                # correct eviction-and-recompute path.
+                state.checkpoint = ckpt = None
+            if ckpt is not None:
+                # Recompute-free re-entry: reserve and materialise the
+                # checkpointed pages now (even in chunked mode — the caches
+                # exist the moment admission succeeds), then resume DECODE
+                # directly from the preserved last token, skipping PREFILL.
+                if not self._make_room(state, ckpt.n_tokens + 1, kv,
+                                       admission=True):
+                    break
+                self._pop_waiting()
+                kv.restore(state, ckpt)
+                state.checkpoint = None
+                state.phase = RequestPhase.DECODE
+                state.prefill_target = state.prompt + state.generated[:-1]
+                state.prefilled = len(state.prefill_target)
+                state.position = ckpt.n_tokens
+                state.next_input = state.generated[-1]
+                state.resume_next_input = None
+                first = state.admitted_step < 0
+                if first:
+                    state.admitted_step = step
+                    state.admitted_wall = now
+                on_admit(state, first)
+                self.running[state.request_id] = state
+                admitted.append(state)
+                continue
             state.prefill_target = (state.prompt + state.generated[:-1]
                                     if resumed and state.generated else
                                     list(state.prompt))
@@ -591,6 +630,35 @@ class Scheduler:
         self._victims.append(state)
         self._push_waiting(state)
 
+    def extract(self, state: SequenceState, kv: "KVSpaceManager") -> None:
+        """Remove one live state from this scheduler entirely (live migration).
+
+        Unlike preemption, the state leaves *every* scheduler set — the
+        caller takes ownership, typically to inject it into another
+        session.  A queued state's heap entry is removed physically, not
+        lazily: the extracted state re-enters another scheduler as
+        WAITING/PREEMPTED, and a stale local heap entry would then look live
+        to :meth:`_queued` and double-admit it.  Does not count as
+        preemption and is not pushed back on the waiting queue.
+        """
+        if state.request_id in self.running:
+            self.running.pop(state.request_id)
+        else:
+            before = len(self._waiting)
+            self._waiting = [e for e in self._waiting if e[2] is not state]
+            if len(self._waiting) != before:
+                heapq.heapify(self._waiting)
+                self._n_waiting -= 1
+        kv.release(state)  # idempotent: a queued state holds nothing
+        state.phase = (RequestPhase.PREEMPTED if state.generated
+                       else RequestPhase.WAITING)
+        state.caches = None
+        state.prefilled = 0
+        state.next_input = None
+        state.resume_next_input = None
+        state.proposals = []
+        state.spec_session = None
+
     def retire_finished(self) -> list[SequenceState]:
         """Move fully-decoded sequences out of the running set (run order)."""
         done = [s for s in self.running.values()
@@ -621,6 +689,7 @@ class Scheduler:
         state.phase = phase
         state.caches = None
         state.spec_session = None
+        state.checkpoint = None  # terminal: never restored, free the copy
         self.finished.append(state)
 
     def cancel(self, state: SequenceState, kv: "KVSpaceManager") -> None:

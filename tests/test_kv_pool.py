@@ -210,3 +210,142 @@ class TestPagedCacheFactory:
     def test_validation(self):
         with pytest.raises(ValueError):
             PagedCacheFactory(page_tokens=0)
+
+
+class TestCheckpointRoundTrip:
+    def _filled(self, pool, rng, n_prefill=10, n_append=3):
+        cache = PagedKVCache(pool, H, D, C)
+        keys, values = _kv(rng, n_prefill)
+        cache.prefill(keys, values, None, None)
+        for position in range(n_prefill, n_prefill + n_append):
+            key, value = _kv(rng, 1)
+            cache.append(key[:, 0], value[:, 0], None, position)
+        return cache
+
+    def test_export_import_round_trip_same_pool(self, pool):
+        rng = np.random.default_rng(10)
+        source = self._filled(pool, rng)
+        ckpt = source.export_state()
+        assert ckpt.n_tokens == 13
+        assert ckpt.n_heads == H and ckpt.head_dim == D
+        assert ckpt.n_pages == -(-13 // 4)  # ceil over source page_tokens
+        assert ckpt.nbytes == 2 * H * 13 * D * 4
+        restored = PagedKVCache(pool, H, D, C)
+        restored.import_state(ckpt)
+        assert restored.num_tokens == source.num_tokens == 13
+        for a, b in zip(restored.fetch(), source.fetch()):
+            np.testing.assert_array_equal(a, b)
+        pool.check_accounting()
+        source.release()
+        restored.release()
+        assert pool.n_referenced == 0
+        pool.check_accounting()
+
+    def test_checkpoint_is_portable_across_page_geometries(self, pool):
+        rng = np.random.default_rng(11)
+        source = self._filled(pool, rng)
+        keys_ref, values_ref = (a.copy() for a in source.fetch()[:2])
+        ckpt = source.export_state()
+        # Self-contained: the source (and its whole pool) can die first.
+        source.release()
+        assert pool.n_referenced == 0
+        other = KVPagePool(H, D, page_tokens=3, initial_pages=2)
+        restored = PagedKVCache(other, H, D, C)
+        restored.import_state(ckpt)  # re-chunks 4-token pages into 3-token
+        np.testing.assert_array_equal(restored.fetch()[0], keys_ref)
+        np.testing.assert_array_equal(restored.fetch()[1], values_ref)
+        other.check_accounting()
+        # The restored cache keeps decoding like a local one.
+        key, value = _kv(rng, 1)
+        restored.append(key[:, 0], value[:, 0], None, 13)
+        assert restored.num_tokens == 14
+        np.testing.assert_array_equal(restored.fetch()[0][:, 13], key[:, 0])
+        restored.release()
+        other.check_accounting()
+        assert other.n_referenced == 0
+
+    def test_export_is_read_only_for_pool_accounting(self, pool):
+        rng = np.random.default_rng(12)
+        source = self._filled(pool, rng)
+        fork = source.fork(8)  # flushes: pages + CoW sharing now exist
+        free_before = pool.n_free
+        refcounts_before = list(pool._refcounts)
+        source.export_state()
+        fork.export_state()
+        assert pool.n_free == free_before
+        assert list(pool._refcounts) == refcounts_before
+        pool.check_accounting()
+
+    def test_cow_shared_pages_are_never_aliased(self, pool):
+        rng = np.random.default_rng(13)
+        parent = self._filled(pool, rng, n_prefill=10, n_append=0)
+        child = parent.fork(10)  # pages shared via refcounts, zero-copy
+        keys_ref = child.fetch()[0].copy()
+        ckpt = child.export_state()
+        restored = PagedKVCache(pool, H, D, C)
+        restored.import_state(ckpt)
+        # Divergent parent writes must not leak into the restored copy.
+        key, value = _kv(rng, 1)
+        parent.append(key[:, 0], value[:, 0], None, 10)
+        np.testing.assert_array_equal(restored.fetch()[0], keys_ref)
+        pool.check_accounting()
+
+    def test_import_requires_empty_cache(self, pool):
+        rng = np.random.default_rng(14)
+        source = self._filled(pool, rng)
+        ckpt = source.export_state()
+        with pytest.raises(ValueError, match="empty cache"):
+            source.import_state(ckpt)
+
+    def test_import_geometry_mismatch_raises(self, pool):
+        rng = np.random.default_rng(15)
+        ckpt = self._filled(pool, rng).export_state()
+        other = KVPagePool(H + 1, D, page_tokens=4, initial_pages=4)
+        with pytest.raises(ValueError, match="geometry"):
+            other.import_pages(ckpt)
+
+    def test_exhausted_import_releases_partial_allocation(self, pool):
+        rng = np.random.default_rng(16)
+        ckpt = self._filled(pool, rng).export_state()  # needs 4 pages of 4
+        tiny = KVPagePool(H, D, page_tokens=4, initial_pages=2, grow=False)
+        with pytest.raises(PoolExhausted):
+            tiny.import_pages(ckpt)
+        # All-or-nothing: the partially-imported pages were handed back.
+        assert tiny.n_free == 2 and tiny.n_referenced == 0
+        tiny.check_accounting()
+
+    def test_supports_checkpoint_flags(self, pool):
+        assert PagedKVCache.supports_checkpoint is True
+        assert FullKVCache.supports_checkpoint is False
+
+
+class TestAccountingDiagnostics:
+    def test_duplicate_free_pages_are_named(self, pool):
+        pool._free.append(pool._free[0])
+        with pytest.raises(AssertionError,
+                           match=r"duplicate pages \[7\]"):
+            pool.check_accounting()
+
+    def test_count_mismatch_reports_counts(self, pool):
+        page = pool.alloc()
+        pool._free.append(page)  # page is now referenced AND free
+        with pytest.raises(AssertionError,
+                           match=r"8 allocated != 1 referenced \+ 8 free"):
+            pool.check_accounting()
+
+    def test_referenced_free_overlap_names_pages(self, pool):
+        held = pool.alloc()
+        leaked = pool.alloc()
+        pool._free.append(held)
+        pool._refcounts[leaked] = 0  # counts balance; overlap remains
+        with pytest.raises(AssertionError,
+                           match=rf"referenced pages \[{held}\]"):
+            pool.check_accounting()
+
+    def test_negative_refcount_names_pages(self, pool):
+        page = pool.alloc()
+        pool._refcounts[page] = -1
+        pool._free.append(page)
+        with pytest.raises(AssertionError,
+                           match=rf"negative refcount on pages \[{page}\]"):
+            pool.check_accounting()
