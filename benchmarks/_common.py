@@ -1,0 +1,66 @@
+"""Shared plumbing for the serving-path benchmarks.
+
+Every serving bench (``bench_serve``, ``bench_spec``, ``bench_preempt``,
+``bench_cluster``, ``bench_chaos``, ``bench_migrate``, ``bench_overload``)
+exposes the same contract: a ``run_benchmark(quick, repeats, seed) -> dict``
+whose result carries a ``guarded`` key of ``[regime, metric]`` pairs, driven
+by the same CLI (``--quick``/``--repeats``/``--seed``/``--out``) and emitted
+as indented JSON for ``check_bench_regression.py`` to gate.  This module
+holds that contract once:
+
+* :func:`bench_main` — argument parsing, the quick-mode repeat clamp, and
+  the JSON emit;
+* :func:`report_tokens` / :func:`identity_fraction` — the decoded-token
+  identity check the fault/failover/overload benches use to prove recovery
+  and duplication are correctness-preserving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable
+
+
+def bench_main(run_benchmark: "Callable[[bool, int, int], dict]",
+               default_out: str, doc: "str | None") -> None:
+    """The shared serving-bench CLI: parse, run, emit JSON.
+
+    ``run_benchmark`` is called as ``run_benchmark(quick, repeats, seed)``;
+    its dict is written (indent=2) to ``--out`` (default ``default_out``).
+    ``--quick`` clamps ``--repeats`` to 2 so CI smoke runs stay fast.
+    """
+    description = (doc or "").split("\n", 1)[0] or default_out
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per configuration (best is kept)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload / cluster / fault-plan seed")
+    parser.add_argument("--out", type=Path, default=Path(default_out))
+    args = parser.parse_args()
+    if args.quick and args.repeats > 2:
+        args.repeats = 2
+
+    results = run_benchmark(args.quick, args.repeats, args.seed)
+    args.out.write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+
+def report_tokens(report, only_finished: bool = True) -> dict:
+    """``request_id -> generated-token tuple`` for a serving/cluster report."""
+    return {r.request.request_id: tuple(r.generated_tokens)
+            for r in report.results
+            if not only_finished or r.status == "finished"}
+
+
+def identity_fraction(report, reference_tokens: dict) -> float:
+    """Fraction of ``report``'s finished requests token-identical to the
+    reference (keyed by request id) — 1.0 proves a recovery/duplication
+    mechanism is correctness-preserving."""
+    tokens = report_tokens(report)
+    identical = sum(1 for rid, toks in tokens.items()
+                    if reference_tokens.get(rid) == toks)
+    return identical / max(len(tokens), 1)

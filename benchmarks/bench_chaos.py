@@ -37,9 +37,7 @@ it and fails on a >20% drop.
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
+from _common import bench_main, identity_fraction, report_tokens
 
 from repro.llm.config import tiny_config
 from repro.llm.model import DecoderLM
@@ -51,11 +49,6 @@ def _bench_model(max_seq_len: int) -> DecoderLM:
     config = tiny_config("bench-chaos", n_layers=4, d_model=64, n_heads=4,
                          d_ff=128, vocab_size=128, max_seq_len=max_seq_len)
     return DecoderLM(config, seed=0)
-
-
-def _tokens(report) -> dict:
-    return {r.request.request_id: tuple(r.generated_tokens)
-            for r in report.results if r.status == "finished"}
 
 
 def _chaos_metrics(report, n_submitted: int) -> dict:
@@ -119,17 +112,14 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     healthy = best(requests)
     chaotic = best(requests, faults=plan, paranoid=True)
 
-    healthy_tokens = _tokens(healthy)
-    chaos_tokens = _tokens(chaotic)
-    identical = sum(1 for rid, toks in chaos_tokens.items()
-                    if healthy_tokens.get(rid) == toks)
+    healthy_tokens = report_tokens(healthy)
     chaos = {
         "healthy": _chaos_metrics(healthy, len(requests)),
         "chaotic": _chaos_metrics(chaotic, len(requests)),
         "faults": chaotic.faults,
         "terminal_fraction": len(chaotic.results) / len(requests),
         "completion_rate": _chaos_metrics(chaotic, len(requests))["completion_rate"],
-        "token_identity_fraction": identical / max(len(chaos_tokens), 1),
+        "token_identity_fraction": identity_fraction(chaotic, healthy_tokens),
         "goodput_retained": (chaotic.decode_tokens_per_s
                              / max(healthy.decode_tokens_per_s, 1e-9)),
     }
@@ -188,21 +178,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small geometry for CI smoke runs")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per configuration (best is kept)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="workload (and fault-plan) seed")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_chaos.json"))
-    args = parser.parse_args()
-    if args.quick and args.repeats > 2:
-        args.repeats = 2
-
-    results = run_benchmark(args.quick, args.repeats, args.seed)
-    args.out.write_text(json.dumps(results, indent=2))
-    print(f"wrote {args.out}")
+    bench_main(run_benchmark, "BENCH_chaos.json", __doc__)
 
 
 if __name__ == "__main__":

@@ -31,9 +31,7 @@ it and fails on a >20% drop.
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
+from _common import bench_main, report_tokens
 
 from repro.llm.config import tiny_config
 from repro.llm.model import DecoderLM
@@ -66,11 +64,6 @@ def _metrics(report) -> dict:
         "n_requeued": report.n_requeued,
         "per_replica_decode_tokens": report.per_replica_decode_tokens,
     }
-
-
-def _tokens(report) -> dict:
-    return {r.request.request_id: tuple(r.generated_tokens)
-            for r in report.results}
 
 
 def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
@@ -118,7 +111,9 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
                     **radix_kwargs)
     least_loaded = best("least-loaded", shared, **radix_kwargs)
     round_robin = best("round-robin", shared, **radix_kwargs)
-    assert _tokens(affinity) == _tokens(least_loaded) == _tokens(round_robin), \
+    assert (report_tokens(affinity, only_finished=False)
+            == report_tokens(least_loaded, only_finished=False)
+            == report_tokens(round_robin, only_finished=False)), \
         "routing changed decoded tokens"
     shared_prefix = {
         "radix_affinity": _metrics(affinity),
@@ -152,7 +147,9 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
                    max_concurrency=skew_concurrency)
     rr_skew = best("round-robin", skewed, arrivals_per_step=skew_arrivals,
                    max_concurrency=skew_concurrency)
-    assert _tokens(ll_skew) == _tokens(rr_skew), "routing changed decoded tokens"
+    assert (report_tokens(ll_skew, only_finished=False)
+            == report_tokens(rr_skew, only_finished=False)), \
+        "routing changed decoded tokens"
     skewed_regime = {
         "least_loaded": _metrics(ll_skew),
         "round_robin": _metrics(rr_skew),
@@ -172,7 +169,8 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
     failing = cluster("least-loaded", **radix_kwargs)
     failing.fail_replica(1, at_step=max(2, healthy.cluster_steps // 3))
     failed = failing.run(lm, shared)
-    assert _tokens(failed) == _tokens(healthy), \
+    assert (report_tokens(failed, only_finished=False)
+            == report_tokens(healthy, only_finished=False)), \
         "failure drain changed decoded tokens"
     failure = {
         "healthy": _metrics(healthy),
@@ -229,21 +227,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small geometry for CI smoke runs")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per configuration (best is kept)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="workload (and fault-plan) seed")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_cluster.json"))
-    args = parser.parse_args()
-    if args.quick and args.repeats > 2:
-        args.repeats = 2
-
-    results = run_benchmark(args.quick, args.repeats, args.seed)
-    args.out.write_text(json.dumps(results, indent=2))
-    print(f"wrote {args.out}")
+    bench_main(run_benchmark, "BENCH_cluster.json", __doc__)
 
 
 if __name__ == "__main__":

@@ -37,11 +37,9 @@ it and fails on a >20% drop.
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
 import numpy as np
+
+from _common import bench_main, identity_fraction, report_tokens
 
 from repro.llm.config import tiny_config
 from repro.llm.model import DecoderLM
@@ -64,18 +62,6 @@ def _requests(n: int, prompt_len: int, decode_len: int, vocab: int,
                     prompt_tokens=tuple(
                         rng.integers(1, vocab, size=prompt_len).tolist()))
             for i in range(n)]
-
-
-def _tokens(report) -> dict:
-    return {r.request.request_id: tuple(r.generated_tokens)
-            for r in report.results if r.status == "finished"}
-
-
-def _identity_fraction(report, reference_tokens: dict) -> float:
-    tokens = _tokens(report)
-    identical = sum(1 for rid, toks in tokens.items()
-                    if reference_tokens.get(rid) == toks)
-    return identical / max(len(tokens), 1)
 
 
 def _common_metrics(report, n_submitted: int) -> dict:
@@ -128,7 +114,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
 
     # -- regime 1: crash failover, recompute vs checkpoint restore --------
     healthy = best()
-    reference_tokens = _tokens(healthy)
+    reference_tokens = report_tokens(healthy)
     recompute = best(fail=(1, crash_at), paranoid=True)
     ckpt = best(fail=(1, crash_at), paranoid=True,
                 migration=f"checkpoint:interval={interval}")
@@ -139,8 +125,8 @@ def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
         "checkpointed": _common_metrics(ckpt, n_requests),
         "migration": ckpt.migration,
         "terminal_fraction": len(ckpt.results) / n_requests,
-        "token_identity_fraction": _identity_fraction(ckpt, reference_tokens),
-        "recompute_identity_fraction": _identity_fraction(recompute,
+        "token_identity_fraction": identity_fraction(ckpt, reference_tokens),
+        "recompute_identity_fraction": identity_fraction(recompute,
                                                           reference_tokens),
         "recompute_tokens_saved": ckpt.recompute_tokens_saved,
         "goodput_vs_recompute": (ckpt.decode_tokens_per_s
@@ -153,7 +139,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
                               f"checkpoint:interval={interval}"])
     drain = _common_metrics(drained, n_requests)
     drain["terminal_fraction"] = len(drained.results) / n_requests
-    drain["token_identity_fraction"] = _identity_fraction(drained,
+    drain["token_identity_fraction"] = identity_fraction(drained,
                                                           reference_tokens)
     drain["migration"] = drained.migration
 
@@ -196,21 +182,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small geometry for CI smoke runs")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per configuration (best is kept)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="workload / cluster / fault-plan seed")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_migrate.json"))
-    args = parser.parse_args()
-    if args.quick and args.repeats > 2:
-        args.repeats = 2
-
-    results = run_benchmark(args.quick, args.repeats, args.seed)
-    args.out.write_text(json.dumps(results, indent=2))
-    print(f"wrote {args.out}")
+    bench_main(run_benchmark, "BENCH_migrate.json", __doc__)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,250 @@
+"""Overload-control benchmark: admission, brownout, hedging under pressure.
+
+Runs the multi-replica :class:`~repro.serve.cluster.ClusterEngine` through
+the two overload regimes the cluster's control plane exists for and writes
+``BENCH_overload.json``:
+
+* ``straggler_hedge`` — 4 replicas, one stalling (``stall:replica=2,
+  period=3``: it loses two of every three rounds, a real round-domain 3x
+  straggler).  The *hedged* run duplicates decodes stuck on the straggler
+  onto healthy siblings (checkpoint-seeded where the cache supports it);
+  the *unhedged* run waits the stall out.  Guarded: the round-domain p99
+  completion-tail speedup and makespan ratio from hedging (> 1), hedge
+  efficiency (wins per launch), bounded duplicate-work overhead, every
+  request terminal, and decoded tokens identical to a fault-free run —
+  first-to-finish duplication is correctness-preserving.
+* ``overload_admission`` — 3 tenants (tier 0 = most important) at 2x
+  open-loop overload: a tenant-burst fault doubles the lowest tier's
+  arrivals while every request carries a deadline.  The *admission* run
+  arbitrates per-tenant with weighted-fair queueing plus the brownout
+  ladder; the *no-admission* run dumps everything on the replicas
+  deadline-only.  Guarded: tier-0 goodput gain from admission (> 1 — the
+  protected tier keeps finishing while low tiers defer/shed) and a 100%
+  terminal fraction on both sides (exactly one terminal status per
+  request, enforced under ``paranoid=True``).
+* ``determinism`` — the full composition (admission + brownout + hedging +
+  breakers + stall + burst) run twice with one seed; statuses, decoded
+  tokens, completion rounds and every event log must be byte-identical.
+
+Tail/makespan/goodput ratios are measured in *cluster rounds* (the
+deterministic clock), so every guarded metric is bit-reproducible for a
+fixed ``--seed``; nothing here is host-timing-derived.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py            # full run
+    PYTHONPATH=src python benchmarks/bench_overload.py --quick    # CI smoke
+
+The committed ``benchmarks/BENCH_overload_baseline.json`` pins the guarded
+metrics (its ``guarded`` key); CI runs ``check_bench_regression.py`` against
+it and fails on a >20% drop.
+"""
+
+from __future__ import annotations
+
+from _common import bench_main, identity_fraction, report_tokens
+
+from repro.llm.config import tiny_config
+from repro.llm.model import DecoderLM
+from repro.serve import ClusterEngine
+from repro.workloads import multi_tenant_requests
+
+
+def _bench_model(max_seq_len: int) -> DecoderLM:
+    config = tiny_config("bench-overload", n_layers=2, d_model=64, n_heads=4,
+                         d_ff=128, vocab_size=128, max_seq_len=max_seq_len)
+    return DecoderLM(config, seed=0)
+
+
+def _p99_completion_round(report) -> float:
+    """p99 of the cluster round at which finished requests completed.
+
+    ``finished_clock`` is stamped on the shared round-domain clock, so this
+    tail metric is deterministic — unlike wall-clock step latencies.
+    """
+    rounds = sorted(r.finished_clock for r in report.results
+                    if r.status == "finished" and r.finished_clock >= 0)
+    if not rounds:
+        return 0.0
+    index = min(len(rounds) - 1, int(round(0.99 * (len(rounds) - 1))))
+    return float(rounds[index])
+
+
+def _terminal_fraction(report, n_submitted: int) -> float:
+    return len(report.results) / max(n_submitted, 1)
+
+
+def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
+    if quick:
+        n_hedge_requests, hedge_decode = 16, 20
+        tenants, per_tenant, tenant_decode = 3, 6, 10
+    else:
+        n_hedge_requests, hedge_decode = 24, 28
+        tenants, per_tenant, tenant_decode = 3, 10, 12
+
+    lm = _bench_model(max_seq_len=512)
+    vocab = lm.config.vocab_size
+    pool = "paged:page_tokens=16"
+
+    # -- regime 1: 3x straggler at 4 replicas, hedged vs unhedged ---------
+    hedge_requests = multi_tenant_requests(
+        2, n_hedge_requests // 2, prompt_len=24, decode_len=hedge_decode,
+        vocab_size=vocab, rate_rps=200.0, seed=seed)
+    stall = "stall:replica=2,period=3"
+    hedge_kwargs = dict(router="least-loaded", cache=pool, max_concurrency=4,
+                        capacity_tokens=8192, seed=seed, paranoid=True)
+
+    healthy = ClusterEngine(4, **hedge_kwargs).run(lm, hedge_requests)
+    reference_tokens = report_tokens(healthy)
+
+    unhedged = ClusterEngine(4, faults=stall, **hedge_kwargs).run(
+        lm, hedge_requests)
+    hedged_cluster = ClusterEngine(
+        4, faults=stall, breaker=True,
+        hedge="hedge:slowdown=1.5,patience=2,max_concurrent=16",
+        **hedge_kwargs)
+    hedged = hedged_cluster.run(lm, hedge_requests)
+
+    p99_unhedged = _p99_completion_round(unhedged)
+    p99_hedged = _p99_completion_round(hedged)
+    total_decoded = max(hedged.total_decode_tokens, 1)
+    straggler_hedge = {
+        "n_requests": len(hedge_requests),
+        "p99_completion_round_unhedged": p99_unhedged,
+        "p99_completion_round_hedged": p99_hedged,
+        "tail_speedup": p99_unhedged / max(p99_hedged, 1.0),
+        "makespan_ratio": (unhedged.cluster_steps
+                           / max(hedged.cluster_steps, 1)),
+        "n_hedges": hedged.n_hedges,
+        "hedge_wins": hedged.hedge_wins,
+        "hedge_efficiency": hedged.hedge_wins / max(hedged.n_hedges, 1),
+        "hedge_waste_tokens": hedged.hedge_waste_tokens,
+        "duplicate_work_fraction": (hedged.hedge_waste_tokens
+                                    / total_decoded),
+        "duplicate_work_bounded": float(
+            hedged.hedge_waste_tokens <= 0.5 * total_decoded),
+        "terminal_fraction": _terminal_fraction(hedged, len(hedge_requests)),
+        "token_identity_fraction": identity_fraction(hedged,
+                                                     reference_tokens),
+        "breaker_trips": hedged.n_breaker_trips,
+    }
+
+    # -- regime 2: 2x open-loop overload, admission vs deadline-only ------
+    overload_requests = multi_tenant_requests(
+        tenants, per_tenant, prompt_len=24, decode_len=tenant_decode,
+        vocab_size=vocab, rate_rps=100.0, rate_skew=1.5,
+        deadline_steps=3 * tenant_decode, seed=seed)
+    burst = f"tenant-burst:tenant=t{tenants - 1},copies=1"
+    n_offered = len(overload_requests) + per_tenant  # organic + burst clones
+    overload_kwargs = dict(router="least-loaded", cache=pool,
+                           max_concurrency=2, capacity_tokens=1024,
+                           arrivals_per_step=4, seed=seed, paranoid=True,
+                           faults=burst)
+
+    baseline = ClusterEngine(2, **overload_kwargs).run(lm, overload_requests)
+    admitted = ClusterEngine(
+        2, admission=("weighted-fair:quantum=2,weights=t0=8;t1=2;t2=1,"
+                      "threshold=0.9"),
+        brownout=True, **overload_kwargs).run(lm, overload_requests)
+
+    base_tenants = baseline.per_tenant()
+    adm_tenants = admitted.per_tenant()
+    base_t0 = base_tenants.get("t0", {}).get("goodput_tokens", 0)
+    adm_t0 = adm_tenants.get("t0", {}).get("goodput_tokens", 0)
+    overload_admission = {
+        "n_offered": n_offered,
+        "admission": admitted.admission,
+        "brownout": admitted.brownout,
+        "tier0_goodput_none": base_t0,
+        "tier0_goodput_admission": adm_t0,
+        "tier0_goodput_gain": adm_t0 / max(base_t0, 1),
+        "per_tenant_none": base_tenants,
+        "per_tenant_admission": adm_tenants,
+        "terminal_fraction_none": _terminal_fraction(baseline, n_offered),
+        "terminal_fraction": _terminal_fraction(admitted, n_offered),
+        "shed_none": baseline.n_shed, "shed_admission": admitted.n_shed,
+        "timeouts_none": baseline.n_timeouts,
+        "timeouts_admission": admitted.n_timeouts,
+        "brownout_degraded_rounds": admitted.brownout_degraded_rounds,
+    }
+
+    # -- regime 3: the full composition is byte-deterministic -------------
+    def composed():
+        cluster = ClusterEngine(
+            4, router="least-loaded", cache=pool, max_concurrency=2,
+            capacity_tokens=2048, arrivals_per_step=4, seed=seed,
+            paranoid=True, faults=[stall, burst],
+            admission="token-bucket:rate=48,burst=192,max_wait=24",
+            brownout=True, breaker=True, hedge=True)
+        report = cluster.run(lm, overload_requests)
+        return {
+            "results": sorted(
+                (r.request.request_id, r.status, tuple(r.generated_tokens),
+                 r.finished_clock) for r in report.results),
+            "tenants": report.per_tenant(),
+            "hedge_events": report.hedge_events,
+            "brownout_events": report.brownout_events,
+            "breaker_events": report.breaker_events,
+            "brownout_rounds": report.brownout_rounds,
+            "cluster_steps": report.cluster_steps,
+        }
+
+    first, second = composed(), composed()
+    determinism = {
+        "byte_identical": float(first == second),
+        "n_results": len(first["results"]),
+        "cluster_steps": first["cluster_steps"],
+    }
+
+    results = {
+        "config": {
+            "model": lm.config.name, "n_layers": lm.config.n_layers,
+            "pool": pool, "stall": stall, "burst": burst,
+            "n_hedge_requests": len(hedge_requests),
+            "n_overload_offered": n_offered, "seed": seed,
+            "repeats": repeats, "quick": quick,
+        },
+        "straggler_hedge": straggler_hedge,
+        "overload_admission": overload_admission,
+        "determinism": determinism,
+        # Every guarded metric below is measured on the round-domain clock
+        # or a deterministic counter — bit-reproducible per seed.
+        "guarded": [["straggler_hedge", "tail_speedup"],
+                    ["straggler_hedge", "makespan_ratio"],
+                    ["straggler_hedge", "hedge_efficiency"],
+                    ["straggler_hedge", "duplicate_work_bounded"],
+                    ["straggler_hedge", "terminal_fraction"],
+                    ["straggler_hedge", "token_identity_fraction"],
+                    ["overload_admission", "tier0_goodput_gain"],
+                    ["overload_admission", "terminal_fraction"],
+                    ["overload_admission", "terminal_fraction_none"],
+                    ["determinism", "byte_identical"]],
+    }
+
+    sh = straggler_hedge
+    print(f"straggler_hedge   : p99 round {p99_unhedged:.0f} -> "
+          f"{p99_hedged:.0f} ({sh['tail_speedup']:.2f}x tail, "
+          f"{sh['makespan_ratio']:.2f}x makespan) | "
+          f"{sh['hedge_wins']}/{sh['n_hedges']} hedges won, "
+          f"{sh['duplicate_work_fraction']:.1%} duplicate work | "
+          f"terminal {sh['terminal_fraction']:.0%}, token-identical "
+          f"{sh['token_identity_fraction']:.0%}")
+    oa = overload_admission
+    print(f"overload_admission: tier-0 goodput {oa['tier0_goodput_none']} -> "
+          f"{oa['tier0_goodput_admission']} tokens "
+          f"({oa['tier0_goodput_gain']:.2f}x) | shed "
+          f"{oa['shed_none']} -> {oa['shed_admission']}, timeouts "
+          f"{oa['timeouts_none']} -> {oa['timeouts_admission']} | terminal "
+          f"{oa['terminal_fraction']:.0%}")
+    print(f"determinism       : byte-identical "
+          f"{determinism['byte_identical']:.0%} over "
+          f"{determinism['n_results']} results")
+    return results
+
+
+def main() -> None:
+    bench_main(run_benchmark, "BENCH_overload.json", __doc__)
+
+
+if __name__ == "__main__":
+    main()

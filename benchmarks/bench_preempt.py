@@ -26,11 +26,9 @@ it and fails on a >20% drop.
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
 import numpy as np
+
+from _common import bench_main
 
 from repro.llm.config import tiny_config
 from repro.llm.model import DecoderLM
@@ -181,21 +179,7 @@ def run_benchmark(quick: bool, repeats: int, seed: int = 0) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small geometry for CI smoke runs")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per configuration (best is kept)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="workload (and fault-plan) seed")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_preempt.json"))
-    args = parser.parse_args()
-    if args.quick and args.repeats > 2:
-        args.repeats = 2
-
-    results = run_benchmark(args.quick, args.repeats, args.seed)
-    args.out.write_text(json.dumps(results, indent=2))
-    print(f"wrote {args.out}")
+    bench_main(run_benchmark, "BENCH_preempt.json", __doc__)
 
 
 if __name__ == "__main__":

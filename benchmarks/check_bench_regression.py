@@ -21,6 +21,14 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_spec.py --quick --out BENCH_spec.json
     python benchmarks/check_bench_regression.py BENCH_spec.json \
         benchmarks/BENCH_spec_baseline.json
+
+Every guarded metric is printed with its signed percent delta vs the
+baseline, so a failing gate shows *how far* each metric moved, not just that
+it crossed the floor.  After an intentional performance change, refresh the
+committed baseline with ``--write-baseline`` (and commit the result)::
+
+    python benchmarks/check_bench_regression.py BENCH_serve.json \
+        benchmarks/BENCH_serve_baseline.json --write-baseline
 """
 
 from __future__ import annotations
@@ -65,6 +73,13 @@ def _lookup(data: dict, regime: str, metric: str, source: str) -> "float | str":
     return float(value)
 
 
+def _delta_pct(now: float, base: float) -> "float | None":
+    """Signed percent change of ``now`` vs ``base`` (None when base is 0)."""
+    if base == 0:
+        return None
+    return (now - base) / abs(base) * 100.0
+
+
 def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     failures = []
     for regime, metric in guarded_metrics(baseline):
@@ -77,13 +92,16 @@ def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
             failures.extend(broken)
             continue
         floor = base * (1.0 - tolerance)
+        delta = _delta_pct(now, base)
+        delta_text = "n/a (baseline 0)" if delta is None else f"{delta:+.1f}%"
         status = "OK " if now >= floor else "FAIL"
         print(f"{status} {regime}.{metric}: {now:.3f} "
-              f"(baseline {base:.3f}, floor {floor:.3f})")
+              f"(baseline {base:.3f}, floor {floor:.3f}, delta {delta_text})")
         if now < floor:
             failures.append(
-                f"{regime}.{metric} dropped to {now:.3f}, more than "
-                f"{tolerance:.0%} below the committed baseline {base:.3f}")
+                f"{regime}.{metric} dropped to {now:.3f} ({delta_text} vs "
+                f"the committed baseline {base:.3f}; tolerance "
+                f"-{tolerance:.0%})")
     return failures
 
 
@@ -94,9 +112,17 @@ def main() -> int:
                         help="committed baseline (benchmarks/BENCH_*_baseline.json)")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="maximum tolerated fractional drop (default 0.20)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="overwrite the baseline file with the current "
+                             "JSON (after an intentional change; commit the "
+                             "result) instead of gating against it")
     args = parser.parse_args()
 
     current = json.loads(args.current.read_text())
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2))
+        print(f"wrote baseline {args.baseline} from {args.current}")
+        return 0
     baseline = json.loads(args.baseline.read_text())
     failures = check(current, baseline, args.tolerance)
     if failures:

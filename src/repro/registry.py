@@ -211,6 +211,7 @@ _BUILTIN_MODULES: dict[str, tuple[str, ...]] = {
     "policy": ("repro.serve.scheduler",),
     "router": ("repro.serve.cluster",),
     "migration": ("repro.serve.cluster",),
+    "admission": ("repro.serve.admission",),
     "fault": ("repro.serve.faults",),
     "refresh": ("repro.core.refresh",),
     "system": ("repro.baselines.systems",),

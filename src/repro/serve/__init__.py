@@ -24,9 +24,34 @@ prefixes to forked KV cache state; :mod:`repro.serve.faults` holds the
 deterministic chaos harness — the ``"fault"`` registry kind,
 :class:`FaultPlan`/:class:`FaultGate` and the retryable
 :class:`TransientExecutorError` — consumed by the engine's and cluster's
-fault-injection hooks and health supervision (:class:`ReplicaHealth`).
+fault-injection hooks and health supervision (:class:`ReplicaHealth`);
+:mod:`repro.serve.admission` holds the ``"admission"`` registry kind
+(per-tenant token buckets, weighted-fair queueing) and
+:mod:`repro.serve.overload` the brownout ladder, per-replica circuit
+breakers and hedged-request policy the cluster's overload control composes.
 """
 
+from repro.serve.admission import (
+    AdmissionContext,
+    AdmissionDecision,
+    AdmissionPolicy,
+    CompositeAdmission,
+    KVPressureAdmission,
+    TokenBucketAdmission,
+    WeightedFairAdmission,
+    resolve_admission,
+)
+from repro.serve.overload import (
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutLadder,
+    CircuitBreaker,
+    HedgePolicy,
+    resolve_breaker,
+    resolve_brownout,
+    resolve_hedge,
+)
 from repro.serve.cluster import (
     ClusterEngine,
     ClusterReport,
@@ -79,15 +104,26 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "AdmissionContext",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "AllocPressure",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutLadder",
+    "CircuitBreaker",
     "ClusterEngine",
     "ClusterReport",
+    "CompositeAdmission",
     "FCFSPolicy",
     "FaultGate",
     "FaultPlan",
     "FunctionalRequestResult",
     "FunctionalServingReport",
     "FunctionalSession",
+    "HedgePolicy",
+    "KVPressureAdmission",
     "KVSpaceManager",
     "LeastLoadedRouter",
     "LoadSnapshot",
@@ -116,11 +152,17 @@ __all__ = [
     "ServingReport",
     "StepOutcome",
     "Straggler",
+    "TokenBucketAdmission",
     "TokenEvent",
     "TransientExec",
     "TransientExecutorError",
+    "WeightedFairAdmission",
     "poisson_requests",
+    "resolve_admission",
+    "resolve_breaker",
+    "resolve_brownout",
     "resolve_fault_plan",
+    "resolve_hedge",
     "resolve_migration",
     "resolve_policy",
     "resolve_router",

@@ -46,6 +46,25 @@ rather than N engines:
   paranoid per-step invariant sweep (``paranoid=True``) guaranteeing every
   request ends in exactly one explicit terminal status.
 
+* **Overload control & tail taming** — the ``"admission"`` registry kind
+  (:mod:`repro.serve.admission`) puts an explicit per-arrival policy in
+  front of routing: every candidate is admitted, *deferred* (re-offered
+  next round — lossless backpressure) or shed, with per-tenant token
+  buckets and weighted-fair shares keyed off :attr:`Request.tenant`.  A
+  :class:`~repro.serve.overload.BrownoutLadder` steps through graceful-
+  degradation levels under sustained KV/queue pressure (disable
+  speculation → shrink the radix cache → cap low-tier answer lengths) and
+  steps back up on recovery; per-replica
+  :class:`~repro.serve.overload.CircuitBreaker` state machines
+  (closed → open → half-open over transient-retry rates) gate routing
+  faster than health demotion; and a
+  :class:`~repro.serve.overload.HedgePolicy` duplicates decode-phase
+  requests stuck on a persistently slow replica onto a healthy one
+  (checkpoint-seeded where the cache supports it), first copy to finish
+  wins, loser cancelled with its pages released.  Every decision is
+  round-clock keyed, so admission/brownout/hedge/breaker event logs are
+  byte-reproducible.
+
 * **Live migration & checkpointing** — the ``"migration"`` registry kind
   (:class:`MigrationPolicy`) makes recovery *recompute-free* where the KV
   layer allows it.  ``drain-on-degraded:max_inflight=K`` proactively
@@ -64,13 +83,19 @@ from __future__ import annotations
 import abc
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.registry import register, resolve
+from repro.serve.admission import (
+    AdmissionContext,
+    AdmissionDecision,
+    AdmissionPolicy,
+    resolve_admission,
+)
 from repro.serve.engine import (
     FunctionalRequestResult,
     FunctionalServingReport,
@@ -80,7 +105,18 @@ from repro.serve.engine import (
     _percentiles_from_sorted,
 )
 from repro.serve.faults import resolve_fault_plan
+from repro.serve.overload import (
+    BreakerConfig,
+    BrownoutConfig,
+    BrownoutLadder,
+    CircuitBreaker,
+    HedgePolicy,
+    resolve_breaker,
+    resolve_brownout,
+    resolve_hedge,
+)
 from repro.serve.radix import RadixPrefixIndex
+from repro.serve.scheduler import SequenceState
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.cache import KVCacheFactory
@@ -88,7 +124,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.llm.speculate import Drafter
     from repro.serve.engine import FunctionalSession
     from repro.serve.kv_manager import RequestCheckpoint
-    from repro.serve.scheduler import SchedulingPolicy, SequenceState
+    from repro.serve.scheduler import SchedulingPolicy
 
 
 class ReplicaHealth(Enum):
@@ -109,11 +145,17 @@ DEGRADE_SLOWDOWN = 1.5
 
 @dataclass(frozen=True)
 class ReplicaView:
-    """What a router may see of one replica: identity, load and health."""
+    """What a router may see of one replica: identity, load and health.
+
+    ``breaker_open`` reflects the replica's circuit breaker (when the
+    cluster runs one): True while the breaker refuses *new* routing — OPEN,
+    or HALF_OPEN with this round's probe slot already spent.
+    """
 
     replica_id: int
     load: LoadSnapshot
     health: ReplicaHealth = ReplicaHealth.HEALTHY
+    breaker_open: bool = False
 
 
 class PrefixDigest:
@@ -165,16 +207,20 @@ class Router(abc.ABC):
 
     @staticmethod
     def routable(views: list[ReplicaView]) -> list[ReplicaView]:
-        """Replicas eligible for new work: everything not DOWN.
+        """Replicas eligible for new work: not DOWN, breaker permitting.
 
         Every built-in router filters through this first, so a replica the
         health supervisor marked DOWN never receives a request even if it
-        still appears in the view list.
+        still appears in the view list.  Replicas whose circuit breaker is
+        refusing new work are likewise excluded — unless *every* up replica
+        is refusing, in which case the fleet keeps serving rather than
+        dropping traffic on the floor (breakers shift load, never strand it).
         """
         up = [view for view in views if view.health is not ReplicaHealth.DOWN]
         if not up:
             raise RuntimeError("no routable (non-DOWN) replica")
-        return up
+        closed = [view for view in up if not view.breaker_open]
+        return closed or up
 
     @abc.abstractmethod
     def route(self, request: Request, views: list[ReplicaView]) -> int:
@@ -395,6 +441,25 @@ def resolve_migration(
     return resolve("migration", migration)
 
 
+#: Suffix appended to a request id to name its hedge duplicate.
+HEDGE_SUFFIX = "~hedge"
+
+
+@dataclass
+class _HedgeFlight:
+    """One in-flight hedge duplicate (cluster-internal bookkeeping)."""
+
+    request: Request
+    hedge_id: str
+    src: int
+    dst: int
+    launched: int
+    #: Generated tokens at fork time (seeded via checkpoint when ``via`` is
+    #: ``"checkpoint"``; re-decoded from scratch when ``"recompute"``).
+    fork_len: int
+    via: str
+
+
 # ----------------------------------------------------------------------
 # Cluster report
 # ----------------------------------------------------------------------
@@ -442,6 +507,26 @@ class ClusterReport:
     migrated_requests: int = 0
     #: Source-pool pages those checkpoints carried (the migration payload).
     migrated_pages: int = 0
+    #: Admission-policy description (``None`` when admission is disabled).
+    admission: str | None = None
+    #: tenant -> {"admitted"/"deferred"/"shed"/"timeout": count} admission
+    #: counters ("deferred" counts deferral *rounds*, not distinct requests).
+    tenant_admission: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Brownout config description + transition log (round, from, to, reason).
+    brownout: str | None = None
+    brownout_events: list[tuple[int, int, int, str]] = field(default_factory=list)
+    #: Rounds the cluster spent at each brownout level (level 0 included).
+    brownout_rounds: dict[int, int] = field(default_factory=dict)
+    #: Hedge-policy description + event log (round, event, request_id, detail).
+    hedge: str | None = None
+    hedge_events: list[tuple] = field(default_factory=list)
+    n_hedges: int = 0
+    hedge_wins: int = 0
+    #: Decode tokens the losing copies produced that the winner didn't use.
+    hedge_waste_tokens: int = 0
+    #: Breaker config description + transition log (round, replica, change).
+    breaker: str | None = None
+    breaker_events: list[tuple[int, int, str]] = field(default_factory=list)
 
     # -- pooled views ----------------------------------------------------
     @property
@@ -516,6 +601,41 @@ class ClusterReport:
     def n_health_transitions(self) -> int:
         return sum(sum(counts.values())
                    for counts in self.health_transitions.values())
+
+    @property
+    def n_truncated(self) -> int:
+        """Requests finished early under a brownout decode cap."""
+        return sum(1 for r in self.results if r.truncated)
+
+    @property
+    def n_breaker_trips(self) -> int:
+        """Breaker transitions into OPEN (closed→open and half-open→open)."""
+        return sum(1 for _, _, change in self.breaker_events
+                   if change.endswith("->open"))
+
+    @property
+    def brownout_degraded_rounds(self) -> int:
+        """Rounds the cluster spent at any brownout level above 0."""
+        return sum(n for level, n in self.brownout_rounds.items() if level > 0)
+
+    def per_tenant(self) -> dict[str, dict[str, int]]:
+        """Per-tenant outcome breakdown over the pooled results.
+
+        ``goodput_tokens`` counts decode tokens of *finished* requests only
+        — the deterministic (round-domain) goodput numerator the overload
+        bench compares across admission policies.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            row = stats.setdefault(result.request.tenant, {
+                "n": 0, "finished": 0, "shed": 0, "timeout": 0,
+                "failed": 0, "cancelled": 0, "goodput_tokens": 0})
+            row["n"] += 1
+            if result.status in row:
+                row[result.status] += 1
+            if result.status == "finished":
+                row["goodput_tokens"] += result.tokens_generated
+        return stats
 
     # -- migration -------------------------------------------------------
     @property
@@ -611,6 +731,35 @@ class ClusterReport:
                 f"({self.migrated_pages} pages) | "
                 f"{self.n_restored} checkpoint restores | "
                 f"{self.recompute_tokens_saved} recompute tokens saved")
+        tenants = self.per_tenant()
+        if self.admission is not None or len(tenants) > 1:
+            lines.append(f"  admission      policy {self.admission or 'none'} "
+                         f"| per tenant:")
+            for tenant in sorted(tenants):
+                row = tenants[tenant]
+                deferred = self.tenant_admission.get(tenant, {}).get("deferred", 0)
+                lines.append(
+                    f"    {tenant:<12} {row['n']:4d} requests | "
+                    f"{row['finished']} finished "
+                    f"({row['goodput_tokens']} goodput tokens) | "
+                    f"{row['shed']} shed | {row['timeout']} timeouts | "
+                    f"{deferred} deferred rounds")
+        if self.hedge is not None or self.n_hedges:
+            lines.append(
+                f"  hedging        policy {self.hedge or 'none'} | "
+                f"{self.n_hedges} launched | {self.hedge_wins} hedge wins | "
+                f"{self.hedge_waste_tokens} duplicate tokens wasted")
+        if self.breaker is not None or self.breaker_events:
+            lines.append(
+                f"  breakers       config {self.breaker or 'none'} | "
+                f"{self.n_breaker_trips} trips | "
+                f"{len(self.breaker_events)} transitions")
+        if self.brownout is not None or self.brownout_events:
+            lines.append(
+                f"  brownout       config {self.brownout or 'none'} | "
+                f"{len(self.brownout_events)} transitions | "
+                f"{self.brownout_degraded_rounds}/{self.cluster_steps} rounds "
+                f"degraded | {self.n_truncated} truncated")
         return "\n".join(lines)
 
 
@@ -658,6 +807,10 @@ class ClusterEngine:
                  shed_threshold: float | None = None,
                  paranoid: bool = False,
                  migration: "MigrationPolicy | str | Sequence | None" = None,
+                 admission: "AdmissionPolicy | str | Sequence | None" = None,
+                 brownout: "BrownoutConfig | str | bool | None" = None,
+                 hedge: "HedgePolicy | str | bool | None" = None,
+                 breaker: "BreakerConfig | str | bool | None" = None,
                  ) -> None:
         if n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
@@ -689,11 +842,25 @@ class ClusterEngine:
         #: Live-migration policy (``"migration"`` registry kind): proactive
         #: drain of DEGRADED replicas and/or periodic crash checkpoints.
         self.migration = resolve_migration(migration)
+        #: Admission spec (``"admission"`` registry kind).  Kept as the raw
+        #: spec and resolved fresh at every :meth:`run`, so stateful policies
+        #: (token-bucket levels, weighted-fair virtual clocks) start clean
+        #: per run and repeated runs stay byte-identical.  ``None`` with a
+        #: ``shed_threshold`` reproduces the legacy KV-pressure shedding.
+        self.admission = admission
+        resolve_admission(admission, shed_threshold)  # fail fast on bad specs
+        #: Brownout ladder config (``None`` disables graceful degradation).
+        self.brownout = resolve_brownout(brownout)
+        #: Hedged-request policy (``None`` disables duplication).
+        self.hedge = resolve_hedge(hedge)
+        #: Per-replica circuit-breaker config (``None`` disables breakers).
+        self.breaker = resolve_breaker(breaker)
         self.engines = [ServingEngine(max_concurrency=max_concurrency)
                         for _ in range(n_replicas)]
         self._sessions: "list[FunctionalSession] | None" = None
         self._alive = [True] * n_replicas
         self._health = {i: ReplicaHealth.HEALTHY for i in range(n_replicas)}
+        self._breakers: "list[CircuitBreaker | None]" = [None] * n_replicas
         self._fail_at: dict[int, int] = {}
         self._cancel_at: dict[str, int] = {}
 
@@ -757,7 +924,10 @@ class ClusterEngine:
     def _views(self) -> list[ReplicaView]:
         assert self._sessions is not None
         views = [ReplicaView(i, self._sessions[i].load_snapshot(),
-                             self._health[i])
+                             self._health[i],
+                             breaker_open=(self._breakers[i] is not None
+                                           and not self._breakers[i]
+                                           .allows_routing()))
                  for i in range(self.n_replicas) if self._alive[i]]
         if not views:
             raise RuntimeError("every replica has failed with work outstanding")
@@ -769,26 +939,28 @@ class ClusterEngine:
             raise RuntimeError(
                 f"router {self.router.describe()} chose unavailable replica "
                 f"{target}")
+        if self._breakers[target] is not None:
+            self._breakers[target].note_routed()  # spends a half-open probe
         return target
 
-    def _should_shed(self, request: Request) -> bool:
-        """Whether admitting ``request`` would oversubscribe the cluster's KV.
+    def _admission_context(self, clock: int, waited: int = 0) -> AdmissionContext:
+        """The cluster-wide load the admission policy sees for one candidate.
 
-        Projected pressure is the peak footprint (prompt + decode tokens) of
-        every live request across alive replicas plus the candidate's own;
-        the request is shed when that exceeds ``shed_threshold`` times the
-        summed pool capacity.  Unbounded pools never shed.
+        Rebuilt per candidate (views are recomputed), so a request admitted
+        earlier in the same round already counts toward the pressure a later
+        candidate is judged against — exactly the legacy shed semantics.
         """
-        if self.shed_threshold is None:
-            return False
-        projected = request.prompt_len + request.decode_len
-        capacity = 0
+        projected = n_live = 0
+        capacity: int | None = 0
         for view in self._views():
-            if view.load.capacity_tokens is None:
-                return False  # an unbounded replica can always absorb it
-            capacity += view.load.capacity_tokens
+            n_live += view.load.n_live
             projected += view.load.projected_kv_tokens
-        return projected > self.shed_threshold * capacity
+            if capacity is not None:
+                capacity = (None if view.load.capacity_tokens is None
+                            else capacity + view.load.capacity_tokens)
+        return AdmissionContext(clock=clock, projected_kv_tokens=projected,
+                                capacity_tokens=capacity, n_live=n_live,
+                                waited=waited)
 
     # -- the cluster loop ------------------------------------------------
     def _start_session(self, lm: "DecoderLM",
@@ -824,7 +996,129 @@ class ClusterEngine:
                               if state is not None else -1),
             n_preemptions=state.n_preemptions if state is not None else 0,
             n_retries=state.n_retries if state is not None else 0,
+            finished_clock=step,
         )
+
+    @staticmethod
+    def _count_tenant(report: ClusterReport, tenant: str, key: str) -> None:
+        bucket = report.tenant_admission.setdefault(
+            tenant, {"admitted": 0, "deferred": 0, "shed": 0, "timeout": 0})
+        bucket[key] += 1
+
+    def _apply_brownout(self, session: "FunctionalSession", level: int) -> None:
+        """Set one replica to the ladder's current degradation rung.
+
+        Levels are cumulative and idempotent: L1 disables speculation, L2
+        shrinks (or freezes) the radix budget, L3 caps low-tier decode
+        lengths.  Applied on every transition and to rejoining replicas, so
+        the whole fleet always sits on the same rung.
+        """
+        cfg = self.brownout
+        assert cfg is not None
+        session.set_speculation(level < 1)
+        if cfg.levels >= 2:
+            session.limit_radix(cfg.radix_cap_tokens if level >= 2 else None)
+        if cfg.levels >= 3:
+            if level >= 3:
+                session.cap_decodes(cfg.decode_cap, cfg.min_tier)
+            else:
+                session.uncap_decodes()
+
+    def _overload_signals(self, deferred: "deque[Request]",
+                          requeue: "deque[SequenceState]") -> tuple[float, int]:
+        """(KV pressure, queue depth) the brownout ladder observes.
+
+        Iterates the sessions directly (not :meth:`_views`, which raises when
+        every replica is dead) so the ladder can still step while the fleet
+        recovers.  Pressure is live-footprint over bounded capacity across
+        alive replicas; unbounded pools contribute no pressure.
+        """
+        assert self._sessions is not None
+        projected = capacity = 0
+        for i in range(self.n_replicas):
+            if not self._alive[i]:
+                continue
+            load = self._sessions[i].load_snapshot()
+            if load.capacity_tokens is not None:
+                projected += load.projected_kv_tokens
+                capacity += load.capacity_tokens
+        pressure = projected / capacity if capacity else 0.0
+        return pressure, len(deferred) + len(requeue)
+
+    def _launch_hedge(self, sessions: "list[FunctionalSession]", src: int,
+                      state: "SequenceState", step: int,
+                      report: ClusterReport) -> "_HedgeFlight | None":
+        """Duplicate one straggling decode onto the best healthy replica.
+
+        KV-checkpoint-seeded when the source cache supports it (the copy
+        resumes decoding with zero recompute), full-recompute otherwise.
+        Returns None when no healthy, breaker-closed sibling exists.
+        """
+        views = [v for v in self._views()
+                 if v.replica_id != src and v.health is ReplicaHealth.HEALTHY
+                 and not v.breaker_open]
+        if not views:
+            return None
+        dst = min(views, key=LeastLoadedRouter.pressure).replica_id
+        request = state.request
+        hedge_id = request.request_id + HEDGE_SUFFIX
+        ckpt = sessions[src].kv.checkpoint(state)
+        if ckpt is not None:
+            ckpt = replace(ckpt, request_id=hedge_id)
+        hedge_state = SequenceState(
+            request=replace(request, request_id=hedge_id),
+            prompt=list(state.prompt), generated=list(state.generated),
+            decode_cap=state.decode_cap, checkpoint=ckpt)
+        sessions[dst].inject_request(hedge_state)
+        via = "checkpoint" if ckpt is not None else "recompute"
+        report.n_hedges += 1
+        report.assignments[hedge_id] = dst
+        report.hedge_events.append(
+            (step, "launch", request.request_id, src, dst, via))
+        return _HedgeFlight(request=request, hedge_id=hedge_id, src=src,
+                            dst=dst, launched=step,
+                            fork_len=len(state.generated), via=via)
+
+    def _take_result(self, sessions: "list[FunctionalSession]",
+                     retired_reports: "list[FunctionalServingReport]",
+                     rid: str) -> FunctionalRequestResult | None:
+        """Remove and return ``rid``'s terminal result, wherever it landed."""
+        for i in range(self.n_replicas):
+            if self._alive[i]:
+                result = sessions[i].harvest_result(rid)
+                if result is not None:
+                    return result
+        for rep in retired_reports:
+            for idx, result in enumerate(rep.results):
+                if result.request.request_id == rid:
+                    return rep.results.pop(idx)
+        return None
+
+    def _discard_copy(self, sessions: "list[FunctionalSession]",
+                      retired_reports: "list[FunctionalServingReport]",
+                      requeue: "deque[SequenceState]", rid: str) -> int:
+        """Cancel the losing copy of a hedged pair; returns its decoded tokens.
+
+        The copy may have already finished (harvest its result), still be
+        live on a replica (extract — releases its KV pages), or be sitting
+        in the requeue after its replica crashed (drop it there).
+        """
+        result = self._take_result(sessions, retired_reports, rid)
+        if result is not None:
+            return len(result.generated_tokens)
+        for i in range(self.n_replicas):
+            if not self._alive[i]:
+                continue
+            extracted = sessions[i].extract_request(rid)
+            if extracted is not None:
+                state, _ = extracted
+                return len(state.generated)
+        for idx, state in enumerate(requeue):
+            if state.request_id == rid:
+                del requeue[idx]
+                return len(state.generated)
+        return 0
+
     def run(self, lm: "DecoderLM", requests: list[Request]) -> ClusterReport:
         """Serve ``requests`` across the replicas and aggregate the outcome."""
         if not requests:
@@ -849,13 +1143,42 @@ class ClusterEngine:
         #: requeue — the checkpoint data is self-contained, so it survives
         #: the pool it was exported from.
         ckpt_stash: "dict[str, RequestCheckpoint]" = {}
+        # Overload-control state.  The admission policy is resolved fresh per
+        # run so stateful policies (token buckets, stride schedulers) start
+        # clean; `deferred` is the lossless backpressure queue its DEFER
+        # verdicts feed; `first_offered` dates each request's first admission
+        # attempt so deadlines and max_wait count queueing rounds.
+        admission = resolve_admission(self.admission, self.shed_threshold)
+        deferred: "deque[Request]" = deque()
+        first_offered: dict[str, int] = {}
+        ladder = (BrownoutLadder(self.brownout)
+                  if self.brownout is not None else None)
+        self._breakers = ([CircuitBreaker(self.breaker)
+                           for _ in range(self.n_replicas)]
+                          if self.breaker is not None
+                          else [None] * self.n_replicas)
+        breakers = self._breakers
+        #: primary request_id -> in-flight hedge duplicate.
+        hedges: "dict[str, _HedgeFlight]" = {}
+        hedged_ever: set[str] = set()
+        slow_streak = [0] * self.n_replicas
+        bursts = self.faults.bursts if self.faults is not None else ()
+        burst_counts: dict[int, int] = {}
         report = ClusterReport(router=self.router.describe(),
                                n_replicas=self.n_replicas,
                                max_concurrency=self.max_concurrency,
                                faults=(self.faults.describe()
                                        if self.faults is not None else None),
                                migration=(self.migration.describe()
-                                          if self.migration.enabled else None))
+                                          if self.migration.enabled else None),
+                               admission=(admission.describe()
+                                          if admission is not None else None),
+                               brownout=(self.brownout.describe()
+                                         if self.brownout is not None else None),
+                               hedge=(self.hedge.describe()
+                                      if self.hedge is not None else None),
+                               breaker=(self.breaker.describe()
+                                        if self.breaker is not None else None))
         # Merge the fault plan's crash schedule into the manual fail_replica
         # one (earliest kill wins); crashes with recover_after rejoin later.
         fail_at = dict(self._fail_at)
@@ -880,7 +1203,7 @@ class ClusterEngine:
         retired_reports: list[FunctionalServingReport] = []
         start = time.perf_counter()
         step = 0
-        while (pending or requeue
+        while (pending or requeue or deferred
                or any(self._alive[i] and sessions[i].has_work()
                       for i in range(self.n_replicas))):
             # 1a. Rejoin recovered replicas: seal the crashed session's
@@ -895,6 +1218,11 @@ class ClusterEngine:
                 self._alive[replica_id] = True
                 retry_hist[replica_id].clear()
                 last_retries[replica_id] = 0
+                slow_streak[replica_id] = 0
+                if breakers[replica_id] is not None:
+                    breakers[replica_id].reset()
+                if ladder is not None:
+                    self._apply_brownout(sessions[replica_id], ladder.level)
                 self._set_health(report, replica_id, ReplicaHealth.HEALTHY)
                 report.recovered_replicas.append(replica_id)
             # 1b. Apply due failures: drain the dead replica's in-flight work.
@@ -908,10 +1236,24 @@ class ClusterEngine:
                     # loss to at most `interval` decode steps (a state
                     # already carrying one — e.g. a queued migrant — keeps
                     # its own, which is at least as fresh).
+                    hedge_ids = {flight.hedge_id: rid
+                                 for rid, flight in hedges.items()}
                     for state in drained:
                         if state.checkpoint is None:
                             state.checkpoint = ckpt_stash.get(state.request_id)
-                    requeue.extend(drained)
+                        if state.request_id in hedge_ids:
+                            # A drained hedge copy dies with its replica —
+                            # the primary is still running, so re-routing
+                            # the duplicate would just double the work.
+                            rid = hedge_ids[state.request_id]
+                            hedges.pop(rid, None)
+                            report.hedge_events.append(
+                                (step, "hedge-lost-replica", rid, replica_id))
+                            continue
+                        requeue.append(state)
+                    if breakers[replica_id] is not None:
+                        breakers[replica_id].reset()
+                    slow_streak[replica_id] = 0
                     self.router.forget(replica_id)
                     report.failed_replicas.append(replica_id)
                     self._set_health(report, replica_id, ReplicaHealth.DOWN)
@@ -924,16 +1266,54 @@ class ClusterEngine:
             #     to move — then decoding, then prefilling ones).
             if self.migration.drain_max_inflight is not None:
                 self._drain_degraded(sessions, report)
-            # 2. Forward due cancellations to the replicas, then route:
-            #    drained requests first (they arrived earliest and their
-            #    ranks still say so), then fresh arrivals (shed-checked).
+            # 1d. Circuit-breaker clock ticks: expire OPEN cooldowns into
+            #     HALF_OPEN and refresh each breaker's probe slot.
+            for i in range(self.n_replicas):
+                if self._alive[i] and breakers[i] is not None:
+                    moved = breakers[i].tick(step)
+                    if moved is not None:
+                        report.breaker_events.append(
+                            (step, i, f"{moved[0]}->{moved[1]}"))
+            # 1e. Brownout ladder: observe cluster KV pressure and queue
+            #     depth, step the degradation level (with hysteresis) and
+            #     push the new rung to every alive replica.
+            if ladder is not None:
+                pressure, queue_depth = self._overload_signals(deferred,
+                                                               requeue)
+                moved = ladder.observe(pressure, queue_depth, step)
+                if moved is not None:
+                    old, new, reason = moved
+                    report.brownout_events.append((step, old, new, reason))
+                    for i in range(self.n_replicas):
+                        if self._alive[i]:
+                            self._apply_brownout(sessions[i], new)
+                elif ladder.level >= 3:
+                    # Decode caps only stick to already-admitted requests;
+                    # re-apply each round so new admissions are capped too.
+                    for i in range(self.n_replicas):
+                        if self._alive[i]:
+                            sessions[i].cap_decodes(
+                                self.brownout.decode_cap,
+                                self.brownout.min_tier)
+                report.brownout_rounds[ladder.level] = (
+                    report.brownout_rounds.get(ladder.level, 0) + 1)
+            # 2. Forward due cancellations to the replicas (a cancelled
+            #    primary takes its hedge duplicate down with it), then
+            #    route: drained requests first (they arrived earliest and
+            #    their ranks still say so), then deferred + fresh arrivals
+            #    through the admission policy.
             due_cancels = {rid for rid, at in cancel_at.items() if at <= step}
+            for rid in list(due_cancels):
+                flight = hedges.get(rid)
+                if flight is not None:
+                    due_cancels.add(flight.hedge_id)
             for rid in due_cancels:
                 for i in range(self.n_replicas):
                     if self._alive[i]:
                         self.engines[i].cancel(rid)
             any_alive = any(self._alive)
-            if not any_alive and (pending or requeue) and not recover_at:
+            if (not any_alive and (pending or requeue or deferred)
+                    and not recover_at):
                 self._views()  # every replica dead, no recovery due: raise
             if any_alive:
                 while requeue:
@@ -950,27 +1330,117 @@ class ClusterEngine:
                     report.assignments[state.request_id] = target
                     report.requeues[state.request_id] = (
                         report.requeues.get(state.request_id, 0) + 1)
+                # Admission: previously deferred requests first (they keep
+                # their queueing age), then this round's fresh arrivals —
+                # expanded through any active tenant-burst fault so clones
+                # face the policy exactly like organic traffic.
+                candidates = list(deferred)
+                deferred.clear()
                 n_route = (len(pending) if self.arrivals_per_step is None
                            else min(self.arrivals_per_step, len(pending)))
                 for _ in range(n_route):
                     request = pending.popleft()
-                    if request.request_id in due_cancels:
+                    candidates.append(request)
+                    for b_idx, burst in enumerate(bursts):
+                        if burst.tenant != request.tenant \
+                                or not burst.active(step):
+                            continue
+                        made = burst_counts.get(b_idx, 0)
+                        for _k in range(burst.copies):
+                            if burst.limit is not None and made >= burst.limit:
+                                break
+                            clone = replace(
+                                request,
+                                request_id=f"{request.request_id}~b{made}")
+                            made += 1
+                            candidates.append(clone)
+                            seen.add(clone.request_id)
+                        burst_counts[b_idx] = made
+                if admission is not None and candidates:
+                    admission.begin_round(candidates,
+                                          self._admission_context(step))
+                for request in candidates:
+                    rid = request.request_id
+                    if rid in due_cancels:
+                        first_offered.pop(rid, None)
                         report.cluster_results.append(self._cluster_result(
                             request, step, "cancelled"))
                         continue
-                    if self._should_shed(request):
+                    if admission is None:
+                        decision = AdmissionDecision.ADMIT
+                    else:
+                        waited = step - first_offered.get(rid, step)
+                        if (request.deadline_steps is not None
+                                and waited >= request.deadline_steps):
+                            # Expired while queued: the deadline would fire
+                            # on the replica anyway; fail fast here instead.
+                            first_offered.pop(rid, None)
+                            self._count_tenant(report, request.tenant,
+                                               "timeout")
+                            report.cluster_results.append(
+                                self._cluster_result(request, step,
+                                                     "timeout"))
+                            continue
+                        decision = admission.decide(
+                            request, self._admission_context(step, waited))
+                    if decision is AdmissionDecision.ADMIT:
+                        first_offered.pop(rid, None)
+                        target = self._route(request)
+                        sessions[target].submit([request])
+                        report.assignments[rid] = target
+                        self._count_tenant(report, request.tenant, "admitted")
+                    elif decision is AdmissionDecision.DEFER:
+                        first_offered.setdefault(rid, step)
+                        deferred.append(request)
+                        self._count_tenant(report, request.tenant, "deferred")
+                    else:
+                        first_offered.pop(rid, None)
+                        self._count_tenant(report, request.tenant, "shed")
                         report.cluster_results.append(self._cluster_result(
                             request, step, "shed"))
+            # 2b. Hedge launches: a replica whose simulated slowdown has
+            #     exceeded the hedge threshold for `patience` consecutive
+            #     rounds gets its decoding requests duplicated onto the
+            #     least-loaded healthy sibling; first copy to finish wins.
+            if self.hedge is not None and any_alive:
+                for i in range(self.n_replicas):
+                    if not self._alive[i]:
+                        slow_streak[i] = 0
                         continue
-                    target = self._route(request)
-                    sessions[target].submit([request])
-                    report.assignments[request.request_id] = target
+                    slowdown = (self.faults.slowdown(i, step)
+                                if self.faults is not None else 1.0)
+                    slow_streak[i] = (slow_streak[i] + 1
+                                      if slowdown >= self.hedge.slowdown
+                                      else 0)
+                active = len(hedges)
+                for i in range(self.n_replicas):
+                    if slow_streak[i] < self.hedge.patience:
+                        continue
+                    for state in list(sessions[i].scheduler.running.values()):
+                        if active >= self.hedge.max_concurrent:
+                            break
+                        rid = state.request_id
+                        if (not state.prefill_done or not state.generated
+                                or rid in hedged_ever or rid in hedges
+                                or rid in due_cancels
+                                or rid.endswith(HEDGE_SUFFIX)):
+                            continue
+                        flight = self._launch_hedge(sessions, i, state, step,
+                                                    report)
+                        if flight is None:
+                            break  # no healthy sibling this round
+                        hedges[rid] = flight
+                        hedged_ever.add(rid)
+                        active += 1
             # 3. One lockstep round: every busy alive replica takes one
             #    step at the shared cluster clock.  A straggler's simulated
             #    latency inflates both its own report and the round maximum.
             round_max = 0.0
             for i in range(self.n_replicas):
                 if self._alive[i] and sessions[i].has_work():
+                    if (self.faults is not None
+                            and self.faults.stall_skips(i, step)):
+                        continue  # stalled: the replica loses this round
                     t0 = time.perf_counter()
                     sessions[i].step(clock=step)
                     dt = time.perf_counter() - t0
@@ -987,25 +1457,112 @@ class ClusterEngine:
                 for i in range(self.n_replicas):
                     if self._alive[i]:
                         ckpt_stash.update(sessions[i].checkpoint_requests())
-            # 4. Health supervision from this round's outcomes.
+            # 3c. Hedge resolution: the first copy of each hedged pair to
+            #     reach a terminal status wins; the loser is cancelled and
+            #     its KV pages released wherever it sits.  Resolved the same
+            #     round the result appears, so exactly one terminal result
+            #     per original request ever reaches the report.
+            for rid in list(hedges):
+                flight = hedges[rid]
+
+                def _peek(want: str) -> "FunctionalRequestResult | None":
+                    for j in range(self.n_replicas):
+                        if self._alive[j]:
+                            for res in sessions[j].report.results:
+                                if res.request.request_id == want:
+                                    return res
+                    for rep in retired_reports:
+                        for res in rep.results:
+                            if res.request.request_id == want:
+                                return res
+                    return None
+
+                primary_result = _peek(rid)
+                hedge_result = _peek(flight.hedge_id)
+                waste = 0
+                if primary_result is not None \
+                        and primary_result.status == "finished":
+                    waste = self._discard_copy(sessions, retired_reports,
+                                               requeue, flight.hedge_id)
+                    report.hedge_events.append(
+                        (step, "primary-win", rid, flight.src, flight.dst))
+                elif hedge_result is not None \
+                        and hedge_result.status == "finished":
+                    hr = self._take_result(sessions, retired_reports,
+                                           flight.hedge_id)
+                    assert hr is not None
+                    waste = self._discard_copy(sessions, retired_reports,
+                                               requeue, rid)
+                    report.cluster_results.append(FunctionalRequestResult(
+                        request=flight.request,
+                        prompt_tokens=hr.prompt_tokens,
+                        generated_tokens=hr.generated_tokens,
+                        admitted_step=hr.admitted_step,
+                        finished_step=hr.finished_step,
+                        ttft_s=hr.ttft_s,
+                        reused_prefix_tokens=hr.reused_prefix_tokens,
+                        status="finished",
+                        first_token_step=hr.first_token_step,
+                        n_preemptions=hr.n_preemptions,
+                        n_retries=hr.n_retries,
+                        truncated=hr.truncated,
+                        finished_clock=hr.finished_clock))
+                    report.hedge_wins += 1
+                    report.assignments[rid] = flight.dst
+                    report.hedge_events.append(
+                        (step, "hedge-win", rid, flight.src, flight.dst))
+                elif primary_result is not None:
+                    # Primary ended non-finished (cancel/timeout/fail): its
+                    # terminal status stands; the duplicate is torn down.
+                    waste = self._discard_copy(sessions, retired_reports,
+                                               requeue, flight.hedge_id)
+                    report.hedge_events.append(
+                        (step, "primary-terminal", rid,
+                         primary_result.status))
+                elif hedge_result is not None:
+                    # Hedge copy died (crash-retry exhaustion, cancel…):
+                    # drop its result, let the primary run on.  It is never
+                    # re-hedged (`hedged_ever`).
+                    hr = self._take_result(sessions, retired_reports,
+                                           flight.hedge_id)
+                    waste = len(hr.generated_tokens) if hr is not None else 0
+                    report.hedge_events.append(
+                        (step, "hedge-terminal", rid,
+                         hedge_result.status))
+                else:
+                    continue  # both still running
+                if flight.via == "checkpoint":
+                    # Tokens up to the fork were decoded once and cloned,
+                    # not re-decoded — only post-fork duplicates are waste.
+                    waste = max(0, waste - flight.fork_len)
+                report.hedge_waste_tokens += waste
+                del hedges[rid]
+            # 4. Health supervision and circuit breakers from this round's
+            #    outcomes.
             for i in range(self.n_replicas):
                 if not self._alive[i]:
                     continue
                 retries_now = sessions[i].report.n_retries
-                retry_hist[i].append(retries_now - last_retries[i])
+                delta = retries_now - last_retries[i]
+                retry_hist[i].append(delta)
                 last_retries[i] = retries_now
-                inflation = (self.faults.inflation(i, step)
-                             if self.faults is not None else 1.0)
+                slowdown = (self.faults.slowdown(i, step)
+                            if self.faults is not None else 1.0)
                 degraded = (sum(retry_hist[i]) >= DEGRADE_ERRORS
-                            or inflation >= DEGRADE_SLOWDOWN)
+                            or slowdown >= DEGRADE_SLOWDOWN)
                 self._set_health(report, i,
                                  ReplicaHealth.DEGRADED if degraded
                                  else ReplicaHealth.HEALTHY)
+                if breakers[i] is not None:
+                    moved = breakers[i].record(delta, step)
+                    if moved is not None:
+                        report.breaker_events.append(
+                            (step, i, f"{moved[0]}->{moved[1]}"))
             report.parallel_wall_s += round_max
             step += 1
             if self.paranoid:
-                self._check_conservation(seen, pending, requeue, report,
-                                         retired_reports)
+                self._check_conservation(seen, pending, requeue, deferred,
+                                         report, retired_reports)
         report.cluster_steps = step
         report.replica_reports = (retired_reports
                                   + [session.finish() for session in sessions])
@@ -1055,15 +1612,17 @@ class ClusterEngine:
                 report.assignments[rid] = target
                 report.requeues[rid] = report.requeues.get(rid, 0) + 1
 
-    def _check_conservation(self, all_ids: set, pending, requeue,
+    def _check_conservation(self, all_ids: set, pending, requeue, deferred,
                             report: ClusterReport,
                             retired_reports: list) -> None:
         """Assert every submitted request is tracked exactly once.
 
         Conservation of requests across the whole cluster: each request must
-        be pending, requeued, live inside exactly one replica, or terminal
-        in exactly one report (replica, retired pre-crash, or cluster-level
-        shed/cancel) — never lost, never duplicated.
+        be pending, deferred by admission, requeued, live inside exactly one
+        replica, or terminal in exactly one report (replica, retired
+        pre-crash, or cluster-level shed/timeout/cancel) — never lost, never
+        duplicated.  Hedge duplicates (``~hedge`` ids) are transient and not
+        in ``all_ids``; the duplicate check still covers them.
         """
         counts: dict[str, int] = {}
 
@@ -1071,6 +1630,8 @@ class ClusterEngine:
             counts[request_id] = counts.get(request_id, 0) + 1
 
         for request in pending:
+            see(request.request_id)
+        for request in deferred:
             see(request.request_id)
         for state in requeue:
             see(state.request_id)

@@ -107,6 +107,12 @@ class Request:
     transient executor failures are retried before the request is given up
     as ``status="failed"``.  Both are step-based, never wall-clock, so
     timeout behaviour is deterministic.
+
+    ``tenant`` names the paying traffic source the request belongs to; the
+    cluster's ``admission:`` policies (token buckets, weighted-fair shares)
+    and the per-tenant goodput breakdown in :class:`ClusterReport` key off
+    it.  Distinct from ``priority``: tenant is *who*, priority is *how
+    urgent within the batch*.
     """
 
     request_id: str
@@ -117,6 +123,7 @@ class Request:
     priority: int = 0
     deadline_steps: int | None = None
     max_retries: int = 8
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
@@ -125,6 +132,8 @@ class Request:
             raise ValueError("prompt_len and decode_len must be positive")
         if self.priority < 0:
             raise ValueError("priority must be non-negative (0 is most important)")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
         if self.deadline_steps is not None and self.deadline_steps <= 0:
             raise ValueError("deadline_steps must be positive (or None)")
         if self.max_retries < 0:
@@ -346,6 +355,11 @@ class FunctionalRequestResult:
     n_preemptions: int = 0
     #: Injected transient executor failures this request retried through.
     n_retries: int = 0
+    #: Finished early under a brownout decode cap (fewer tokens than asked).
+    truncated: bool = False
+    #: Session clock (cluster round) when the terminal status was reached
+    #: (-1 when the session was never driven with an external clock).
+    finished_clock: int = -1
 
     @property
     def tokens_generated(self) -> int:
@@ -443,6 +457,11 @@ class FunctionalServingReport:
     @property
     def n_failed(self) -> int:
         return sum(1 for r in self.results if r.status == "failed")
+
+    @property
+    def n_truncated(self) -> int:
+        """Requests finished early under a brownout decode cap."""
+        return sum(1 for r in self.results if r.truncated)
 
     @property
     def total_decode_tokens(self) -> int:
@@ -677,6 +696,8 @@ class ServingEngine:
     @staticmethod
     def _result(state: SequenceState, step: int) -> FunctionalRequestResult:
         terminal = state.phase.value
+        status = (terminal if terminal in ("cancelled", "timeout", "failed")
+                  else "finished")
         return FunctionalRequestResult(
             request=state.request,
             prompt_tokens=state.prompt,
@@ -685,11 +706,12 @@ class ServingEngine:
             finished_step=step,
             ttft_s=state.ttft_s,
             reused_prefix_tokens=state.reused,
-            status=(terminal if terminal in ("cancelled", "timeout", "failed")
-                    else "finished"),
+            status=status,
             first_token_step=state.first_token_step,
             n_preemptions=state.n_preemptions,
             n_retries=state.n_retries,
+            truncated=(status == "finished"
+                       and len(state.generated) < state.request.decode_len),
         )
 
     def run_functional(self, lm: "DecoderLM", requests: list[Request],
@@ -918,6 +940,12 @@ class FunctionalSession:
         self._drained_ids: set[str] = set()
         self._start: float | None = None
         self._finished = False
+        #: Whether the cache/drafter pair could speculate at all — the upper
+        #: bound :meth:`set_speculation` can re-enable to.
+        self._spec_capable = self.spec_on
+        #: Results already stamped with a terminal clock (prefix of
+        #: ``report.results``).
+        self._stamped = 0
 
     # -- submission ------------------------------------------------------
     def submit(self, requests: list[Request]) -> None:
@@ -996,6 +1024,7 @@ class FunctionalSession:
         self.engine._apply_cancellations(scheduler, kv, self.should_cancel,
                                          self.report, self._step)
         if not scheduler.has_work():
+            self._stamp_results()
             return False
         admitted = scheduler.admit(self._step, time.perf_counter(), kv,
                                    whole_prefill=self.whole_prefill,
@@ -1036,6 +1065,7 @@ class FunctionalSession:
             # progress per step is unchanged, so tokens stay identical.
             dt *= self.fault_plan.inflation(self.replica_id, self._clock)
         self.report.step_latencies_s.append(dt)
+        self._stamp_results()
         if self.paranoid:
             self.check_invariants()
         if self.on_step is not None:
@@ -1184,6 +1214,87 @@ class FunctionalSession:
                 state.checkpoint = None
         self.resubmit([state])
 
+    # -- overload / brownout controls -------------------------------------
+    def _stamp_results(self) -> None:
+        """Stamp newly-appended terminal results with the session clock.
+
+        ``finished_clock`` is the deterministic (round-domain) counterpart
+        of the wall-clock latency series: under an external cluster clock it
+        records the exact round each request reached its terminal status.
+        """
+        results = self.report.results
+        while self._stamped < len(results):
+            results[self._stamped].finished_clock = self._clock
+            self._stamped += 1
+
+    def set_speculation(self, enabled: bool) -> None:
+        """Toggle speculative decoding at runtime (brownout level 1).
+
+        Re-enabling is bounded by what the session could ever do
+        (``drafter`` present, rollback-capable cache).  Requests admitted
+        while speculation was off keep decoding non-speculatively — the
+        toggle only affects future admissions — and tokens are identical
+        either way (speculation is exact).
+        """
+        self.spec_on = bool(enabled) and self._spec_capable
+
+    def limit_radix(self, max_tokens: int | None) -> None:
+        """Clamp (or restore) the radix prefix-cache budget (brownout level 2).
+
+        ``0`` freezes the index entirely — existing snapshots are evicted
+        and new prefills are not snapshotted — returning every cached page
+        to the pool for live requests; ``None`` restores the budget the
+        session was built with.  No-op without a prefix cache.
+        """
+        self.kv.limit_radix(max_tokens)
+
+    def cap_decodes(self, cap: int, min_priority: int = 1) -> int:
+        """Cap remaining decode length of live low-tier requests (level 3).
+
+        Every live request with ``priority >= min_priority`` and more than
+        ``cap`` total decode tokens is clamped to finish early (never below
+        what it has already generated, so nothing retroactively breaks);
+        results finished this way report ``truncated=True``.  Returns how
+        many states were (re)capped.  Deterministic: depends only on live
+        scheduler state.
+        """
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        capped = 0
+        for state in self.scheduler.live_states():
+            request = state.request
+            if request.priority < min_priority or request.decode_len <= cap:
+                continue
+            effective = max(cap, len(state.generated))
+            if state.decode_cap != effective:
+                state.decode_cap = effective
+                capped += 1
+        return capped
+
+    def uncap_decodes(self) -> None:
+        """Lift brownout decode caps from every live request (recovery)."""
+        for state in self.scheduler.live_states():
+            state.decode_cap = None
+
+    def harvest_result(self, request_id: str) -> FunctionalRequestResult | None:
+        """Remove and return one terminal result (hedged-request accounting).
+
+        The cluster uses this to take a hedge duplicate's terminal result
+        out of the per-replica report — the surviving copy is the request's
+        single terminal record — while keeping this session's conservation
+        sweep sound (the id moves to the drained set).  ``None`` when the id
+        has no terminal result here.
+        """
+        results = self.report.results
+        for i, result in enumerate(results):
+            if result.request.request_id == request_id:
+                if i < self._stamped:
+                    self._stamped -= 1
+                self._drained_ids.add(request_id)
+                self._submitted_ids.discard(request_id)
+                return results.pop(i)
+        return None
+
     # -- teardown --------------------------------------------------------
     def drain(self) -> "list[SequenceState]":
         """Evacuate every live request (replica failure), releasing all KV.
@@ -1210,6 +1321,7 @@ class FunctionalSession:
             self.report.recompute_tokens_saved = self.kv.restored_tokens
             self.report.wall_s = (time.perf_counter() - self._start
                                   if self._start is not None else 0.0)
+            self._stamp_results()
             self.report.results.sort(
                 key=lambda r: (r.request.arrival_time_s, r.request.request_id))
         return self.report

@@ -10,9 +10,13 @@ step.  This module is that chaos harness:
   :class:`FaultPlan` — ``replica-crash:at=S`` (with optional rejoin),
   ``straggler:replica=I,slowdown=X`` (inflated *simulated* step latency),
   ``transient-exec:rate=P`` (executor forwards raise a retryable
-  :class:`TransientExecutorError`) and ``alloc-pressure:rate=P`` (KV
+  :class:`TransientExecutorError`), ``alloc-pressure:rate=P`` (KV
   reservations / :meth:`~repro.core.kv_pool.KVPagePool.try_alloc` spuriously
-  fail) — composable into one plan;
+  fail), ``stall:replica=I,period=K`` / ``sustained-overload:period=K``
+  (a replica — or the whole fleet — only makes progress every K-th round,
+  so tail latency is real in the deterministic round domain) and
+  ``tenant-burst:tenant=T,copies=N`` (demand-side arrival amplification for
+  one tenant) — composable into one plan;
 * :class:`FaultGate`, the seeded Bernoulli gate every probabilistic fault
   draws from.  Decisions hash ``(seed, tag, *key)`` with BLAKE2b — never the
   wall clock, never Python's salted ``hash()`` — so the same plan + seed
@@ -126,7 +130,77 @@ class AllocPressure:
             raise ValueError("rate must lie in [0, 1]")
 
 
-Fault = Union[ReplicaCrash, Straggler, TransientExec, AllocPressure]
+@dataclass(frozen=True)
+class ReplicaStall:
+    """``replica`` only makes progress every ``period``-th cluster round
+    between ``at`` and ``until`` (``replica=None`` stalls the whole fleet).
+
+    Unlike :class:`Straggler` — which inflates *reported* latency while
+    token progress per round is unchanged — a stall skips the replica's
+    lockstep step entirely on non-multiple rounds, so requests pinned to it
+    genuinely fall behind in the deterministic round domain.  This is what
+    makes tail latency *real* for hedging: a duplicate launched on a healthy
+    replica can overtake the stalled primary without any wall-clock input.
+    ``sustained-overload`` is the fleet-wide spelling (``replica=None``).
+    """
+
+    replica: int | None = 0
+    period: int = 2
+    at: int = 0
+    until: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.replica is not None and self.replica < 0:
+            raise ValueError("replica must be non-negative (or None for all)")
+        if self.period < 2:
+            raise ValueError("period must be >= 2 (1 would be a no-op)")
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("until must exceed at (or be None)")
+
+    def active(self, replica: int, clock: int) -> bool:
+        return ((self.replica is None or self.replica == replica)
+                and self.at <= clock
+                and (self.until is None or clock < self.until))
+
+
+@dataclass(frozen=True)
+class TenantBurst:
+    """Clone each fresh arrival of ``tenant`` ``copies`` extra times while
+    the burst window ``[at, until)`` is open (at most ``limit`` clones).
+
+    The clones are real requests — same prompt, geometry and tenant, ids
+    suffixed ``~b<k>`` — injected at the cluster's routing step, so they hit
+    the admission policy exactly like organic traffic and are fully counted
+    in reports and the conservation sweep.  This is the demand-side fault
+    the ``admission:`` kind exists to absorb.
+    """
+
+    tenant: str = "default"
+    at: int = 0
+    until: int | None = None
+    copies: int = 1
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+        if self.at < 0:
+            raise ValueError("at must be non-negative")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("until must exceed at (or be None)")
+        if self.copies < 1:
+            raise ValueError("copies must be >= 1")
+        if self.limit is not None and self.limit <= 0:
+            raise ValueError("limit must be positive (or None)")
+
+    def active(self, clock: int) -> bool:
+        return self.at <= clock and (self.until is None or clock < self.until)
+
+
+Fault = Union[ReplicaCrash, Straggler, TransientExec, AllocPressure,
+              ReplicaStall, TenantBurst]
 
 
 # ----------------------------------------------------------------------
@@ -176,7 +250,8 @@ class FaultPlan:
     def __init__(self, faults: "Sequence[Fault | FaultPlan | str] | Fault | FaultPlan | str" = (),
                  seed: int = 0) -> None:
         if isinstance(faults, (str, FaultPlan, ReplicaCrash, Straggler,
-                               TransientExec, AllocPressure)):
+                               TransientExec, AllocPressure, ReplicaStall,
+                               TenantBurst)):
             faults = [faults]
         flat: list[Fault] = []
         for fault in faults:
@@ -185,7 +260,7 @@ class FaultPlan:
             if isinstance(fault, FaultPlan):
                 flat.extend(fault.faults)
             elif isinstance(fault, (ReplicaCrash, Straggler, TransientExec,
-                                    AllocPressure)):
+                                    AllocPressure, ReplicaStall, TenantBurst)):
                 flat.append(fault)
             else:
                 raise TypeError(f"not a fault or fault spec: {fault!r}")
@@ -211,6 +286,41 @@ class FaultPlan:
                     and (straggler.until is None or clock < straggler.until)):
                 factor *= straggler.slowdown
         return factor
+
+    def stall_skips(self, replica: int, clock: int) -> bool:
+        """True when ``replica`` must skip its lockstep step at ``clock``.
+
+        A stalled replica still steps on rounds where ``(clock - at)`` is a
+        multiple of ``period`` — progress is delayed, never denied — so runs
+        with open-ended stalls still terminate.
+        """
+        for stall in self.faults:
+            if (isinstance(stall, ReplicaStall)
+                    and stall.active(replica, clock)
+                    and (clock - stall.at) % stall.period != 0):
+                return True
+        return False
+
+    def stall_period(self, replica: int, clock: int) -> int:
+        """Largest active stall period for ``replica`` at ``clock`` (1 = none)."""
+        period = 1
+        for stall in self.faults:
+            if isinstance(stall, ReplicaStall) and stall.active(replica, clock):
+                period = max(period, stall.period)
+        return period
+
+    def slowdown(self, replica: int, clock: int) -> float:
+        """Deterministic per-replica slowdown signal: the max of straggler
+        latency inflation and the active stall period.  Health supervision
+        and hedge triggers key off this (never wall clock) so every
+        derived decision is byte-reproducible.
+        """
+        return max(self.inflation(replica, clock),
+                   float(self.stall_period(replica, clock)))
+
+    @property
+    def bursts(self) -> tuple[TenantBurst, ...]:
+        return tuple(f for f in self.faults if isinstance(f, TenantBurst))
 
     @staticmethod
     def _combined_rate(rates: "list[float]") -> float:
@@ -269,6 +379,20 @@ class FaultPlan:
                              f"slowdown={fault.slowdown},at={fault.at}{until}")
             elif isinstance(fault, TransientExec):
                 parts.append(f"transient-exec:rate={fault.rate}")
+            elif isinstance(fault, ReplicaStall):
+                until = "" if fault.until is None else f",until={fault.until}"
+                if fault.replica is None:
+                    parts.append(f"sustained-overload:period={fault.period},"
+                                 f"at={fault.at}{until}")
+                else:
+                    parts.append(f"stall:replica={fault.replica},"
+                                 f"period={fault.period},at={fault.at}{until}")
+            elif isinstance(fault, TenantBurst):
+                until = "" if fault.until is None else f",until={fault.until}"
+                limit = "" if fault.limit is None else f",limit={fault.limit}"
+                parts.append(f"tenant-burst:tenant={fault.tenant},"
+                             f"at={fault.at},copies={fault.copies}"
+                             f"{until}{limit}")
             else:
                 parts.append(f"alloc-pressure:rate={fault.rate}")
         return " + ".join(parts)
@@ -327,13 +451,44 @@ def _build_alloc_pressure(rate: float = 0.05) -> FaultPlan:
     return FaultPlan([AllocPressure(rate=float(rate))])
 
 
+@register("fault", "stall",
+          description="one replica only steps every period-th cluster round "
+                      "— real (round-domain) tail latency, for hedging")
+def _build_stall(replica: int = 0, period: int = 2, at: int = 0,
+                 until: int | None = None) -> FaultPlan:
+    return FaultPlan([ReplicaStall(replica=replica, period=period, at=at,
+                                   until=until)])
+
+
+@register("fault", "sustained-overload",
+          description="the whole fleet only steps every period-th round — "
+                      "drain stalls while arrivals keep queueing")
+def _build_sustained_overload(period: int = 2, at: int = 0,
+                              until: int | None = None) -> FaultPlan:
+    return FaultPlan([ReplicaStall(replica=None, period=period, at=at,
+                                   until=until)])
+
+
+@register("fault", "tenant-burst",
+          description="clone each fresh arrival of one tenant `copies` extra "
+                      "times during [at, until) — demand-side chaos for "
+                      "admission policies")
+def _build_tenant_burst(tenant: str = "default", at: int = 0,
+                        until: int | None = None, copies: int = 1,
+                        limit: int | None = None) -> FaultPlan:
+    return FaultPlan([TenantBurst(tenant=str(tenant), at=at, until=until,
+                                  copies=copies, limit=limit)])
+
+
 __all__ = [
     "AllocPressure",
     "Fault",
     "FaultGate",
     "FaultPlan",
     "ReplicaCrash",
+    "ReplicaStall",
     "Straggler",
+    "TenantBurst",
     "TransientExec",
     "TransientExecutorError",
     "resolve_fault_plan",

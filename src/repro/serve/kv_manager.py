@@ -129,6 +129,12 @@ class KVSpaceManager:
         self.index: RadixPrefixIndex | None = (
             RadixPrefixIndex(max_tokens=radix_max_tokens)
             if prefix_cache and self.chunkable else None)
+        #: The budget the session was built with — what :meth:`limit_radix`
+        #: restores on brownout recovery.
+        self._radix_budget = radix_max_tokens
+        #: When frozen (brownout level 2 with a zero budget), prefills are
+        #: not snapshotted at all and the index stays empty.
+        self.radix_frozen = False
         #: Chaos hook (``repro.serve.faults.FaultGate``): when armed, growing
         #: reservations spuriously fail — deterministic allocation pressure.
         self.pressure_gate = None
@@ -310,7 +316,8 @@ class KVSpaceManager:
         physical pool is safe either way, but keeping ``used_tokens`` within
         capacity preserves space for the next reservation.
         """
-        if self.index is None or state.resume_next_input is not None:
+        if (self.index is None or self.radix_frozen
+                or state.resume_next_input is not None):
             return  # recomputed targets contain generated tokens: not prompts
         self.index.insert(state.prefill_target,
                           [cache.fork() for cache in state.caches])
@@ -318,6 +325,26 @@ class KVSpaceManager:
             while (self.index.n_entries > 1
                    and self.used_tokens > self.capacity_tokens):
                 self.index.evict_lru()
+
+    def limit_radix(self, max_tokens: int | None) -> None:
+        """Clamp (or restore) the radix budget at runtime (brownout level 2).
+
+        ``max_tokens > 0`` shrinks the index to that budget, evicting LRU
+        snapshots immediately; ``0`` freezes it — clears every snapshot and
+        stops inserting new ones; ``None`` restores the budget the manager
+        was built with.  No-op without a prefix cache.
+        """
+        if self.index is None:
+            return
+        if max_tokens is None:
+            self.radix_frozen = False
+            self.index.set_max_tokens(self._radix_budget)
+        elif max_tokens <= 0:
+            self.radix_frozen = True
+            self.index.clear()
+        else:
+            self.radix_frozen = False
+            self.index.set_max_tokens(max_tokens)
 
     # -- checkpoint / restore -------------------------------------------
     def checkpoint(self, state: "SequenceState") -> "RequestCheckpoint | None":

@@ -1,0 +1,353 @@
+"""Overload controllers: brownout ladder, circuit breakers, hedge policy.
+
+Three deterministic feedback controllers the cluster layers over the
+admission policy (:mod:`repro.serve.admission`):
+
+* :class:`BrownoutLadder` — graceful degradation under *sustained* KV or
+  queue pressure.  Rather than shedding harder, the cluster steps down a
+  ladder of service-quality levels, one rung per transition, after the
+  pressure signal has stayed above ``high`` for ``hold`` consecutive
+  rounds (and steps back up after ``hold`` rounds below ``low`` —
+  hysteresis, so the ladder never flaps on a noisy signal):
+
+  - level 1: disable speculative decoding (frees drafter compute + the
+    rejected-token KV churn);
+  - level 2: shrink (or freeze) the radix prefix cache, releasing
+    snapshot pages back to the decode pool;
+  - level 3: cap ``max_new_tokens`` for low-tier requests (priority >=
+    ``min_tier``) at ``decode_cap`` — premium tiers keep full answers.
+
+  Every transition is recorded ``(round, from_level, to_level, reason)``.
+
+* :class:`CircuitBreaker` — per-replica closed → open → half-open over the
+  replica's transient-error *retry* rate.  ``threshold`` retries within the
+  sliding ``window`` rounds trips the breaker OPEN: routers stop sending
+  new work there (the replica keeps serving what it has).  After
+  ``cooldown`` rounds it goes HALF_OPEN and admits one deterministic probe
+  per round; ``probe_rounds`` clean rounds close it, any new retry re-opens
+  it.  This is faster and more targeted than waiting for the health monitor
+  to mark the replica DEGRADED and drain it.
+
+* :class:`HedgePolicy` — tail-taming by duplication.  When a replica's
+  step slowdown (fault-injected inflation or stall period) has exceeded
+  ``slowdown`` for ``patience`` consecutive rounds, each decode-phase
+  request stuck on it is duplicated onto a healthy replica (seeded from a
+  :class:`~repro.serve.kv_manager.RequestCheckpoint` where the cache
+  supports it, recompute otherwise).  First copy to finish wins; the loser
+  is cancelled with its pages released.  ``max_concurrent`` bounds
+  duplicate work in flight.
+
+All three consume only round-clock-keyed signals, so their decisions — and
+the event logs — are byte-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.registry import parse_spec
+
+
+# ----------------------------------------------------------------------
+# Brownout degradation ladder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Knobs for the brownout ladder.
+
+    ``high``/``low`` bound the KV-pressure hysteresis band (projected live
+    KV tokens over summed pool capacity); ``queue_high`` optionally treats
+    a deep admission/requeue backlog as pressure too.  ``hold`` rounds
+    above/below the band move one rung; ``levels`` rungs exist in total.
+    ``decode_cap``/``min_tier`` parameterise the level-3 answer capping and
+    ``radix_cap_tokens`` the level-2 prefix-cache shrink (0 freezes and
+    clears the index outright).
+    """
+
+    high: float = 0.85
+    low: float = 0.6
+    hold: int = 3
+    levels: int = 3
+    decode_cap: int = 8
+    min_tier: int = 1
+    radix_cap_tokens: int = 0
+    queue_high: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError("need 0 < low <= high")
+        if self.hold < 1:
+            raise ValueError("hold must be >= 1")
+        if not 1 <= self.levels <= 3:
+            raise ValueError("levels must be in 1..3")
+        if self.decode_cap < 1:
+            raise ValueError("decode_cap must be >= 1")
+        if self.min_tier < 0:
+            raise ValueError("min_tier must be >= 0")
+        if self.radix_cap_tokens < 0:
+            raise ValueError("radix_cap_tokens must be >= 0")
+        if self.queue_high is not None and self.queue_high < 1:
+            raise ValueError("queue_high must be >= 1 (or None)")
+
+    def describe(self) -> str:
+        parts = [f"brownout:high={self.high:g},low={self.low:g}",
+                 f"hold={self.hold}", f"levels={self.levels}"]
+        if self.levels >= 3:
+            parts.append(f"decode_cap={self.decode_cap}")
+            parts.append(f"min_tier={self.min_tier}")
+        if self.levels >= 2:
+            parts.append(f"radix_cap_tokens={self.radix_cap_tokens}")
+        if self.queue_high is not None:
+            parts.append(f"queue_high={self.queue_high}")
+        return ",".join(parts)
+
+
+class BrownoutLadder:
+    """Hysteresis state machine stepping through degradation levels."""
+
+    def __init__(self, config: BrownoutConfig) -> None:
+        self.config = config
+        self.level = 0
+        self._above = 0
+        self._below = 0
+
+    def observe(self, pressure: float, queue_depth: int,
+                clock: int) -> tuple[int, int, str] | None:
+        """Feed one round's signals; returns ``(old, new, reason)`` on a
+        transition, else None.  At most one rung moves per round."""
+        cfg = self.config
+        hot_kv = pressure >= cfg.high
+        hot_queue = (cfg.queue_high is not None
+                     and queue_depth >= cfg.queue_high)
+        if hot_kv or hot_queue:
+            self._above += 1
+            self._below = 0
+        elif pressure <= cfg.low and not hot_queue:
+            self._below += 1
+            self._above = 0
+        else:  # inside the hysteresis band: hold position
+            self._above = 0
+            self._below = 0
+        if self._above >= cfg.hold and self.level < cfg.levels:
+            old, self.level = self.level, self.level + 1
+            self._above = 0
+            reason = "queue" if (hot_queue and not hot_kv) else "kv-pressure"
+            return (old, self.level, reason)
+        if self._below >= cfg.hold and self.level > 0:
+            old, self.level = self.level, self.level - 1
+            self._below = 0
+            return (old, self.level, "recovered")
+        return None
+
+
+def resolve_brownout(
+        brownout: "BrownoutConfig | str | bool | None") -> BrownoutConfig | None:
+    """Build a :class:`BrownoutConfig` from a config, spec string, or flag."""
+    if brownout is None or brownout is False:
+        return None
+    if brownout is True:
+        return BrownoutConfig()
+    if isinstance(brownout, BrownoutConfig):
+        return brownout
+    name, params = parse_spec(str(brownout))
+    if name not in ("brownout", "default"):
+        raise ValueError(f"unknown brownout spec '{name}' (use 'brownout:...')")
+    kwargs = {}
+    for key, value in params.items():
+        if key in ("high", "low"):
+            kwargs[key] = float(value)
+        elif key in ("hold", "levels", "decode_cap", "min_tier",
+                     "radix_cap_tokens", "queue_high"):
+            kwargs[key] = int(value)
+        else:
+            raise TypeError(f"unknown brownout parameter '{key}'")
+    return BrownoutConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Per-replica circuit breakers
+# ----------------------------------------------------------------------
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """``threshold`` retries within ``window`` rounds trip the breaker;
+    ``cooldown`` rounds later it half-opens and admits one probe per round,
+    closing after ``probe_rounds`` consecutive clean rounds."""
+
+    threshold: int = 3
+    window: int = 6
+    cooldown: int = 8
+    probe_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        if self.probe_rounds < 1:
+            raise ValueError("probe_rounds must be >= 1")
+
+    def describe(self) -> str:
+        return (f"breaker:threshold={self.threshold},window={self.window},"
+                f"cooldown={self.cooldown},probe_rounds={self.probe_rounds}")
+
+
+class CircuitBreaker:
+    """One replica's closed → open → half-open breaker over retry deltas."""
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self._history: list[int] = []
+        self._open_until = 0
+        self._probe_clean = 0
+        self._probe_used = False
+
+    def tick(self, clock: int) -> tuple[str, str] | None:
+        """Start-of-round bookkeeping; returns a state transition if the
+        cooldown elapsed (OPEN → HALF_OPEN)."""
+        self._probe_used = False
+        if self.state is BreakerState.OPEN and clock >= self._open_until:
+            self.state = BreakerState.HALF_OPEN
+            self._probe_clean = 0
+            return ("open", "half-open")
+        return None
+
+    def record(self, retry_delta: int, clock: int) -> tuple[str, str] | None:
+        """End-of-round retry delta; returns a state transition or None."""
+        cfg = self.config
+        if self.state is BreakerState.CLOSED:
+            self._history.append(retry_delta)
+            if len(self._history) > cfg.window:
+                self._history.pop(0)
+            if sum(self._history) >= cfg.threshold:
+                self._trip(clock)
+                return ("closed", "open")
+        elif self.state is BreakerState.HALF_OPEN:
+            if retry_delta > 0:
+                self._trip(clock)
+                return ("half-open", "open")
+            self._probe_clean += 1
+            if self._probe_clean >= cfg.probe_rounds:
+                self.state = BreakerState.CLOSED
+                self._history = []
+                return ("half-open", "closed")
+        return None
+
+    def _trip(self, clock: int) -> None:
+        self.state = BreakerState.OPEN
+        self._open_until = clock + self.config.cooldown
+        self._history = []
+        self._probe_clean = 0
+
+    def allows_routing(self) -> bool:
+        """May the router send *new* work to this replica right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            return False
+        return not self._probe_used  # HALF_OPEN: one probe per round
+
+    def note_routed(self) -> None:
+        """A request was routed here; consumes the half-open probe slot."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_used = True
+
+    def reset(self) -> None:
+        """Forget everything (replica crashed or rejoined fresh)."""
+        self.state = BreakerState.CLOSED
+        self._history = []
+        self._probe_clean = 0
+        self._probe_used = False
+
+
+def resolve_breaker(
+        breaker: "BreakerConfig | str | bool | None") -> BreakerConfig | None:
+    """Build a :class:`BreakerConfig` from a config, spec string, or flag."""
+    if breaker is None or breaker is False:
+        return None
+    if breaker is True:
+        return BreakerConfig()
+    if isinstance(breaker, BreakerConfig):
+        return breaker
+    name, params = parse_spec(str(breaker))
+    if name not in ("breaker", "default"):
+        raise ValueError(f"unknown breaker spec '{name}' (use 'breaker:...')")
+    kwargs = {}
+    for key, value in params.items():
+        if key in ("threshold", "window", "cooldown", "probe_rounds"):
+            kwargs[key] = int(value)
+        else:
+            raise TypeError(f"unknown breaker parameter '{key}'")
+    return BreakerConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Hedged requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When a replica's step slowdown has been >= ``slowdown`` for
+    ``patience`` consecutive rounds, duplicate its decode-phase requests
+    onto healthy replicas (at most ``max_concurrent`` duplicates in
+    flight); first copy to finish wins, the loser is cancelled."""
+
+    slowdown: float = 1.5
+    patience: int = 2
+    max_concurrent: int = 2
+
+    def __post_init__(self) -> None:
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must be > 1.0")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+
+    def describe(self) -> str:
+        return (f"hedge:slowdown={self.slowdown:g},patience={self.patience},"
+                f"max_concurrent={self.max_concurrent}")
+
+
+def resolve_hedge(
+        hedge: "HedgePolicy | str | bool | None") -> HedgePolicy | None:
+    """Build a :class:`HedgePolicy` from a policy, spec string, or flag."""
+    if hedge is None or hedge is False:
+        return None
+    if hedge is True:
+        return HedgePolicy()
+    if isinstance(hedge, HedgePolicy):
+        return hedge
+    name, params = parse_spec(str(hedge))
+    if name not in ("hedge", "default"):
+        raise ValueError(f"unknown hedge spec '{name}' (use 'hedge:...')")
+    kwargs = {}
+    for key, value in params.items():
+        if key == "slowdown":
+            kwargs[key] = float(value)
+        elif key in ("patience", "max_concurrent"):
+            kwargs[key] = int(value)
+        else:
+            raise TypeError(f"unknown hedge parameter '{key}'")
+    return HedgePolicy(**kwargs)
+
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutLadder",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "resolve_breaker",
+    "resolve_brownout",
+    "resolve_hedge",
+]

@@ -231,6 +231,17 @@ class RadixPrefixIndex:
                 yield current.entry
             stack.extend(current.children.values())
 
+    def set_max_tokens(self, max_tokens: int | None) -> None:
+        """Re-budget the index at runtime, evicting LRU entries to fit.
+
+        The cluster's brownout ladder uses this to shrink the prefix cache
+        under KV pressure and restore it on recovery.
+        """
+        if max_tokens is not None and max_tokens <= 0:
+            raise ValueError("max_tokens must be positive (or None for unbounded)")
+        self.max_tokens = max_tokens
+        self._evict_over_budget()
+
     # -- eviction -------------------------------------------------------
     def evict_lru(self) -> int:
         """Evict the least-recently-used entry, releasing its cache forks.

@@ -100,6 +100,10 @@ class SequenceState:
     #: :meth:`Scheduler.admit`.  Self-contained, so it survives evacuation
     #: and even the crash of the replica it was queued on.
     checkpoint: "RequestCheckpoint | None" = None
+    #: Brownout decode cap: when set, the request finishes (``truncated``)
+    #: after this many generated tokens instead of ``request.decode_len``.
+    #: Never below ``len(generated)`` — capping cannot rewind progress.
+    decode_cap: int | None = None
 
     @property
     def request_id(self) -> str:
@@ -110,8 +114,16 @@ class SequenceState:
         return self.caches is not None and self.prefilled == len(self.prefill_target)
 
     @property
+    def effective_decode_len(self) -> int:
+        """Decode target honouring any brownout cap (never below progress)."""
+        if self.decode_cap is None:
+            return self.request.decode_len
+        return min(self.request.decode_len,
+                   max(self.decode_cap, len(self.generated), 1))
+
+    @property
     def decode_remaining(self) -> int:
-        return self.request.decode_len - len(self.generated)
+        return self.effective_decode_len - len(self.generated)
 
     @property
     def is_live(self) -> bool:
@@ -522,9 +534,12 @@ class Scheduler:
                 cap = state.decode_remaining - 1
                 if budget_left is not None:
                     cap = min(cap, budget_left)
+                # A state admitted while speculation was browned out has no
+                # drafter session even though spec_on is back — it simply
+                # decodes non-speculatively.
                 state.proposals = (state.spec_session.propose(
                     state.prompt + state.generated, max_tokens=cap)
-                    if cap > 0 else [])
+                    if cap > 0 and state.spec_session is not None else [])
                 decode_charge += len(state.proposals)
                 if budget_left is not None:
                     budget_left -= len(state.proposals)

@@ -22,6 +22,7 @@ from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task,
 from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
 from repro.workloads.serving import (
     bursty_requests,
+    multi_tenant_requests,
     multi_turn_requests,
     repetitive_requests,
     shared_prefix_requests,
@@ -44,6 +45,7 @@ __all__ = [
     "PAPER_TRACES",
     "trace_for_dataset",
     "bursty_requests",
+    "multi_tenant_requests",
     "multi_turn_requests",
     "repetitive_requests",
     "shared_prefix_requests",

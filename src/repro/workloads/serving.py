@@ -19,7 +19,11 @@ prefixes.  Two generators cover the canonical scenarios:
   sized to overflow a small bounded :class:`~repro.core.kv_pool.KVPagePool`,
   the preemption(eviction-and-recompute) stress pattern;
 * :func:`tiered_requests` — mixed :attr:`repro.serve.Request.priority`
-  levels, the traffic the ``"priority"`` scheduling policy separates.
+  levels, the traffic the ``"priority"`` scheduling policy separates;
+* :func:`multi_tenant_requests` — per-tenant open-loop Poisson streams with
+  tiered priorities and optional per-tenant rate skew, the traffic shape the
+  ``"admission"`` registry kind (token buckets, weighted-fair queueing)
+  arbitrates.
 
 All return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
 deterministic in ``seed``, with Poisson-ish arrival spacing so admission
@@ -331,5 +335,58 @@ def multi_turn_requests(n_conversations: int, n_turns: int, system_len: int,
             # prefix-extension structure).
             reply = rng.integers(0, vocab_size, size=decode_len).tolist()
             history = prompt + reply
+    requests.sort(key=lambda r: (r.arrival_time_s, r.request_id))
+    return requests
+
+
+def multi_tenant_requests(n_tenants: int, requests_per_tenant: int,
+                          prompt_len: int = 32, decode_len: int = 16,
+                          vocab_size: int = 128, rate_rps: float = 50.0,
+                          rate_skew: float = 1.0, tier_levels: int = 3,
+                          deadline_steps: "int | None" = None,
+                          seed: int = 0) -> list[Request]:
+    """Per-tenant open-loop Poisson streams for admission-control studies.
+
+    Tenant ``t{i}`` sends ``requests_per_tenant`` requests (ids ``t{i}r{j}``)
+    as an independent Poisson process at ``rate_rps * rate_skew**i`` — with
+    ``rate_skew > 1`` the *lowest-priority* tenants are also the heaviest
+    senders, the classic noisy-neighbour shape per-tenant token buckets and
+    weighted-fair admission exist to tame.  Tenant ``i`` sits on tier
+    ``min(i, tier_levels - 1)`` (:attr:`~repro.serve.Request.priority`; 0 is
+    the most important), so tier 0 is exactly tenant ``t0`` when
+    ``n_tenants >= tier_levels``.  All tenants share geometry — any goodput
+    gap between them is pure admission/scheduling policy, not workload skew.
+    """
+    if n_tenants <= 0 or requests_per_tenant <= 0:
+        raise ValueError("n_tenants and requests_per_tenant must be positive")
+    if prompt_len <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prompt_len/decode_len must be positive and vocab_size > 1")
+    if rate_rps <= 0 or rate_skew <= 0:
+        raise ValueError("rate_rps and rate_skew must be positive")
+    if tier_levels <= 0:
+        raise ValueError("tier_levels must be positive")
+    if deadline_steps is not None and deadline_steps <= 0:
+        raise ValueError("deadline_steps must be positive (or None)")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "multi-tenant-requests")
+    requests = []
+    for tenant_idx in range(n_tenants):
+        tenant = f"t{tenant_idx}"
+        tier = min(tenant_idx, tier_levels - 1)
+        rate = rate_rps * rate_skew ** tenant_idx
+        arrivals = np.cumsum(
+            rng.exponential(1.0 / rate, size=requests_per_tenant))
+        for j in range(requests_per_tenant):
+            tokens = rng.integers(0, vocab_size, size=prompt_len)
+            requests.append(request_cls(
+                request_id=f"{tenant}r{j}",
+                arrival_time_s=float(arrivals[j]),
+                prompt_len=prompt_len,
+                decode_len=decode_len,
+                prompt_tokens=tuple(int(t) for t in tokens),
+                priority=tier,
+                deadline_steps=deadline_steps,
+                tenant=tenant,
+            ))
     requests.sort(key=lambda r: (r.arrival_time_s, r.request_id))
     return requests
