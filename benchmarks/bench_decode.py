@@ -1,40 +1,57 @@
-"""Decode-throughput benchmark: legacy list cache vs contiguous vs batched.
+"""Decode-throughput benchmark: legacy, batched, fused-attention, fp16 KV.
 
-Measures prefill and decode tokens/s of the auto-regressive hot loop in three
-regimes and writes ``BENCH_decode.json``:
+Measures the auto-regressive hot loop across the decode-path generations and
+writes ``BENCH_decode.json``:
 
-* ``legacy_list`` — the pre-contiguous baseline: a full KV cache backed by a
+* ``legacy`` — the pre-contiguous seed baseline: a full KV cache backed by a
   Python list of per-token arrays, re-stacked with ``np.stack`` on every
   fetch (re-implemented here so the regression is measurable forever);
-* ``sequential`` — the contiguous-buffer caches, one sequence at a time;
-* ``batched`` — the contiguous caches driven by
-  :meth:`DecoderLM.prefill_batch` / :meth:`DecoderLM.decode_step_batch`
-  with ``--batch`` sequences per forward pass.
-
-It also measures eval throughput (teacher-forced forced-decode scoring, the
-regime :func:`repro.eval.harness.evaluate_dataset` runs in) for the legacy
-sequential harness vs the batched path.
+* ``policies`` — contiguous-cache policies, one sequence at a time and via
+  :meth:`DecoderLM.prefill_batch` / :meth:`DecoderLM.decode_step_batch`;
+* ``fused`` — the fused grouped-attention decode path
+  (``decode_step_batch(..., fused=True)``, one gathered length-masked BLAS
+  attention call per layer per group) against the per-sequence batched
+  reference (``fused=False``, the pre-fusion path) for paged, contiguous
+  full, and fp16-paged caches at ``B`` sequences per forward pass.  The
+  paged/full speedups are the guarded metrics — ratios measured in one
+  process, so they port across hosts;
+* ``fp16`` — ``paged:dtype=fp16`` KV storage: pool-bytes ratio vs fp32
+  (exactly 2x, guarded) and the worst absolute logit delta of a greedy
+  decode vs the fp32 paged run (reported, not guarded);
+* ``eval`` — teacher-forced forced-decode scoring (the
+  :func:`repro.eval.harness.evaluate_dataset` regime), legacy sequential
+  harness vs the batched path;
+* ``engine`` — the full serving engine on a decode-heavy wave workload
+  (:func:`repro.workloads.decode_heavy_requests`) with the fused path on
+  vs off, plus a decoded-token identity check between the two (guarded at
+  1.0 — fusion must not change a single served token).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_decode.py            # full run
     PYTHONPATH=src python benchmarks/bench_decode.py --quick    # CI smoke
+
+The committed ``benchmarks/BENCH_decode_baseline.json`` pins the guarded
+metrics (its ``guarded`` key); CI runs ``check_bench_regression.py`` against
+it and fails on a >20% drop.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _common import bench_main, identity_fraction, report_tokens
+
+from repro.core.kv_pool import KVPagePool
 from repro.llm.cache import LayerKVCache
 from repro.llm.config import tiny_config
 from repro.llm.functional import log_softmax
 from repro.llm.model import DecoderLM
 from repro.registry import resolve
+from repro.serve import ServingEngine
+from repro.workloads import decode_heavy_requests
 
 
 class _LegacyListKVCache(LayerKVCache):
@@ -113,25 +130,39 @@ def _run_sequential(model, prompts, decode_len, factory,
     return prefill_s, decode_s
 
 
-def _run_batched(model, prompts, decode_len, factory,
-                 continuations=None) -> tuple[float, float]:
-    """(prefill_s, decode_s) for one pass over ``prompts`` as a single batch."""
+def _run_batched(model, prompts, decode_len, factory, continuations=None,
+                 fused=True, collect=None) -> tuple[float, float]:
+    """(prefill_s, decode_s) for one pass over ``prompts`` as a single batch.
+
+    ``factory`` must be ONE resolved cache factory shared by every sequence:
+    paged caches group for fused attention only when they share pools, and a
+    per-sequence ``resolve`` call would silently give each its own.  With
+    ``collect`` (a list) the greedy token ids of each sequence are appended
+    to it, so callers can compare decodes across configurations.
+    """
     caches_batch = [model.make_caches(factory) for _ in prompts]
     start = time.perf_counter()
     logits = model.prefill_batch(prompts, caches_batch)
     prefill_s = time.perf_counter() - start
     positions = [len(prompt) for prompt in prompts]
+    generated: list[list[int]] = [[] for _ in prompts]
     start = time.perf_counter()
     for step in range(decode_len):
         if continuations is not None:
             tokens = [cont[step] for cont in continuations]
         else:
             tokens = np.argmax(log_softmax(logits, axis=-1), axis=-1).tolist()
+            for seq, token in zip(generated, tokens):
+                seq.append(int(token))
         if step == decode_len - 1:
             break
-        logits = model.decode_step_batch(tokens, positions, caches_batch)
+        logits = model.decode_step_batch(tokens, positions, caches_batch,
+                                         fused=fused)
         positions = [position + 1 for position in positions]
-    return prefill_s, time.perf_counter() - start
+    decode_s = time.perf_counter() - start
+    if collect is not None:
+        collect.extend(generated)
+    return prefill_s, decode_s
 
 
 def _best_rates(runner, repeats, n_prefill_tokens, n_decode_tokens):
@@ -141,16 +172,45 @@ def _best_rates(runner, repeats, n_prefill_tokens, n_decode_tokens):
         prefill_s, decode_s = runner()
         rates = (n_prefill_tokens / prefill_s, n_decode_tokens / decode_s,
                  n_decode_tokens / (prefill_s + decode_s))
-        if rates[2] > best[2]:
+        if rates[1] > best[1]:
             best = rates
     return {"prefill_tokens_per_s": best[0], "decode_tokens_per_s": best[1],
             "end_to_end_decode_tokens_per_s": best[2]}
 
 
-def run_benchmark(prompt_len: int, decode_len: int, batch: int, policies: list[str],
-                  repeats: int) -> dict:
+def _show(label, rates):
+    print(f"{label:46s}: prefill {rates['prefill_tokens_per_s']:9.0f} tok/s | "
+          f"decode {rates['decode_tokens_per_s']:9.0f} tok/s | "
+          f"e2e {rates['end_to_end_decode_tokens_per_s']:9.0f} tok/s")
+
+
+#: Fused-regime cache specs: result-key suffix -> registry spec.  These are
+#: the layouts the fused grouped-attention path accelerates (paged pools,
+#: equal-length contiguous caches, half-precision pages).
+FUSED_SPECS = {
+    "paged": "paged:page_tokens=16",
+    "full": "full",
+    "fp16": "paged:page_tokens=16,dtype=fp16",
+}
+
+
+def run_benchmark(quick: bool, repeats: int, seed: int) -> dict:
+    if quick:
+        prompt_len, decode_len, batch = 32, 64, 16
+        policies = ["full", "h2o:budget=32,sink_tokens=4,recent_window=8"]
+        n_waves, wave_size, engine_decode = 2, 12, 24
+    else:
+        prompt_len, decode_len, batch = 64, 128, 32
+        policies = [
+            "full",
+            "streaming_llm:budget=128,sink_tokens=8",
+            "h2o:budget=128,sink_tokens=8,recent_window=32",
+            "kelle:budget=128,sink_tokens=8,recent_window=32,refresh=none",
+        ]
+        n_waves, wave_size, engine_decode = 3, 24, 48
+
     model = _bench_model(prompt_len, decode_len)
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     vocab = model.config.vocab_size
     prompts = [rng.integers(0, vocab, size=prompt_len).tolist() for _ in range(batch)]
     continuations = [rng.integers(0, vocab, size=decode_len).tolist() for _ in range(batch)]
@@ -166,27 +226,32 @@ def run_benchmark(prompt_len: int, decode_len: int, batch: int, policies: list[s
             "decode_len": decode_len,
             "batch": batch,
             "repeats": repeats,
+            "seed": seed,
         },
+        "guarded": [
+            ["fused", "decode_speedup_fused_vs_per_sequence_batched_paged"],
+            ["fused", "decode_speedup_fused_vs_per_sequence_batched_full"],
+            ["fp16", "pool_bytes_ratio_fp32_vs_fp16"],
+            ["engine", "decode_heavy_speedup_fused_vs_unfused"],
+            ["engine", "fused_identical_fraction"],
+        ],
         "policies": {},
     }
 
-    def show(label, rates):
-        print(f"{label:42s}: prefill {rates['prefill_tokens_per_s']:9.0f} tok/s | "
-              f"decode {rates['decode_tokens_per_s']:9.0f} tok/s | "
-              f"e2e {rates['end_to_end_decode_tokens_per_s']:9.0f} tok/s")
-
+    # -- legacy list-backed baseline (sequential) -----------------------
     legacy = _best_rates(lambda: _run_sequential(model, prompts, decode_len, _legacy_factory),
                          repeats, n_prefill, n_decode)
-    results["legacy_list_full"] = legacy
-    show("legacy list-backed full cache (seq)", legacy)
+    results["legacy"] = {"list_full_sequential": legacy}
+    _show("legacy list-backed full cache (seq)", legacy)
 
+    # -- cache policies: sequential and batched (per-sequence attention) --
     for spec in policies:
         factory = resolve("cache", spec)
         sequential = _best_rates(
             lambda: _run_sequential(model, prompts, decode_len, factory),
             repeats, n_prefill, n_decode)
         batched = _best_rates(
-            lambda: _run_batched(model, prompts, decode_len, factory),
+            lambda: _run_batched(model, prompts, decode_len, factory, fused=False),
             repeats, n_prefill, n_decode)
         entry = {"sequential": sequential, "batched": batched}
         if spec == "full":
@@ -195,11 +260,60 @@ def run_benchmark(prompt_len: int, decode_len: int, batch: int, policies: list[s
             entry["decode_speedup_batched_vs_legacy"] = (
                 batched["decode_tokens_per_s"] / legacy["decode_tokens_per_s"])
         results["policies"][spec] = entry
-        show(f"{spec} (seq)", sequential)
-        show(f"{spec} (batched B={batch})", batched)
+        _show(f"{spec} (seq)", sequential)
+        _show(f"{spec} (batched B={batch}, per-seq attn)", batched)
 
-    # Eval-harness regime: teacher-forced scoring, legacy sequential harness
-    # vs the batched path (what evaluate_dataset(batch_size=B) now runs).
+    # -- fused grouped attention vs the per-sequence batched reference --
+    # One shared factory per spec (shared pools!); fused and unfused passes
+    # interleave inside each repeat so host noise hits both sides alike.
+    fused_results: dict = {}
+    greedy_tokens: dict[str, list[list[int]]] = {}
+    for key, spec in FUSED_SPECS.items():
+        factory = resolve("cache", spec)
+        fused_best = unfused_best = None
+        for _ in range(repeats):
+            collect: list[list[int]] = []
+            fused_rates = _run_batched(model, prompts, decode_len, factory,
+                                       fused=True, collect=collect)
+            unfused_rates = _run_batched(model, prompts, decode_len, factory,
+                                         fused=False)
+            if fused_best is None or fused_rates[1] < fused_best[1]:
+                fused_best = fused_rates
+            if unfused_best is None or unfused_rates[1] < unfused_best[1]:
+                unfused_best = unfused_rates
+            greedy_tokens[key] = collect
+        fused_tps = n_decode / fused_best[1]
+        unfused_tps = n_decode / unfused_best[1]
+        fused_results[f"decode_tokens_per_s_fused_{key}"] = fused_tps
+        fused_results[f"decode_tokens_per_s_per_sequence_{key}"] = unfused_tps
+        fused_results[f"decode_speedup_fused_vs_per_sequence_batched_{key}"] = (
+            fused_tps / unfused_tps)
+        print(f"fused {key:28s} (B={batch}): fused {fused_tps:9.0f} tok/s | "
+              f"per-seq {unfused_tps:9.0f} tok/s | "
+              f"speedup {fused_tps / unfused_tps:5.2f}x")
+    results["fused"] = fused_results
+
+    # -- fp16 KV pages: pool bytes and greedy-decode drift --------------
+    geometry = dict(n_heads=model.config.n_heads, head_dim=model.config.head_dim,
+                    page_tokens=16, initial_pages=1)
+    fp32_pool = KVPagePool(dtype="fp32", **geometry)
+    fp16_pool = KVPagePool(dtype="fp16", **geometry)
+    drift = sum(1 for a, b in zip(greedy_tokens["paged"], greedy_tokens["fp16"])
+                if a != b)
+    results["fp16"] = {
+        "bytes_per_page_fp32": fp32_pool.bytes_per_page,
+        "bytes_per_page_fp16": fp16_pool.bytes_per_page,
+        "pool_bytes_ratio_fp32_vs_fp16": (
+            fp32_pool.bytes_per_page / fp16_pool.bytes_per_page),
+        "greedy_sequences_diverged_vs_fp32": drift,
+        "greedy_sequences_total": batch,
+    }
+    print(f"fp16 pages: {fp16_pool.bytes_per_page} B/page vs fp32 "
+          f"{fp32_pool.bytes_per_page} B/page "
+          f"({results['fp16']['pool_bytes_ratio_fp32_vs_fp16']:.1f}x); "
+          f"{drift}/{batch} greedy sequences diverged")
+
+    # -- eval-harness regime: teacher-forced scoring --------------------
     eval_legacy = _best_rates(
         lambda: _run_sequential(model, prompts, decode_len, _legacy_factory,
                                 continuations=continuations),
@@ -215,46 +329,52 @@ def run_benchmark(prompt_len: int, decode_len: int, batch: int, policies: list[s
             eval_batched["end_to_end_decode_tokens_per_s"]
             / eval_legacy["end_to_end_decode_tokens_per_s"]),
     }
-    show("eval forced-decode legacy harness (seq)", eval_legacy)
-    show(f"eval forced-decode (batched B={batch})", eval_batched)
+    _show("eval forced-decode legacy harness (seq)", eval_legacy)
+    _show(f"eval forced-decode (batched B={batch})", eval_batched)
+
+    # -- full serving engine on a decode-heavy wave workload ------------
+    requests = decode_heavy_requests(
+        n_waves=n_waves, wave_size=wave_size, prompt_len=prompt_len,
+        decode_len=engine_decode, vocab_size=vocab, seed=seed)
+    n_tokens = sum(r.decode_len for r in requests)
+    best_fused_s = best_unfused_s = None
+    reference = fused_report = None
+    for _ in range(repeats):
+        engine = ServingEngine(max_concurrency=wave_size)
+        start = time.perf_counter()
+        fused_report = engine.run_functional(model, requests, cache="paged",
+                                             seed=seed, fused=True)
+        fused_s = time.perf_counter() - start
+        engine = ServingEngine(max_concurrency=wave_size)
+        start = time.perf_counter()
+        unfused_report = engine.run_functional(model, requests, cache="paged",
+                                               seed=seed, fused=False)
+        unfused_s = time.perf_counter() - start
+        reference = report_tokens(unfused_report)
+        if best_fused_s is None or fused_s < best_fused_s:
+            best_fused_s = fused_s
+        if best_unfused_s is None or unfused_s < best_unfused_s:
+            best_unfused_s = unfused_s
+    results["engine"] = {
+        "decode_heavy_tokens_per_s_fused": n_tokens / best_fused_s,
+        "decode_heavy_tokens_per_s_unfused": n_tokens / best_unfused_s,
+        "decode_heavy_speedup_fused_vs_unfused": best_unfused_s / best_fused_s,
+        "fused_identical_fraction": identity_fraction(fused_report, reference),
+        "n_requests": len(requests),
+    }
+    print(f"engine decode-heavy (paged, {len(requests)} reqs): "
+          f"fused {n_tokens / best_fused_s:9.0f} tok/s | "
+          f"unfused {n_tokens / best_unfused_s:9.0f} tok/s | "
+          f"speedup {best_unfused_s / best_fused_s:5.2f}x | "
+          f"identical {results['engine']['fused_identical_fraction']:.2f}")
 
     full = results["policies"].get("full")
     if full is not None:
         print(f"decode speedup vs pre-PR list-backed path: "
               f"{full['decode_speedup_batched_vs_legacy']:.1f}x batched, "
               f"{full['decode_speedup_sequential_vs_legacy']:.1f}x sequential")
-    print(f"eval speedup vs sequential legacy harness: "
-          f"{results['eval']['scored_speedup_batched_vs_legacy_harness']:.1f}x")
     return results
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--prompt-len", type=int, default=512)
-    parser.add_argument("--decode-len", type=int, default=128)
-    parser.add_argument("--batch", type=int, default=8)
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per measurement (best is kept)")
-    parser.add_argument("--policies", nargs="*", default=[
-        "full",
-        "streaming_llm:budget=128,sink_tokens=8",
-        "h2o:budget=128,sink_tokens=8,recent_window=32",
-        "kelle:budget=128,sink_tokens=8,recent_window=32,refresh=none",
-    ])
-    parser.add_argument("--quick", action="store_true",
-                        help="small geometry for CI smoke runs")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_decode.json"))
-    args = parser.parse_args()
-
-    if args.quick:
-        args.prompt_len, args.decode_len, args.batch, args.repeats = 64, 16, 4, 1
-        args.policies = ["full", "h2o:budget=32,sink_tokens=4,recent_window=8"]
-
-    results = run_benchmark(args.prompt_len, args.decode_len, args.batch,
-                            args.policies, args.repeats)
-    args.out.write_text(json.dumps(results, indent=2))
-    print(f"wrote {args.out}")
-
-
 if __name__ == "__main__":
-    main()
+    bench_main(run_benchmark, "BENCH_decode.json", __doc__)

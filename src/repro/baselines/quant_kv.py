@@ -24,8 +24,12 @@ class QuantizedKVCache(LayerKVCache):
 
     The dequantised vectors live in a :class:`ContiguousKVStore`, so prefill
     quantizes the whole context block in one vectorised round trip and
-    ``fetch`` returns zero-copy views.
+    ``fetch`` returns zero-copy views.  Storage is a pure token prefix with
+    an all-true validity mask and no attention feedback, so these caches
+    join the fused batched-decode path as ``"contig"`` groups.
     """
+
+    fused_kind = "contig"
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int, bits: int,
                  use_hadamard: bool = False, symmetric: bool = True) -> None:

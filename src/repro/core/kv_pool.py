@@ -123,21 +123,47 @@ class KVCheckpoint:
         return sum(layer.nbytes for layer in self.layers)
 
 
+#: Supported KV page storage dtypes: ``"fp32"`` is exact; ``"fp16"`` halves
+#: pool bytes and rounds every stored K/V element to half precision (compute
+#: stays fp32 — values are widened back on every read).
+PAGE_DTYPES = {"fp32": np.dtype(np.float32), "fp16": np.dtype(np.float16)}
+
+
+def _page_dtype(dtype: "str | np.dtype | type") -> np.dtype:
+    if isinstance(dtype, str):
+        try:
+            return PAGE_DTYPES[dtype]
+        except KeyError:
+            raise ValueError(
+                f"unknown KV page dtype {dtype!r}; expected one of "
+                f"{sorted(PAGE_DTYPES)}") from None
+    resolved = np.dtype(dtype)
+    if resolved not in PAGE_DTYPES.values():
+        raise ValueError(f"unsupported KV page dtype {resolved}; expected "
+                         f"float32 or float16")
+    return resolved
+
+
 class KVPagePool:
     """A fixed-page-size KV arena with free-list allocation and refcounts.
 
-    Storage is ``[n_pages, H, page_tokens, head_dim]`` float32 for keys and
-    values, so one page is a natively-shaped ``[H, page_tokens, d]`` block.
+    Storage is ``[n_pages, H, page_tokens, head_dim]`` for keys and values,
+    so one page is a natively-shaped ``[H, page_tokens, d]`` block.
     ``grow=True`` (the default) doubles the arena when the free list runs
     dry; ``grow=False`` models a hard memory budget and raises
-    :class:`PoolExhausted` instead.
+    :class:`PoolExhausted` instead.  ``dtype`` selects the page storage
+    width: ``"fp32"`` (default, exact) or ``"fp16"`` (half the pool bytes;
+    every stored element is rounded to half precision once at write time and
+    widened back to fp32 for compute — the "stored half, computed full"
+    design point of fp16 KV serving stacks).
     """
 
-    __slots__ = ("n_heads", "head_dim", "page_tokens", "grow", "fault_gate",
-                 "_keys", "_values", "_refcounts", "_free")
+    __slots__ = ("n_heads", "head_dim", "page_tokens", "grow", "dtype",
+                 "fault_gate", "_keys", "_values", "_refcounts", "_free")
 
     def __init__(self, n_heads: int, head_dim: int, page_tokens: int = 16,
-                 initial_pages: int = 64, grow: bool = True) -> None:
+                 initial_pages: int = 64, grow: bool = True,
+                 dtype: "str | np.dtype | type" = "fp32") -> None:
         if n_heads <= 0 or head_dim <= 0 or page_tokens <= 0 or initial_pages <= 0:
             raise ValueError("n_heads, head_dim, page_tokens and initial_pages "
                              "must be positive")
@@ -145,13 +171,14 @@ class KVPagePool:
         self.head_dim = head_dim
         self.page_tokens = page_tokens
         self.grow = grow
+        self.dtype = _page_dtype(dtype)
         #: Chaos hook (``repro.serve.faults``): a zero-argument callable that
         #: makes :meth:`try_alloc` spuriously fail when it returns True.
         self.fault_gate = None
         self._keys = np.empty((initial_pages, n_heads, page_tokens, head_dim),
-                              dtype=np.float32)
+                              dtype=self.dtype)
         self._values = np.empty((initial_pages, n_heads, page_tokens, head_dim),
-                                dtype=np.float32)
+                                dtype=self.dtype)
         # Plain-list refcounts: scalar bumps in the decode hot path are much
         # cheaper than numpy element access.
         self._refcounts: list[int] = [0] * initial_pages
@@ -175,7 +202,7 @@ class KVPagePool:
 
     @property
     def bytes_per_page(self) -> int:
-        return 2 * self.n_heads * self.page_tokens * self.head_dim * 4
+        return 2 * self.n_heads * self.page_tokens * self.head_dim * self.dtype.itemsize
 
     @property
     def capacity_tokens(self) -> int | None:
@@ -231,7 +258,7 @@ class KVPagePool:
         new = old * 2
         for name in ("_keys", "_values"):
             buf = getattr(self, name)
-            grown = np.empty((new,) + buf.shape[1:], dtype=np.float32)
+            grown = np.empty((new,) + buf.shape[1:], dtype=self.dtype)
             grown[:old] = buf
             setattr(self, name, grown)
         self._refcounts.extend([0] * (new - old))
@@ -286,6 +313,42 @@ class KVPagePool:
     def value_page(self, page: int) -> np.ndarray:
         return self._values[page]
 
+    # -- fused-decode gather/scatter ------------------------------------
+    def scatter_tokens(self, pages: np.ndarray, offsets: np.ndarray,
+                       keys: np.ndarray, values: np.ndarray) -> None:
+        """Write one ``[H, d]`` token into each ``(page, offset)`` slot.
+
+        The fused batched append: every group member first claims its slot
+        via :meth:`PagedKVCache.reserve_slot`, then the whole group's new
+        K/V lands in two fancy-indexed scatters (an fp16 pool rounds in the
+        assignment) instead of 2·G single-token writes.
+        """
+        self._keys[pages, :, offsets] = keys
+        self._values[pages, :, offsets] = values
+
+    def gather_pages(self, tables: np.ndarray, out_keys: np.ndarray,
+                     out_values: np.ndarray) -> None:
+        """Gather whole page-table rows into fp32 group workspaces.
+
+        ``tables`` is a ``[G, p_max]`` integer array of page ids (ragged
+        rows padded with any live page id — callers mask or zero the tail
+        tokens themselves); ``out_keys``/``out_values`` are
+        ``[G, H, p_max * page_tokens, d]`` fp32 arrays (contiguous or
+        strided views) whose gathered region is fully overwritten.  This is
+        the paged-attention *restack* of the fused decode path: one
+        fancy-indexed assignment per page column — ``self._keys[tables[:,
+        j]]`` is already ``[G, H, page_tokens, d]`` head-major, so there is
+        no transposed temporary, fp16 page storage widens back to fp32 in
+        the assignment itself, and strided destinations (a persistent group
+        buffer's length-sliced view) are written in place.
+        """
+        pages_per_row = tables.shape[1]
+        page_tokens = self.page_tokens
+        for j in range(pages_per_row):
+            column = tables[:, j]
+            out_keys[:, :, j * page_tokens:(j + 1) * page_tokens] = self._keys[column]
+            out_values[:, :, j * page_tokens:(j + 1) * page_tokens] = self._values[column]
+
     # -- checkpoint import ----------------------------------------------
     def import_pages(self, ckpt: KVLayerCheckpoint) -> list[int]:
         """Materialise a layer checkpoint as freshly-allocated pages here.
@@ -339,6 +402,7 @@ class PagedKVCache(LayerKVCache):
     supports_chunked_prefill = True
     supports_rollback = True
     supports_checkpoint = True
+    fused_kind = "paged"
 
     def __init__(self, pool: KVPagePool, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -364,6 +428,29 @@ class PagedKVCache(LayerKVCache):
     def flushed_tokens(self) -> int:
         """Tokens currently persisted to pool pages (≤ ``num_tokens``)."""
         return self._flushed
+
+    def page_list(self) -> list[int]:
+        """The live page-index list, in token order — **no copy**.
+
+        Fused-decode hot-path accessor: callers read it to build group
+        page-table arrays and must not mutate it (use :meth:`fork` /
+        :meth:`truncate` / :meth:`release` for that).
+        """
+        return self._pages
+
+    def _to_storage(self, array: np.ndarray) -> np.ndarray:
+        """Round an fp32 array through the pool's storage dtype.
+
+        Applied at every *mirror* write so the mirror and the pages always
+        hold bit-identical values: without this, an fp16 pool would serve
+        unrounded fp32 from the mirror until the first flush/gather cycle
+        and rounded values afterwards, making results depend on fork/fetch
+        timing (and the fused page path diverge from the per-sequence one).
+        """
+        array = np.asarray(array, dtype=np.float32)
+        if self.pool.dtype == np.float16:
+            return array.astype(np.float16).astype(np.float32)
+        return array
 
     def _writable_tail(self) -> int:
         """The tail page, CoW-copied first if it is shared with a fork."""
@@ -431,8 +518,7 @@ class PagedKVCache(LayerKVCache):
         mirror = self._mirror
         if mirror is None or len(mirror) != self._count:
             mirror = self._sync_mirror()
-        mirror.extend(np.asarray(keys, dtype=np.float32),
-                      np.asarray(values, dtype=np.float32))
+        mirror.extend(self._to_storage(keys), self._to_storage(values))
         self._count = len(mirror)
 
     def extend_chunk(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
@@ -445,8 +531,63 @@ class PagedKVCache(LayerKVCache):
         mirror = self._mirror
         if mirror is None or len(mirror) != self._count:
             mirror = self._sync_mirror()
-        mirror.append(key, value)
+        mirror.append(self._to_storage(key), self._to_storage(value))
         self._count += 1
+
+    def append_page(self, key: np.ndarray, value: np.ndarray) -> None:
+        """Append one token *directly* into pool pages, bypassing the mirror.
+
+        The fused decode path's write primitive: any mirror-only tokens are
+        flushed first (once, on the step a sequence enters the fused path),
+        after which steady-state appends are a single slot write into the
+        CoW-owned tail page and the page watermark tracks ``num_tokens``
+        exactly — so the group page-table gather always sees every token
+        without a mirror round-trip.  An fp16 pool rounds in the assignment
+        itself.  The stale mirror is refilled lazily from pages if a
+        per-sequence :meth:`fetch` ever needs it again.
+        """
+        page, offset = self.reserve_slot()
+        self.pool._keys[page, :, offset] = key
+        self.pool._values[page, :, offset] = value
+
+    def reserve_slot(self) -> tuple[int, int]:
+        """Claim the next token's ``(page, offset)`` without writing data.
+
+        Identical bookkeeping to :meth:`append_page` (flush, page alloc, CoW
+        tail ownership, count/watermark advance) — the fused decode path
+        reserves one slot per group member and then lands the whole group's
+        K/V with two batched pool scatters instead of 2·G single-token
+        writes.  The caller *must* write the slot before any read.
+        """
+        self._flush()
+        pool = self.pool
+        offset = self._count % pool.page_tokens
+        if offset == 0:
+            self._pages.append(pool.alloc())
+            self._tail_owned = True
+            page = self._pages[-1]
+        elif self._tail_owned:
+            page = self._pages[-1]
+        else:
+            page = self._writable_tail()
+        self._count += 1
+        self._flushed = self._count
+        return page, offset
+
+    def tail_token(self) -> tuple[np.ndarray, np.ndarray]:
+        """``[H, d]`` views of the newest token *as stored* in its page.
+
+        Only valid right after :meth:`append_page` (which leaves every token
+        flushed); the fused decode path reads this instead of the raw
+        projection so an incremental group-buffer append captures the pool
+        dtype's rounding (fp16 pages) exactly as a full re-gather would.
+        """
+        if self._flushed != self._count or self._count == 0:
+            raise ValueError("tail_token requires a fully-flushed, non-empty cache")
+        page = self._pages[-1]
+        offset = (self._count - 1) % self.pool.page_tokens
+        return (self.pool.key_page(page)[:, offset],
+                self.pool.value_page(page)[:, offset])
 
     def fetch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         mirror = self._mirror
@@ -518,6 +659,7 @@ class PagedKVCache(LayerKVCache):
         self._count = n
         if self._mirror is not None and len(self._mirror) > n:
             self._mirror.truncate(n)
+        self.write_epoch += 1
 
     # -- checkpoint / restore -------------------------------------------
     def export_state(self) -> KVLayerCheckpoint:
@@ -552,9 +694,13 @@ class PagedKVCache(LayerKVCache):
         mirror = ContiguousKVStore(
             self.n_heads, self.head_dim,
             initial_capacity=max(64, ckpt.n_tokens + self.pool.page_tokens))
-        mirror.extend(ckpt.keys, ckpt.values)
+        # Round through the pool dtype so the rebuilt mirror matches the
+        # imported pages bit-for-bit (an fp32 checkpoint restored into an
+        # fp16 pool is rounded once, identically on both sides).
+        mirror.extend(self._to_storage(ckpt.keys), self._to_storage(ckpt.values))
         self._mirror = mirror
         self._tail_owned = bool(self._pages)
+        self.write_epoch += 1
 
     def release(self) -> None:
         """Drop every page reference and reset; idempotent."""
@@ -565,6 +711,7 @@ class PagedKVCache(LayerKVCache):
         self._flushed = 0
         self._mirror = None
         self._tail_owned = False
+        self.write_epoch += 1
 
 
 class PagedCacheFactory:
@@ -577,12 +724,13 @@ class PagedCacheFactory:
     """
 
     def __init__(self, page_tokens: int = 16, initial_pages: int = 64,
-                 grow: bool = True) -> None:
+                 grow: bool = True, dtype: "str | np.dtype | type" = "fp32") -> None:
         if page_tokens <= 0 or initial_pages <= 0:
             raise ValueError("page_tokens and initial_pages must be positive")
         self.page_tokens = page_tokens
         self.initial_pages = initial_pages
         self.grow = grow
+        self.dtype = _page_dtype(dtype)
         #: Chaos hook propagated to every (existing and future) layer pool's
         #: :attr:`KVPagePool.fault_gate`.
         self.fault_gate = None
@@ -595,7 +743,8 @@ class PagedCacheFactory:
         pool = self._pools.get(key)
         if pool is None:
             pool = KVPagePool(n_heads, head_dim, page_tokens=self.page_tokens,
-                              initial_pages=self.initial_pages, grow=self.grow)
+                              initial_pages=self.initial_pages, grow=self.grow,
+                              dtype=self.dtype)
             pool.fault_gate = self.fault_gate
             self._pools[key] = pool
         return PagedKVCache(pool, n_heads, head_dim, d_model)
@@ -647,9 +796,11 @@ class PagedCacheFactory:
 
 @register("cache", "paged",
           description="paged KV pool (block allocation, refcounted CoW pages, "
-                      "prefix sharing)")
+                      "prefix sharing; dtype=fp16 halves page bytes)")
 def _build_paged(page_tokens: int = 16, initial_pages: int = 64,
-                 grow: bool = True) -> KVCacheFactory:
-    """Registry builder: ``resolve("cache", "paged:page_tokens=32")``."""
+                 grow: bool = True, dtype: str = "fp32") -> KVCacheFactory:
+    """Registry builder: ``resolve("cache", "paged:page_tokens=32")`` or
+    ``resolve("cache", "paged:dtype=fp16")`` for half-precision page storage
+    (stored half, computed fp32)."""
     return PagedCacheFactory(page_tokens=page_tokens, initial_pages=initial_pages,
-                             grow=grow)
+                             grow=grow, dtype=dtype)

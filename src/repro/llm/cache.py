@@ -148,12 +148,42 @@ class LayerKVCache(abc.ABC):
     #: recovery path.
     supports_checkpoint: bool = False
 
+    #: How (if at all) this cache can join a *fused* batched decode group —
+    #: attention for a whole group of sequences as one batched BLAS call per
+    #: layer (:meth:`repro.llm.model.DecoderLM.decode_step_batch`).  A cache
+    #: qualifies only if its ``fetch`` mask is always all-true and it does
+    #: not depend on per-step :meth:`observe_attention` feedback:
+    #:
+    #: * ``"paged"`` — pool-backed; the fused path appends straight into
+    #:   pool pages and gathers group K/V via page-table indexing;
+    #: * ``"contig"`` — private contiguous storage; same-length sequences
+    #:   are stacked into a shared workspace;
+    #: * ``None`` — no fused layout (eviction/importance policies whose
+    #:   validity masks and ``observe_attention`` hooks need the
+    #:   per-sequence path); the batched decode falls back to the
+    #:   sequence-at-a-time attention loop for them.
+    fused_kind: "str | None" = None
+
+    #: Whether :meth:`append` stores the K/V vectors *verbatim* — no
+    #: quantization round-trip or storage-dtype rounding.  When every member
+    #: of a fused decode group stores verbatim, the group's persistent K/V
+    #: stacks extend directly from the batched projections; otherwise the
+    #: fused path reads each newly stored token back so the stacks hold
+    #: exactly what the cache holds.
+    fused_store_identity: bool = False
+
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         if n_heads <= 0 or head_dim <= 0 or d_model <= 0:
             raise ValueError("n_heads, head_dim and d_model must be positive")
         self.n_heads = n_heads
         self.head_dim = head_dim
         self.d_model = d_model
+        #: Mutation counter for fused group-buffer invalidation: bumped
+        #: whenever already-stored tokens may change or disappear (truncate,
+        #: release, checkpoint import).  Plain appends do NOT bump it — the
+        #: fused decode path relies on that to extend its persistent stacked
+        #: K/V buffers incrementally instead of re-gathering every step.
+        self.write_epoch = 0
 
     @abc.abstractmethod
     def prefill(self, keys: np.ndarray, values: np.ndarray, inputs: np.ndarray,
@@ -256,8 +286,10 @@ class LayerKVCache(abc.ABC):
         """Return backing storage to its owner (no-op for private storage).
 
         The serving engine calls this when a sequence retires; pool-backed
-        caches drop their page references here.
+        caches drop their page references here.  Bumps :attr:`write_epoch`
+        so any fused group buffer still referencing this cache restacks.
         """
+        self.write_epoch += 1
 
 
 class KVCacheFactory(Protocol):
@@ -278,6 +310,8 @@ class FullKVCache(LayerKVCache):
 
     supports_chunked_prefill = True
     supports_rollback = True
+    fused_kind = "contig"
+    fused_store_identity = True  # fp32 verbatim storage, no transform
 
     def __init__(self, n_heads: int, head_dim: int, d_model: int) -> None:
         super().__init__(n_heads, head_dim, d_model)
@@ -319,6 +353,7 @@ class FullKVCache(LayerKVCache):
     def truncate(self, n: int) -> None:
         """Native rollback: shrink the contiguous view to ``n`` tokens."""
         self._store.truncate(n)
+        self.write_epoch += 1
 
     @property
     def num_tokens(self) -> int:

@@ -23,9 +23,17 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Elementwise logistic sigmoid."""
+    """Elementwise logistic sigmoid.
+
+    Piecewise-stable form: the ``exp`` argument is always non-positive
+    (``-x`` where ``x >= 0``, ``x`` elsewhere), so neither branch can
+    overflow; per-element results match evaluating each branch on its own
+    sign partition.
+    """
     x = np.asarray(x, dtype=np.float32)
-    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+    pos = x >= 0
+    ex = np.exp(np.where(pos, -x, x))
+    return np.where(pos, 1.0 / (1.0 + ex), ex / (1.0 + ex))
 
 
 def silu(x: np.ndarray) -> np.ndarray:
@@ -40,10 +48,22 @@ def gelu(x: np.ndarray) -> np.ndarray:
 
 
 def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
-    """Root-mean-square layer normalisation (LLaMA family)."""
+    """Root-mean-square layer normalisation (LLaMA family).
+
+    Same op sequence as ``x / sqrt(mean(x*x) + eps) * weight`` (pairwise
+    reduce-sum then divide, exactly what ``np.mean`` performs) with the
+    intermediate reductions done in place — the decode hot loop calls this
+    twice per layer per step.
+    """
     x = np.asarray(x, dtype=np.float32)
-    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
-    return x / rms * weight
+    sq = x * x
+    ms = np.add.reduce(sq, axis=-1, keepdims=True)
+    ms /= x.shape[-1]
+    ms += eps
+    np.sqrt(ms, out=ms)
+    out = x / ms
+    out *= weight
+    return out
 
 
 def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -83,9 +103,19 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, cos: np.ndarray, sin: np.nd
         s = sin[positions]
     x1 = x[..., :half]
     x2 = x[..., half:]
-    rotated_first = x1 * c - x2 * s
-    rotated_second = x2 * c + x1 * s
-    return np.concatenate([rotated_first, rotated_second], axis=-1)
+    # Same elementwise ops as (x1*c - x2*s | x2*c + x1*s) concatenated,
+    # scheduled through one output array: the second half doubles as the
+    # x2*s scratch before the subtraction, so the whole rotation allocates
+    # two arrays instead of seven.
+    out = np.empty(x.shape, dtype=np.float32)
+    first = out[..., :half]
+    second = out[..., half:]
+    np.multiply(x1, c, out=first)
+    np.multiply(x2, s, out=second)
+    first -= second
+    np.multiply(x2, c, out=second)
+    second += x1 * s
+    return out
 
 
 def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:

@@ -1,0 +1,74 @@
+"""Shape-keyed reusable step workspaces for the inference hot loops.
+
+The batched prefill/decode/verify paths used to allocate their scratch
+arrays (padded token blocks, per-layer context buffers, fused-attention
+K/V gather workspaces, length masks) with ``np.zeros``/``np.empty`` on
+*every* call — for decode, that is one or more multi-megabyte allocations
+per layer per step.  A :class:`StepWorkspace` replaces those with named,
+capacity-doubling flat buffers: a request for ``("fused.k", (G, H, n, d))``
+returns an exactly-shaped **contiguous view** of a private 1-D arena that
+is only reallocated when the requested element count outgrows it, so a
+steady-state decode step performs zero scratch allocations even as the
+sequence lengths grow.
+
+Contract: a buffer returned by :meth:`StepWorkspace.get` is valid until the
+next ``get`` with the *same name* — callers use distinct names for arrays
+that must coexist, and must treat contents as uninitialised (pass
+``zero=True`` when the padding region is read before being written).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class StepWorkspace:
+    """Named reusable scratch buffers with amortised-doubling capacity.
+
+    Buffers are keyed by ``(name, dtype)`` and stored flat; ``get`` slices
+    the first ``prod(shape)`` elements and reshapes them, which is always a
+    zero-copy view of a 1-D contiguous array.  Capacity grows to the next
+    power of two above the request, so a decode loop whose workspace needs
+    grow by one token per step reallocates O(log n) times over a run
+    instead of every step.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...],
+            dtype: "np.dtype | type" = np.float32, *, zero: bool = False) -> np.ndarray:
+        """Return an exactly-``shape`` contiguous scratch array for ``name``.
+
+        Contents are arbitrary stale data unless ``zero=True``, which fills
+        the returned view with zeros (the whole view, every call — callers
+        that overwrite every element should not pay for it).
+        """
+        dtype = np.dtype(dtype)
+        count = int(math.prod(shape))
+        key = (name, dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < count:
+            capacity = 1 << max(0, (count - 1).bit_length())
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[key] = buffer
+        out = buffer[:count].reshape(shape)
+        if zero:
+            out[...] = 0
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across all named buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (frees the memory; next ``get`` reallocates)."""
+        self._buffers.clear()
+
+
+__all__ = ["StepWorkspace"]

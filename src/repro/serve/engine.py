@@ -728,6 +728,7 @@ class ServingEngine:
                        faults: "object | None" = None,
                        paranoid: bool = False,
                        replica_id: int = 0,
+                       fused: bool = True,
                        ) -> FunctionalServingReport:
         """Serve ``requests`` by *actually decoding tokens* with batched forwards.
 
@@ -770,6 +771,11 @@ class ServingEngine:
           released and whose generated tokens are preserved for
           eviction-and-recompute, so the engine survives oversubscription
           instead of raising :class:`~repro.core.kv_pool.PoolExhausted`.
+        * ``fused=True`` (the default) decodes through the fused grouped-
+          attention path — one gathered BLAS attention call per layer per
+          compatible cache group; sequences whose caches cannot expose a
+          fused layout fall back per-sequence with identical tokens.
+          ``fused=False`` forces the per-sequence reference path everywhere.
         * ``on_token`` streams every generated token as a
           :class:`~repro.serve.executor.TokenEvent`; ``should_cancel`` (or
           :meth:`cancel`) aborts requests between steps, releasing their
@@ -801,7 +807,7 @@ class ServingEngine:
             drafter=drafter, policy=policy, on_token=on_token,
             should_cancel=should_cancel, capacity_tokens=capacity_tokens,
             on_step=on_step, faults=faults, paranoid=paranoid,
-            replica_id=replica_id)
+            replica_id=replica_id, fused=fused)
         session.submit(requests)
         while session.step():
             pass
@@ -821,6 +827,7 @@ class ServingEngine:
                          faults: "object | None" = None,
                          paranoid: bool = False,
                          replica_id: int = 0,
+                         fused: bool = True,
                          ) -> "FunctionalSession":
         """Open a step-at-a-time functional serving session.
 
@@ -837,7 +844,7 @@ class ServingEngine:
             drafter=drafter, policy=policy, on_token=on_token,
             should_cancel=should_cancel, capacity_tokens=capacity_tokens,
             on_step=on_step, faults=faults, paranoid=paranoid,
-            replica_id=replica_id)
+            replica_id=replica_id, fused=fused)
         self._session = session
         return session
 
@@ -878,7 +885,8 @@ class FunctionalSession:
                  on_step: Callable[[int], None] | None = None,
                  faults: "object | None" = None,
                  paranoid: bool = False,
-                 replica_id: int = 0) -> None:
+                 replica_id: int = 0,
+                 fused: bool = True) -> None:
         from repro.llm.speculate import resolve_drafter
 
         if token_budget is not None and token_budget <= 0:
@@ -904,7 +912,7 @@ class FunctionalSession:
             drafter_desc = self._drafter.describe() + " (disabled: cache lacks rollback)"
         self.policy = resolve_policy(policy)
         self.scheduler = Scheduler(self.policy, engine.max_concurrency)
-        self.executor = ModelExecutor(lm, self.kv, on_token=on_token)
+        self.executor = ModelExecutor(lm, self.kv, on_token=on_token, fused=fused)
         self.rng = derive_rng(seed, "serve-functional")
         self.token_budget = token_budget
         self.should_cancel = should_cancel

@@ -65,10 +65,14 @@ class ModelExecutor:
     """Executes schedule decisions against a :class:`DecoderLM`."""
 
     def __init__(self, lm: "DecoderLM", kv: "KVSpaceManager",
-                 on_token: OnToken | None = None) -> None:
+                 on_token: OnToken | None = None, fused: bool = True) -> None:
         self.lm = lm
         self.kv = kv
         self.on_token = on_token
+        #: Drive the fused grouped-attention decode path (sequences whose
+        #: caches cannot expose a fused layout fall back per-sequence
+        #: automatically inside ``decode_step_batch``).
+        self.fused = fused
         #: Chaos hook (``repro.serve.faults.FaultGate``): when armed, each
         #: forward first draws per sequence and may raise a retryable
         #: :class:`~repro.serve.faults.TransientExecutorError`.
@@ -183,7 +187,8 @@ class ModelExecutor:
             logits = self.lm.decode_step_batch(
                 [state.next_input for state in active],
                 [state.position for state in active],
-                [state.caches for state in active])
+                [state.caches for state in active],
+                fused=self.fused)
             for row, state in enumerate(active):
                 state.next_input = int(np.argmax(logits[row]))
                 state.generated.append(state.next_input)

@@ -22,6 +22,7 @@ from repro.workloads.tasks import MultipleChoiceItem, make_multiple_choice_task,
 from repro.workloads.generator import WorkloadTrace, PAPER_TRACES, trace_for_dataset
 from repro.workloads.serving import (
     bursty_requests,
+    decode_heavy_requests,
     multi_tenant_requests,
     multi_turn_requests,
     repetitive_requests,
@@ -45,6 +46,7 @@ __all__ = [
     "PAPER_TRACES",
     "trace_for_dataset",
     "bursty_requests",
+    "decode_heavy_requests",
     "multi_tenant_requests",
     "multi_turn_requests",
     "repetitive_requests",

@@ -23,7 +23,11 @@ prefixes.  Two generators cover the canonical scenarios:
 * :func:`multi_tenant_requests` — per-tenant open-loop Poisson streams with
   tiered priorities and optional per-tenant rate skew, the traffic shape the
   ``"admission"`` registry kind (token buckets, weighted-fair queueing)
-  arbitrates.
+  arbitrates;
+* :func:`decode_heavy_requests` — waves of near-simultaneous short-prompt /
+  long-decode requests where most of a wave shares one prompt length and a
+  ragged fraction straggles, the batched-decode-bound regime the fused
+  grouped-attention path targets.
 
 All return :class:`repro.serve.Request` lists with ``prompt_tokens`` set,
 deterministic in ``seed``, with Poisson-ish arrival spacing so admission
@@ -290,6 +294,59 @@ def tiered_requests(n_requests: int, levels: int = 3, prompt_len: int = 64,
             prompt_tokens=tuple(int(t) for t in tokens),
             priority=level,
         ))
+    return requests
+
+
+def decode_heavy_requests(n_waves: int, wave_size: int, prompt_len: int,
+                          decode_len: int, vocab_size: int,
+                          ragged_fraction: float = 0.25,
+                          length_jitter: float = 0.3,
+                          wave_gap_s: float = 10.0, wave_rate_rps: float = 500.0,
+                          seed: int = 0) -> list[Request]:
+    """Decode-bound waves: long decodes, B >= wave_size in flight at once.
+
+    ``n_waves`` waves arrive ``wave_gap_s`` apart; within a wave,
+    ``wave_size`` requests arrive Poisson at the (very high)
+    ``wave_rate_rps``, so the whole wave decodes together.  Prompts are
+    short and decodes long (``decode_len >> prompt_len``), which makes the
+    run decode-throughput-bound — the regime the fused grouped-attention
+    path targets.  Most of a wave shares one prompt length (their caches
+    stay same-length for the entire run, the no-padding fast case); a
+    ``ragged_fraction`` of stragglers jitters both lengths by
+    ``length_jitter``, so the fused path's ragged grouping and length
+    masking are exercised too, not just uniform traffic.
+    """
+    if n_waves <= 0 or wave_size <= 0:
+        raise ValueError("n_waves and wave_size must be positive")
+    if prompt_len <= 0 or decode_len <= 0 or vocab_size <= 1:
+        raise ValueError("prompt_len/decode_len must be positive and vocab_size > 1")
+    if not 0.0 <= ragged_fraction <= 1.0:
+        raise ValueError("ragged_fraction must lie in [0, 1]")
+    if not 0.0 <= length_jitter < 1.0:
+        raise ValueError("length_jitter must lie in [0, 1)")
+    if wave_gap_s <= 0 or wave_rate_rps <= 0:
+        raise ValueError("wave_gap_s and wave_rate_rps must be positive")
+    request_cls = _request_cls()
+    rng = derive_rng(seed, "decode-heavy-requests")
+    requests = []
+    for wave in range(n_waves):
+        offsets = np.cumsum(rng.exponential(1.0 / wave_rate_rps, size=wave_size))
+        for index, offset in enumerate(offsets):
+            ragged = rng.random() < ragged_fraction
+            if ragged and length_jitter > 0:
+                low, high = 1.0 - length_jitter, 1.0 + length_jitter
+                prompt = max(1, int(round(prompt_len * rng.uniform(low, high))))
+                decode = max(1, int(round(decode_len * rng.uniform(low, high))))
+            else:
+                prompt, decode = prompt_len, decode_len
+            tokens = rng.integers(0, vocab_size, size=prompt)
+            requests.append(request_cls(
+                request_id=f"w{wave}r{index}",
+                arrival_time_s=float(wave * wave_gap_s + offset),
+                prompt_len=prompt,
+                decode_len=decode,
+                prompt_tokens=tuple(int(t) for t in tokens),
+            ))
     return requests
 
 

@@ -10,6 +10,7 @@ here).  Budgets are sized to force evictions at the test sequence lengths;
 ALL_CACHE_SPECS = [
     "full",
     "paged:page_tokens=4",
+    "paged:page_tokens=4,dtype=fp16",
     "streaming_llm:budget=8,sink_tokens=2",
     "h2o:budget=8,sink_tokens=2,recent_window=3",
     "random:budget=8,sink_tokens=2,recent_window=3",
